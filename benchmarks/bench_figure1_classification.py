@@ -1,0 +1,28 @@
+"""E-FIG1: regenerate the Figure 1 classification of the paper's example languages."""
+
+from repro.classify import classify, figure_1_table
+from repro.languages.examples import FIGURE_1_LANGUAGES
+
+
+def test_figure_1_table_matches_paper(benchmark):
+    rows = benchmark(figure_1_table)
+    assert len(rows) == 22
+    disagreements = [row for row in rows if not row["agrees"]]
+    assert not disagreements, disagreements
+    # Print the regenerated figure for the benchmark report.
+    print()
+    print(f"{'language':<16} {'paper':<13} {'computed':<13} region")
+    for row in rows:
+        print(
+            f"{row['language']:<16} {row['paper_complexity']:<13} "
+            f"{row['computed_complexity']:<13} {row['computed_region']}"
+        )
+
+
+def test_classification_breakdown_by_region():
+    counts: dict[str, int] = {}
+    for example in FIGURE_1_LANGUAGES:
+        result = classify(example.language())
+        counts[result.complexity] = counts.get(result.complexity, 0) + 1
+    # Figure 1 shape: 9 tractable, 9 hard, 4 unclassified example languages.
+    assert counts == {"PTIME": 9, "NP-hard": 9, "unclassified": 4}

@@ -1,0 +1,26 @@
+"""E-FIG2: the automata of Figure 2 (local DFAs and RO-epsilon-NFA)."""
+
+from repro.languages import Language, read_once
+from repro.languages.local import local_overapproximation
+
+
+def test_figure_2a_local_dfa(benchmark):
+    language = Language.from_regex("ax*b")
+    dfa = benchmark(lambda: local_overapproximation(language))
+    assert dfa.is_local_dfa()
+    assert Language.from_automaton(dfa).equivalent_to(language)
+
+
+def test_figure_2b_local_dfa():
+    language = Language.from_regex("ab|ad|cd")
+    dfa = local_overapproximation(language)
+    assert dfa.is_local_dfa()
+    assert Language.from_automaton(dfa).equivalent_to(language)
+
+
+def test_figure_2c_read_once_automaton(benchmark):
+    language = Language.from_regex("ab|ad|cd")
+    automaton = benchmark(lambda: read_once.read_once_automaton(language))
+    assert automaton.is_read_once()
+    assert automaton.epsilon_transitions  # Lemma A.1: epsilon transitions are needed
+    assert Language.from_automaton(automaton).equivalent_to(language)

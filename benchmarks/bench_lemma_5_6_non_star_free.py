@@ -1,0 +1,27 @@
+"""E-L56: Lemma 5.6 -- non-star-free languages are four-legged (constructively)."""
+
+import pytest
+
+from repro.languages import Language, four_legged, star_free
+
+
+@pytest.mark.parametrize("expression", ["b(aa)*d", "a(bb)*c", "e(aaa)*f"])
+def test_witness_construction(expression):
+    language = Language.from_regex(expression)
+    assert not star_free.is_star_free(language)
+    witness = four_legged.witness_from_non_star_free(language)
+    assert witness is not None
+    assert witness.is_valid_for(language)
+
+
+def test_witness_construction_time(benchmark):
+    language = Language.from_regex("b(aa)*d")
+    witness = benchmark(lambda: four_legged.witness_from_non_star_free(language))
+    assert witness is not None
+
+
+def test_hardness_certificate_for_non_star_free(benchmark):
+    from repro.hardness import four_legged_hardness_gadget
+
+    certificate = benchmark(lambda: four_legged_hardness_gadget(Language.from_regex("b(aa)*d")))
+    assert certificate.verification.valid

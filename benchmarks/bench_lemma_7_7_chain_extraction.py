@@ -1,0 +1,30 @@
+"""E-L77: Lemma 7.7 / Claim C.5 -- explicit word extraction from chain-language automata."""
+
+import pytest
+
+from repro.languages import Language, chain
+
+
+def chain_language(num_words: int) -> Language:
+    # A BCL with num_words words a<middle...>b alternating orientation.
+    words = []
+    letters = [chr(ord("c") + index) for index in range(num_words)]
+    for index, letter in enumerate(letters):
+        if index % 2 == 0:
+            words.append(f"a{letter}b")
+        else:
+            words.append(f"b{letter}a")
+    return Language.from_words(words)
+
+
+@pytest.mark.parametrize("num_words", [2, 6, 10])
+def test_extraction_matches_enumeration(num_words):
+    language = chain_language(num_words)
+    assert chain.chain_language_words(language.automaton) == language.words()
+
+
+@pytest.mark.parametrize("num_words", [4, 8, 16])
+def test_extraction_time(benchmark, num_words):
+    language = chain_language(num_words)
+    words = benchmark(lambda: chain.chain_language_words(language.automaton))
+    assert len(words) == num_words

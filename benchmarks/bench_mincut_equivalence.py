@@ -1,0 +1,25 @@
+"""E-MINCUT: the introduction's claim that RES_bag(a x* b) is MinCut."""
+
+import pytest
+
+from repro.flow import FlowNetwork, min_cut_value
+from repro.graphdb import generators
+from repro.languages import Language
+from repro.resilience import resilience_local
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_resilience_equals_mincut(seed):
+    bag = generators.layered_flow_database(4, 3, seed=seed)
+    resilience_value = resilience_local(Language.from_regex("ax*b"), bag).value
+    network = FlowNetwork(source="SRC", target="SNK")
+    for fact, multiplicity in bag.multiplicities().items():
+        network.add_edge(fact.source, fact.target, multiplicity)
+    assert resilience_value == min_cut_value(network)
+
+
+def test_resilience_vs_direct_mincut_timing(benchmark):
+    bag = generators.layered_flow_database(6, 5, seed=3)
+    language = Language.from_regex("ax*b")
+    value = benchmark(lambda: resilience_local(language, bag).value)
+    assert value > 0

@@ -1,0 +1,22 @@
+"""E-P312: Proposition 3.12 -- locality testing for DFAs is tractable."""
+
+import pytest
+
+from repro.languages import Language, local
+
+
+@pytest.mark.parametrize(
+    "expression, expected",
+    [("ax*b", True), ("ab|ad|cd", True), ("aa", False), ("abc|bcd", False), ("axb|cxd", False)],
+)
+def test_locality_decisions(expression, expected):
+    assert local.is_local(Language.from_regex(expression)) == expected
+
+
+@pytest.mark.parametrize("num_words", [4, 8, 16])
+def test_locality_testing_scales_with_language_size(benchmark, num_words):
+    # Local languages a<letter> for growing alphabets.
+    letters = [chr(ord("b") + index) for index in range(num_words)]
+    expression = "|".join(f"a{letter}" for letter in letters)
+    language = Language.from_regex(expression)
+    assert benchmark(lambda: local.is_local(language))

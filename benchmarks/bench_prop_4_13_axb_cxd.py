@@ -1,0 +1,21 @@
+"""E-FIG4 / E-P413: Figure 4 and Proposition 4.13 -- gadget for ``axb|cxd``."""
+
+from repro.graphdb import generators
+from repro.hardness import build_reduction, check_reduction, verify_gadget
+from repro.hardness.library import gadget_for_axb_cxd
+from repro.languages import Language
+
+
+def test_figure_4a_gadget_verifies(benchmark):
+    verification = benchmark(
+        lambda: verify_gadget(Language.from_regex("axb|cxd"), gadget_for_axb_cxd())
+    )
+    assert verification.valid
+    assert verification.path_length == 9
+    assert verification.num_matches == 9
+
+
+def test_reduction_identity_on_small_graphs():
+    for edges in ([(0, 1)], [(0, 1), (1, 2)]):
+        instance = build_reduction(Language.from_regex("axb|cxd"), gadget_for_axb_cxd(), edges)
+        assert check_reduction(instance)

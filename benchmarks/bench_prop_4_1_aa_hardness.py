@@ -1,0 +1,35 @@
+"""E-FIG3 / E-P41: Figure 3 and Proposition 4.1 -- hardness gadget for ``aa``."""
+
+import pytest
+
+from repro.graphdb import generators
+from repro.hardness import build_reduction, check_reduction, verify_gadget
+from repro.hardness.library import gadget_for_aa
+from repro.languages import Language
+
+
+def test_figure_3b_gadget_verifies(benchmark):
+    verification = benchmark(lambda: verify_gadget(Language.from_regex("aa"), gadget_for_aa()))
+    assert verification.valid
+    assert verification.path_length == 5  # the graph of aa-matches is a 5-path
+
+
+@pytest.mark.parametrize("graph", ["single-edge", "triangle", "path3", "random"])
+def test_vertex_cover_reduction_identity(graph):
+    edges = {
+        "single-edge": [(0, 1)],
+        "triangle": generators.cycle_graph(3),
+        "path3": [(0, 1), (1, 2), (2, 3)],
+        "random": generators.random_undirected_graph(4, 0.6, seed=2),
+    }[graph]
+    if not edges:
+        pytest.skip("empty random graph")
+    instance = build_reduction(Language.from_regex("aa"), gadget_for_aa(), edges)
+    assert instance.subdivision_length == 5
+    assert check_reduction(instance)
+
+
+def test_reduction_construction_time(benchmark):
+    edges = generators.cycle_graph(12)
+    instance = benchmark(lambda: build_reduction(Language.from_regex("aa"), gadget_for_aa(), edges))
+    assert len(instance.encoding) == 12 + 12 * 4

@@ -1,0 +1,22 @@
+"""E-P42: Proposition 4.2 -- vertex cover numbers of odd subdivisions."""
+
+import pytest
+
+from repro.graphdb import generators
+from repro.hardness import subdivide, vertex_cover_number
+from repro.hardness.vertex_cover import subdivision_vertex_cover_number
+
+
+@pytest.mark.parametrize("length", [3, 5, 7])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_identity_on_random_graphs(length, seed):
+    edges = generators.random_undirected_graph(6, 0.4, seed=seed)
+    if not edges:
+        pytest.skip("empty graph")
+    assert vertex_cover_number(subdivide(edges, length)) == subdivision_vertex_cover_number(edges, length)
+
+
+def test_vertex_cover_solver_speed(benchmark):
+    edges = generators.random_undirected_graph(12, 0.3, seed=5)
+    value = benchmark(lambda: vertex_cover_number(edges))
+    assert value >= 0

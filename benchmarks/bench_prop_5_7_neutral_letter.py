@@ -1,0 +1,25 @@
+"""E-P57: Proposition 5.7 -- the dichotomy for languages with a neutral letter."""
+
+import pytest
+
+from repro.classify import classify
+from repro.languages import Language, neutral
+
+CASES = [
+    ("e*ae*be*|e*ae*", "PTIME"),          # IF(L) local
+    ("e*be*ce*|e*de*fe*", "NP-hard"),      # IF(L) four-legged (L1 of Section 5.2)
+    ("e*(a|c)e*(a|d)e*", "NP-hard"),       # aa in IF(L) (L2 of Section 5.2)
+]
+
+
+@pytest.mark.parametrize("expression, expected", CASES)
+def test_dichotomy(expression, expected):
+    language = Language.from_regex(expression)
+    assert neutral.neutral_letters(language) == frozenset("e")
+    assert classify(language).complexity == expected
+
+
+def test_lemma_5_8_analysis_time(benchmark):
+    language = Language.from_regex("e*be*ce*|e*de*fe*")
+    analysis = benchmark(lambda: neutral.lemma_5_8_analysis(language))
+    assert analysis.four_legged_witness is not None

@@ -1,0 +1,25 @@
+"""E-FIG15-16 / E-P711: Figures 15-16 and Proposition 7.11 -- abcd|be|ef and abcd|bef."""
+
+import pytest
+
+from repro.hardness import build_reduction, check_reduction, verify_gadget
+from repro.hardness.library import gadget_for_abcd_be_ef, gadget_for_abcd_bef
+from repro.languages import Language
+
+
+@pytest.mark.parametrize(
+    "expression, factory, length",
+    [("abcd|be|ef", gadget_for_abcd_be_ef, 7), ("abcd|bef", gadget_for_abcd_bef, 5)],
+)
+def test_figure_gadgets_verify(benchmark, expression, factory, length):
+    verification = benchmark(lambda: verify_gadget(Language.from_regex(expression), factory()))
+    assert verification.valid
+    assert verification.path_length == length
+
+
+@pytest.mark.parametrize(
+    "expression, factory", [("abcd|be|ef", gadget_for_abcd_be_ef), ("abcd|bef", gadget_for_abcd_bef)]
+)
+def test_reduction_identity(expression, factory):
+    instance = build_reduction(Language.from_regex(expression), factory(), [(0, 1)])
+    assert check_reduction(instance)

@@ -1,0 +1,27 @@
+"""E-FIG13 / E-P74: Figure 13 and Proposition 7.4 -- the non-bipartite chain language ab|bc|ca."""
+
+from repro.graphdb import generators
+from repro.hardness import build_reduction, check_reduction, verify_gadget
+from repro.hardness.library import gadget_for_ab_bc_ca
+from repro.languages import Language
+
+
+def test_figure_13_gadget_verifies(benchmark):
+    verification = benchmark(
+        lambda: verify_gadget(Language.from_regex("ab|bc|ca"), gadget_for_ab_bc_ca())
+    )
+    assert verification.valid
+    assert verification.path_length == 7
+
+
+def test_reduction_identity():
+    instance = build_reduction(
+        Language.from_regex("ab|bc|ca"), gadget_for_ab_bc_ca(), [(0, 1), (1, 2)]
+    )
+    assert check_reduction(instance)
+
+
+def test_language_is_chain_but_not_bipartite():
+    language = Language.from_regex("ab|bc|ca")
+    assert language.is_chain_language()
+    assert not language.is_bipartite_chain_language()

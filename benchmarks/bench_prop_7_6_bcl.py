@@ -1,0 +1,37 @@
+"""E-P76: Proposition 7.6 -- resilience of bipartite chain languages via MinCut.
+
+Shape checks: exact agreement with the baseline on small instances, and
+polynomial scaling with |D| (the paper's bound is quadratic in |D|).
+"""
+
+import pytest
+
+from repro.graphdb import generators
+from repro.languages import Language
+from repro.resilience import resilience_bcl, resilience_exact
+
+LANGUAGES = ["ab|bc", "axb|byc", "axyb|bztc|cd|dea"]
+
+
+@pytest.mark.parametrize("expression", LANGUAGES)
+def test_agreement_with_exact_baseline(expression):
+    language = Language.from_regex(expression)
+    alphabet = "".join(sorted(language.alphabet))
+    for seed in range(4):
+        database = generators.random_labelled_graph(5, 10, alphabet, seed=seed)
+        assert resilience_bcl(language, database).value == resilience_exact(language, database).value
+
+
+@pytest.mark.parametrize("num_edges", [50, 100, 200])
+def test_scaling_in_database_size(benchmark, num_edges):
+    language = Language.from_regex("ab|bc")
+    database = generators.random_labelled_graph(num_edges // 3, num_edges, "abc", seed=13)
+    result = benchmark(lambda: resilience_bcl(language, database))
+    assert result.value >= 0
+
+
+def test_bag_semantics(benchmark):
+    language = Language.from_regex("axyb|bztc|cd|dea")
+    bag = generators.random_bag_database(20, 80, "abcdextyz", seed=3, max_multiplicity=9)
+    result = benchmark(lambda: resilience_bcl(language, bag))
+    assert result.semantics == "bag"

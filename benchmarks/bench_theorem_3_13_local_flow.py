@@ -1,0 +1,49 @@
+"""E-T313: Theorem 3.13 -- resilience of local languages via MinCut.
+
+Shape checks: the flow algorithm agrees exactly with the exact baseline on
+small instances, and its runtime scales gracefully with |D| (near-linear, as
+opposed to the exponential exact baseline) and with the automaton size |A|.
+"""
+
+import pytest
+
+from repro.graphdb import generators
+from repro.languages import Language
+from repro.resilience import resilience_exact, resilience_local
+
+SIZES = [40, 80, 160, 320]
+
+
+@pytest.mark.parametrize("expression", ["ax*b", "ab|ad|cd"])
+def test_agreement_with_exact_baseline(expression):
+    language = Language.from_regex(expression)
+    alphabet = "".join(sorted(language.alphabet))
+    for seed in range(4):
+        database = generators.random_labelled_graph(5, 10, alphabet, seed=seed)
+        assert resilience_local(language, database).value == resilience_exact(language, database).value
+
+
+@pytest.mark.parametrize("num_edges", SIZES)
+def test_scaling_in_database_size(benchmark, num_edges):
+    language = Language.from_regex("ax*b")
+    database = generators.random_labelled_graph(num_edges // 3, num_edges, "axb", seed=7)
+    result = benchmark(lambda: resilience_local(language, database))
+    assert result.value >= 0
+
+
+@pytest.mark.parametrize("layers", [3, 5, 7])
+def test_scaling_on_layered_flow_networks(benchmark, layers):
+    bag = generators.layered_flow_database(layers, 4, seed=layers)
+    result = benchmark(lambda: resilience_local(Language.from_regex("ax*b"), bag))
+    assert result.value > 0
+
+
+@pytest.mark.parametrize("num_words", [2, 4, 8])
+def test_combined_complexity_scaling_in_automaton_size(benchmark, num_words):
+    # Larger local languages (more words -> larger RO automaton), same database.
+    letters = "bcdefghij"[:num_words]
+    expression = "|".join(f"a{letter}" for letter in letters)
+    language = Language.from_regex(expression)
+    database = generators.random_labelled_graph(30, 120, "a" + letters, seed=1)
+    result = benchmark(lambda: resilience_local(language, database))
+    assert result.details["automaton_size"] > 0

@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one artefact of the paper (a figure, a theorem's
+algorithm, or a hardness reduction) and asserts the qualitative "shape" the
+paper reports: agreement with the exact baseline, odd-path gadget verification,
+or the vertex-cover identity.  Wall-clock numbers are collected by
+pytest-benchmark for the scaling experiments.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphdb import generators
+from repro.languages import Language
+
+
+@pytest.fixture(scope="session")
+def language_cache():
+    cache: dict[str, Language] = {}
+
+    def get(expression: str) -> Language:
+        if expression not in cache:
+            cache[expression] = Language.from_regex(expression)
+        return cache[expression]
+
+    return get
+
+
+def random_database_for(language: Language, num_nodes: int, num_edges: int, seed: int):
+    alphabet = "".join(sorted(language.alphabet))
+    return generators.random_labelled_graph(num_nodes, num_edges, alphabet, seed=seed)

@@ -1,0 +1,38 @@
+"""Regenerate the Figure 1 classification table for the paper's example languages.
+
+Run with::
+
+    python examples/classify_languages.py [extra regexes...]
+
+Any extra regular expressions passed on the command line are classified as well.
+"""
+
+import sys
+
+from repro.classify import classify_regex, figure_1_table
+
+
+def main() -> None:
+    rows = figure_1_table()
+    width = max(len(row["language"]) for row in rows)
+    print(f"{'language':<{width}}  {'paper':<12}  {'this library':<12}  reason")
+    print("-" * (width + 80))
+    for row in rows:
+        marker = "" if row["agrees"] else "  <-- MISMATCH"
+        print(
+            f"{row['language']:<{width}}  {row['paper_complexity']:<12}  "
+            f"{row['computed_complexity']:<12}  {row['reason']}{marker}"
+        )
+    agreeing = sum(row["agrees"] for row in rows)
+    print(f"\n{agreeing}/{len(rows)} languages classified exactly as in Figure 1 of the paper")
+
+    extras = sys.argv[1:]
+    if extras:
+        print("\nadditional languages:")
+        for expression in extras:
+            result = classify_regex(expression)
+            print(f"  {expression:<20} -> {result.complexity:<12} ({result.reason})")
+
+
+if __name__ == "__main__":
+    main()

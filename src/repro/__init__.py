@@ -1,0 +1,63 @@
+"""repro -- reference implementation of *Resilience for Regular Path Queries:
+Towards a Complexity Classification* (PODS 2025).
+
+The package exposes three layers:
+
+* :mod:`repro.languages` -- formal languages, automata, and the language classes
+  of the paper (local, star-free, four-legged, bipartite chain, one-dangling, ...);
+* :mod:`repro.graphdb`, :mod:`repro.rpq`, :mod:`repro.flow` -- the graph-database,
+  regular-path-query and network-flow substrates;
+* :mod:`repro.resilience`, :mod:`repro.hardness`, :mod:`repro.classify` -- the
+  paper's contribution: resilience algorithms for the tractable classes, the
+  hardness-gadget machinery, and the complexity classifier of Figure 1.
+
+Quickstart::
+
+    from repro import Language, GraphDatabase, resilience
+
+    query = Language.from_regex("ax*b")
+    database = GraphDatabase.from_edges([
+        ("s", "a", "u"), ("u", "x", "v"), ("v", "x", "w"), ("w", "b", "t"),
+    ])
+    result = resilience(query, database)
+    print(result.value, result.contingency_set)
+"""
+
+from .exceptions import (
+    GadgetError,
+    GadgetNotAvailableError,
+    InfeasibleError,
+    LanguageError,
+    NotApplicableError,
+    NotFiniteError,
+    NotLocalError,
+    RegexSyntaxError,
+    ReproError,
+)
+from .graphdb import BagGraphDatabase, Fact, GraphDatabase
+from .languages import EpsilonNFA, Language
+from .resilience import ResilienceResult, resilience
+from .rpq import RPQ
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BagGraphDatabase",
+    "EpsilonNFA",
+    "Fact",
+    "GadgetError",
+    "GadgetNotAvailableError",
+    "GraphDatabase",
+    "InfeasibleError",
+    "Language",
+    "LanguageError",
+    "NotApplicableError",
+    "NotFiniteError",
+    "NotLocalError",
+    "RPQ",
+    "RegexSyntaxError",
+    "ReproError",
+    "ResilienceResult",
+    "resilience",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Complexity classification of resilience for regular languages (Figure 1)."""
+
+from .classifier import Classification, classify, classify_regex, figure_1_table
+
+__all__ = ["Classification", "classify", "classify_regex", "figure_1_table"]

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the :mod:`repro` package."""
+
+
+class ReproError(Exception):
+    """Base class of all exceptions raised by the :mod:`repro` package."""
+
+
+class LanguageError(ReproError):
+    """Raised when a language object is malformed or an operation is unsupported."""
+
+
+class RegexSyntaxError(LanguageError):
+    """Raised when a regular expression cannot be parsed."""
+
+
+class NotFiniteError(LanguageError):
+    """Raised when a finite-language operation is applied to an infinite language."""
+
+
+class NotLocalError(LanguageError):
+    """Raised when a local-language algorithm is applied to a non-local language."""
+
+
+
+class NotApplicableError(ReproError):
+    """Raised when an algorithm's preconditions are not met for the given input."""
+
+
+class GadgetError(ReproError):
+    """Raised when a hardness gadget is malformed or fails verification."""
+
+
+class GadgetNotAvailableError(GadgetError):
+    """Raised when no gadget construction is implemented for the requested language."""
+
+
+class InfeasibleError(ReproError):
+    """Raised when a requested computation has no solution (e.g. infinite resilience)."""

@@ -1,0 +1,6 @@
+"""Network-flow substrate: flow networks and Dinic max-flow / min-cut."""
+
+from .mincut import INFINITY, MinCutResult, min_cut, min_cut_value
+from .network import FlowEdge, FlowNetwork
+
+__all__ = ["FlowEdge", "FlowNetwork", "INFINITY", "MinCutResult", "min_cut", "min_cut_value"]

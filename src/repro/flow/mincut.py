@@ -1,0 +1,182 @@
+"""Maximum flow / minimum cut via Dinic's algorithm.
+
+The implementation supports ``+infinity`` capacities exactly: an augmenting path
+whose bottleneck is infinite proves that no finite cut exists, in which case the
+minimum cut value is ``math.inf`` and no cut edge set is returned.
+
+The min-cut *edges* are recovered from the residual graph after computing a
+maximum flow: they are the edges leaving the set of nodes still reachable from
+the source, and their keys let callers map the cut back to database facts.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+from .network import FlowEdge, FlowNetwork, Node
+
+INFINITY = math.inf
+
+
+@dataclass
+class MinCutResult:
+    """The result of a MinCut computation.
+
+    Attributes:
+        value: the cost of a minimum cut (``math.inf`` when no finite cut exists).
+        cut_edges: the edges of one minimum cut (empty when ``value`` is 0 or infinite).
+        source_side: the nodes reachable from the source in the final residual graph.
+        max_flow: the value of the maximum flow (equals ``value``).
+    """
+
+    value: float
+    cut_edges: tuple[FlowEdge, ...]
+    source_side: frozenset[Node]
+    max_flow: float
+
+    @property
+    def cut_keys(self) -> tuple[object, ...]:
+        """The keys of the cut edges (used to map cuts back to facts)."""
+        return tuple(edge.key for edge in self.cut_edges)
+
+
+class _Arc:
+    __slots__ = ("target", "capacity", "reverse_index", "edge")
+
+    def __init__(self, target: int, capacity: float, reverse_index: int, edge: FlowEdge | None) -> None:
+        self.target = target
+        self.capacity = capacity
+        self.reverse_index = reverse_index
+        self.edge = edge
+
+
+class _Dinic:
+    """Dinic's blocking-flow algorithm on an adjacency-list residual graph.
+
+    The blocking-flow phase is iterative (explicit stack) so that large product
+    networks do not hit Python's recursion limit.
+    """
+
+    def __init__(self, num_nodes: int) -> None:
+        self.graph: list[list[_Arc]] = [[] for _ in range(num_nodes)]
+
+    def add_edge(self, source: int, target: int, capacity: float, edge: FlowEdge | None) -> None:
+        forward = _Arc(target, capacity, len(self.graph[target]), edge)
+        backward = _Arc(source, 0.0, len(self.graph[source]), None)
+        self.graph[source].append(forward)
+        self.graph[target].append(backward)
+
+    def _bfs_levels(self, source: int, target: int) -> list[int] | None:
+        levels = [-1] * len(self.graph)
+        levels[source] = 0
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            for arc in self.graph[node]:
+                if arc.capacity > 0 and levels[arc.target] < 0:
+                    levels[arc.target] = levels[node] + 1
+                    queue.append(arc.target)
+        return levels if levels[target] >= 0 else None
+
+    def _augment_once(self, source: int, target: int, levels: list[int], iters: list[int]) -> float:
+        """Find one augmenting path in the level graph and push flow along it.
+
+        Returns the amount pushed (0 when no augmenting path remains,
+        ``INFINITY`` when an all-infinite path is found).
+        """
+        path: list[_Arc] = []
+        node = source
+        while True:
+            if node == target:
+                bottleneck = min((arc.capacity for arc in path), default=INFINITY)
+                if bottleneck == INFINITY:
+                    return INFINITY
+                for arc in path:
+                    arc.capacity -= bottleneck
+                    self.graph[arc.target][arc.reverse_index].capacity += bottleneck
+                return bottleneck
+            advanced = False
+            while iters[node] < len(self.graph[node]):
+                arc = self.graph[node][iters[node]]
+                if arc.capacity > 0 and levels[node] < levels[arc.target]:
+                    path.append(arc)
+                    node = arc.target
+                    advanced = True
+                    break
+                iters[node] += 1
+            if advanced:
+                continue
+            # Dead end: retreat one step (and make sure we do not retry this arc).
+            if not path:
+                return 0.0
+            dead = node
+            levels[dead] = -1
+            arc = path.pop()
+            node = self.graph[dead][arc.reverse_index].target
+            iters[node] += 1
+
+    def max_flow(self, source: int, target: int) -> float:
+        total = 0.0
+        while True:
+            levels = self._bfs_levels(source, target)
+            if levels is None:
+                return total
+            iters = [0] * len(self.graph)
+            while True:
+                pushed = self._augment_once(source, target, levels, iters)
+                if pushed == INFINITY:
+                    return INFINITY
+                if pushed == 0:
+                    break
+                total += pushed
+
+    def reachable_from(self, source: int) -> set[int]:
+        seen = {source}
+        stack = [source]
+        while stack:
+            node = stack.pop()
+            for arc in self.graph[node]:
+                if arc.capacity > 0 and arc.target not in seen:
+                    seen.add(arc.target)
+                    stack.append(arc.target)
+        return seen
+
+
+def min_cut(network: FlowNetwork) -> MinCutResult:
+    """Solve the MinCut problem on a flow network.
+
+    Returns the minimum cost of a cut, one witnessing set of cut edges, and the
+    source side of the cut.  When the source and target are connected through
+    infinite-capacity edges only, the value is ``math.inf`` and no cut is returned.
+    """
+    nodes = sorted(network.nodes, key=repr)
+    index_of = {node: index for index, node in enumerate(nodes)}
+    solver = _Dinic(len(nodes))
+    for edge in network.edges:
+        if edge.capacity <= 0:
+            continue
+        solver.add_edge(index_of[edge.source], index_of[edge.target], edge.capacity, edge)
+    source = index_of[network.source]
+    target = index_of[network.target]
+    if source == target:
+        return MinCutResult(INFINITY, (), frozenset({network.source}), INFINITY)
+    value = solver.max_flow(source, target)
+    if value == INFINITY:
+        return MinCutResult(INFINITY, (), frozenset(), INFINITY)
+    reachable_indices = solver.reachable_from(source)
+    reachable = frozenset(nodes[index] for index in reachable_indices)
+    cut_edges = tuple(
+        edge
+        for edge in network.edges
+        if edge.capacity > 0 and edge.source in reachable and edge.target not in reachable
+    )
+    if math.isclose(value, round(value)):
+        value = float(round(value))
+    return MinCutResult(value, cut_edges, reachable, value)
+
+
+def min_cut_value(network: FlowNetwork) -> float:
+    """Return only the minimum cut value of a network."""
+    return min_cut(network).value

@@ -1,0 +1,94 @@
+"""Flow networks (Section 2 of the paper).
+
+A flow network is a directed graph with a source, a target, and a capacity for
+each edge; capacities may be ``+infinity`` (represented exactly by
+``math.inf``).  A *cut* is a set of edges whose removal disconnects the target
+from the source; the MinCut problem asks for a cut of minimum total capacity.
+
+Parallel edges are supported, and every edge can carry an arbitrary *key*
+(e.g. the database fact it encodes) so that cuts can be mapped back to
+contingency sets by the resilience algorithms.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass, field
+
+INFINITY = math.inf
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class FlowEdge:
+    """One directed edge of a flow network."""
+
+    source: Node
+    target: Node
+    capacity: float
+    key: object = None
+
+    def __post_init__(self) -> None:
+        if self.capacity < 0:
+            raise ValueError("capacities must be non-negative")
+
+
+@dataclass
+class FlowNetwork:
+    """A flow network ``(V, t_source, t_target, E, c)``."""
+
+    source: Node
+    target: Node
+    edges: list[FlowEdge] = field(default_factory=list)
+
+    def add_edge(self, source: Node, target: Node, capacity: float, key: object = None) -> FlowEdge:
+        """Add an edge and return it.  Zero-capacity edges are kept (they never matter)."""
+        edge = FlowEdge(source, target, capacity, key)
+        self.edges.append(edge)
+        return edge
+
+    def add_edges(self, edges: Iterable[tuple[Node, Node, float]]) -> None:
+        for source, target, capacity in edges:
+            self.add_edge(source, target, capacity)
+
+    @property
+    def nodes(self) -> frozenset[Node]:
+        result: set[Node] = {self.source, self.target}
+        for edge in self.edges:
+            result.add(edge.source)
+            result.add(edge.target)
+        return frozenset(result)
+
+    @property
+    def size(self) -> int:
+        """``|N| = |V| + |E|`` as in the paper."""
+        return len(self.nodes) + len(self.edges)
+
+    def cost(self, edges: Iterable[FlowEdge]) -> float:
+        """Return the total capacity of a set of edges."""
+        return sum(edge.capacity for edge in edges)
+
+    def is_cut(self, cut_edges: Iterable[FlowEdge]) -> bool:
+        """Return whether removing the given edges disconnects target from source."""
+        removed = set(cut_edges)
+        adjacency: dict[Node, list[Node]] = {}
+        for edge in self.edges:
+            if edge in removed or edge.capacity == 0:
+                continue
+            adjacency.setdefault(edge.source, []).append(edge.target)
+        seen = {self.source}
+        stack = [self.source]
+        while stack:
+            node = stack.pop()
+            if node == self.target:
+                return False
+            for successor in adjacency.get(node, ()):
+                if successor not in seen:
+                    seen.add(successor)
+                    stack.append(successor)
+        return True
+
+    def __repr__(self) -> str:
+        return f"FlowNetwork({len(self.nodes)} nodes, {len(self.edges)} edges)"

@@ -1,0 +1,5 @@
+"""Graph-database substrate: set and bag graph databases plus workload generators."""
+
+from .database import BagGraphDatabase, Fact, GraphDatabase, as_bag, as_set
+
+__all__ = ["BagGraphDatabase", "Fact", "GraphDatabase", "as_bag", "as_set"]

@@ -1,0 +1,284 @@
+"""Graph databases in set and bag semantics (Section 2 of the paper).
+
+A graph database over an alphabet ``Sigma`` is a set of labelled edges (called
+*facts*) ``v --a--> v'``.  A bag graph database additionally carries a positive
+multiplicity for each fact; multiplicities act as removal costs in the
+resilience problem.  The *extended* bag semantics used in the proof of
+Proposition 7.9 also allows non-positive multiplicities.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Iterator, Mapping
+from dataclasses import dataclass
+from typing import Hashable
+
+from ..exceptions import ReproError
+
+Node = Hashable
+
+
+@dataclass(frozen=True, order=True)
+class Fact:
+    """A labelled edge ``source --label--> target`` of a graph database."""
+
+    source: Node
+    label: str
+    target: Node
+
+    def __str__(self) -> str:
+        return f"{self.source}-{self.label}->{self.target}"
+
+
+def _as_fact(edge: Fact | tuple[Node, str, Node]) -> Fact:
+    if isinstance(edge, Fact):
+        return edge
+    source, label, target = edge
+    return Fact(source, label, target)
+
+
+class GraphDatabase:
+    """A set-semantics graph database: a finite set of :class:`Fact` objects."""
+
+    def __init__(self, facts: Iterable[Fact | tuple[Node, str, Node]] = ()) -> None:
+        self._facts: frozenset[Fact] = frozenset(_as_fact(edge) for edge in facts)
+
+    # ------------------------------------------------------------------ constructors
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[tuple[Node, str, Node]]) -> "GraphDatabase":
+        """Build a database from ``(source, label, target)`` triples."""
+        return cls(edges)
+
+    # ------------------------------------------------------------------ basic accessors
+
+    @property
+    def facts(self) -> frozenset[Fact]:
+        return self._facts
+
+    @property
+    def nodes(self) -> frozenset[Node]:
+        """The active domain ``Adom(D)``: every node occurring in some fact."""
+        result: set[Node] = set()
+        for fact in self._facts:
+            result.add(fact.source)
+            result.add(fact.target)
+        return frozenset(result)
+
+    @property
+    def alphabet(self) -> frozenset[str]:
+        return frozenset(fact.label for fact in self._facts)
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(sorted(self._facts, key=repr))
+
+    def __contains__(self, edge: Fact | tuple[Node, str, Node]) -> bool:
+        return _as_fact(edge) in self._facts
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GraphDatabase):
+            return NotImplemented
+        return self._facts == other._facts
+
+    def __hash__(self) -> int:
+        return hash(self._facts)
+
+    def __repr__(self) -> str:
+        return f"GraphDatabase({len(self._facts)} facts, {len(self.nodes)} nodes)"
+
+    # ------------------------------------------------------------------ adjacency
+
+    def outgoing(self) -> Mapping[Node, list[Fact]]:
+        """Return a mapping from node to the facts leaving it."""
+        result: dict[Node, list[Fact]] = defaultdict(list)
+        for fact in self._facts:
+            result[fact.source].append(fact)
+        return result
+
+    def incoming(self) -> Mapping[Node, list[Fact]]:
+        """Return a mapping from node to the facts entering it."""
+        result: dict[Node, list[Fact]] = defaultdict(list)
+        for fact in self._facts:
+            result[fact.target].append(fact)
+        return result
+
+    def facts_with_label(self, label: str) -> frozenset[Fact]:
+        return frozenset(fact for fact in self._facts if fact.label == label)
+
+    def is_acyclic(self) -> bool:
+        """Return whether the database, viewed as a directed graph, has no cycle."""
+        adjacency = self.outgoing()
+        colours: dict[Node, int] = {}
+
+        def visit(start: Node) -> bool:
+            stack: list[tuple[Node, Iterator[Fact]]] = [(start, iter(adjacency.get(start, ())))]
+            colours[start] = 1
+            while stack:
+                node, iterator = stack[-1]
+                advanced = False
+                for fact in iterator:
+                    status = colours.get(fact.target, 0)
+                    if status == 1:
+                        return False
+                    if status == 0:
+                        colours[fact.target] = 1
+                        stack.append((fact.target, iter(adjacency.get(fact.target, ()))))
+                        advanced = True
+                        break
+                if not advanced:
+                    colours[node] = 2
+                    stack.pop()
+            return True
+
+        for node in self.nodes:
+            if colours.get(node, 0) == 0 and not visit(node):
+                return False
+        return True
+
+    # ------------------------------------------------------------------ modifications (functional)
+
+    def remove(self, facts: Iterable[Fact | tuple[Node, str, Node]]) -> "GraphDatabase":
+        """Return a new database with the given facts removed."""
+        removed = {_as_fact(edge) for edge in facts}
+        return GraphDatabase(self._facts - removed)
+
+    def add(self, facts: Iterable[Fact | tuple[Node, str, Node]]) -> "GraphDatabase":
+        """Return a new database with the given facts added."""
+        added = {_as_fact(edge) for edge in facts}
+        return GraphDatabase(self._facts | added)
+
+    def union(self, other: "GraphDatabase") -> "GraphDatabase":
+        return GraphDatabase(self._facts | other._facts)
+
+    def rename_nodes(self, mapping: Mapping[Node, Node]) -> "GraphDatabase":
+        """Return an isomorphic copy with nodes renamed through ``mapping``.
+
+        Nodes absent from ``mapping`` keep their name.
+        """
+        return GraphDatabase(
+            Fact(mapping.get(fact.source, fact.source), fact.label, mapping.get(fact.target, fact.target))
+            for fact in self._facts
+        )
+
+    def reverse(self) -> "GraphDatabase":
+        """Return the database with every edge reversed (used for mirror languages)."""
+        return GraphDatabase(Fact(fact.target, fact.label, fact.source) for fact in self._facts)
+
+    def to_bag(self, multiplicity: int = 1) -> "BagGraphDatabase":
+        """Return a bag database giving every fact the same multiplicity."""
+        return BagGraphDatabase({fact: multiplicity for fact in self._facts})
+
+
+class BagGraphDatabase:
+    """A bag-semantics graph database: facts with positive integer multiplicities.
+
+    The optional ``allow_non_positive`` flag enables the *extended bag semantics*
+    of Proposition 7.9, where multiplicities may be zero or negative.
+    """
+
+    def __init__(
+        self,
+        multiplicities: Mapping[Fact | tuple[Node, str, Node], int],
+        *,
+        allow_non_positive: bool = False,
+    ) -> None:
+        cleaned: dict[Fact, int] = {}
+        for edge, multiplicity in multiplicities.items():
+            fact = _as_fact(edge)
+            if not isinstance(multiplicity, int):
+                raise ReproError(f"multiplicity of {fact} must be an integer")
+            if multiplicity <= 0 and not allow_non_positive:
+                raise ReproError(f"multiplicity of {fact} must be positive (got {multiplicity})")
+            cleaned[fact] = multiplicity
+        self._multiplicities = cleaned
+        self.allow_non_positive = allow_non_positive
+
+    # ------------------------------------------------------------------ constructors
+
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[tuple[Node, str, Node, int]], *, allow_non_positive: bool = False
+    ) -> "BagGraphDatabase":
+        """Build a bag database from ``(source, label, target, multiplicity)`` tuples."""
+        return cls(
+            {Fact(source, label, target): multiplicity for source, label, target, multiplicity in edges},
+            allow_non_positive=allow_non_positive,
+        )
+
+    @classmethod
+    def uniform(cls, database: GraphDatabase, multiplicity: int = 1) -> "BagGraphDatabase":
+        return database.to_bag(multiplicity)
+
+    # ------------------------------------------------------------------ accessors
+
+    @property
+    def database(self) -> GraphDatabase:
+        """The underlying set database (facts only, multiplicities dropped)."""
+        return GraphDatabase(self._multiplicities)
+
+    @property
+    def facts(self) -> frozenset[Fact]:
+        return frozenset(self._multiplicities)
+
+    @property
+    def nodes(self) -> frozenset[Node]:
+        return self.database.nodes
+
+    @property
+    def alphabet(self) -> frozenset[str]:
+        return frozenset(fact.label for fact in self._multiplicities)
+
+    def multiplicity(self, fact: Fact | tuple[Node, str, Node]) -> int:
+        return self._multiplicities[_as_fact(fact)]
+
+    def multiplicities(self) -> dict[Fact, int]:
+        return dict(self._multiplicities)
+
+    def total_cost(self, facts: Iterable[Fact | tuple[Node, str, Node]]) -> int:
+        """Return the sum of multiplicities of the given facts."""
+        return sum(self._multiplicities[_as_fact(edge)] for edge in facts)
+
+    def __len__(self) -> int:
+        return len(self._multiplicities)
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(sorted(self._multiplicities, key=repr))
+
+    def __contains__(self, edge: Fact | tuple[Node, str, Node]) -> bool:
+        return _as_fact(edge) in self._multiplicities
+
+    def __repr__(self) -> str:
+        return f"BagGraphDatabase({len(self._multiplicities)} facts)"
+
+    # ------------------------------------------------------------------ modifications
+
+    def remove(self, facts: Iterable[Fact | tuple[Node, str, Node]]) -> "BagGraphDatabase":
+        removed = {_as_fact(edge) for edge in facts}
+        return BagGraphDatabase(
+            {fact: mult for fact, mult in self._multiplicities.items() if fact not in removed},
+            allow_non_positive=self.allow_non_positive,
+        )
+
+    def reverse(self) -> "BagGraphDatabase":
+        return BagGraphDatabase(
+            {Fact(fact.target, fact.label, fact.source): mult for fact, mult in self._multiplicities.items()},
+            allow_non_positive=self.allow_non_positive,
+        )
+
+
+def as_bag(database: GraphDatabase | BagGraphDatabase) -> BagGraphDatabase:
+    """Return a bag view of a database (unit multiplicities for set databases)."""
+    if isinstance(database, BagGraphDatabase):
+        return database
+    return database.to_bag(1)
+
+
+def as_set(database: GraphDatabase | BagGraphDatabase) -> GraphDatabase:
+    """Return the set-semantics view of a database (drop multiplicities)."""
+    if isinstance(database, BagGraphDatabase):
+        return database.database
+    return database

@@ -1,0 +1,38 @@
+"""Hardness machinery: gadgets, hypergraphs of matches, condensation, machine
+verification, the vertex-cover reduction, and the constructive hardness drivers
+of Theorems 5.3 and 6.1."""
+
+from .construct import (
+    HardnessCertificate,
+    four_legged_hardness_gadget,
+    hardness_gadget,
+    repeated_letter_hardness_gadget,
+)
+from .gadgets import GadgetBuilder, PreGadget, encode_graph
+from .hypergraph import Hypergraph, condense, is_odd_path, minimum_hitting_set
+from .reductions import ReductionInstance, build_reduction, check_reduction
+from .verification import GadgetVerification, require_verified, verify_gadget
+from .vertex_cover import minimum_vertex_cover, subdivide, vertex_cover_number
+
+__all__ = [
+    "GadgetBuilder",
+    "GadgetVerification",
+    "HardnessCertificate",
+    "Hypergraph",
+    "PreGadget",
+    "ReductionInstance",
+    "build_reduction",
+    "check_reduction",
+    "condense",
+    "encode_graph",
+    "four_legged_hardness_gadget",
+    "hardness_gadget",
+    "is_odd_path",
+    "minimum_hitting_set",
+    "minimum_vertex_cover",
+    "repeated_letter_hardness_gadget",
+    "require_verified",
+    "subdivide",
+    "vertex_cover_number",
+    "verify_gadget",
+]

@@ -1,0 +1,711 @@
+"""Generic gadget constructions and the hardness drivers of Theorems 5.3 and 6.1.
+
+This module turns the constructive hardness proofs of the paper into executable
+constructions:
+
+* :func:`repeated_letter_chain_gadget` -- the chain gadgets of Figures 7 and 8
+  (Lemma 6.6: word ``a gamma a delta`` with no infix of ``gamma a gamma`` in the
+  language);
+* :func:`four_legged_case1_gadget` / :func:`four_legged_case2_gadget` -- the
+  generic gadgets of Figures 5 and 6 (Theorem 5.3), parameterised by a stable
+  four-legged witness;
+* :func:`nonoverlap_gadget` -- the gadget of Figure 12 (Claim 6.13: words
+  ``a x eta y a`` and ``y a x`` with ``x, y != a``);
+* :func:`four_legged_hardness_gadget` and :func:`repeated_letter_hardness_gadget`
+  -- the drivers following the case analyses of Theorem 5.3 and Theorem 6.1;
+* :func:`hardness_gadget` -- the master entry point returning a machine-verified
+  :class:`HardnessCertificate` for any language covered by the paper's hardness
+  results.
+
+Every construction is verified against the concrete input language with
+:func:`repro.hardness.verification.verify_gadget` before being returned, so a
+returned certificate is always machine-checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import GadgetError, GadgetNotAvailableError
+from ..languages.core import Language
+from ..languages.four_legged import (
+    FourLeggedWitness,
+    find_stable_witness,
+    find_witness,
+    stabilize_witness,
+)
+from ..languages.words import maximal_gap_words
+from .gadgets import GadgetBuilder, PreGadget
+from .verification import GadgetVerification, verify_gadget
+
+
+@dataclass
+class HardnessCertificate:
+    """A machine-checked NP-hardness certificate for a resilience problem.
+
+    Attributes:
+        language: the language the certificate is about.
+        gadget_language: the language the gadget is verified against -- either
+            ``language`` itself or its mirror (hardness transfers through
+            Proposition 6.3).
+        mirrored: whether the gadget is for the mirror language.
+        gadget: the verified pre-gadget.
+        verification: the verification outcome (odd-path length, match count...).
+        provenance: which result of the paper produced the gadget.
+    """
+
+    language: Language
+    gadget_language: Language
+    mirrored: bool
+    gadget: PreGadget
+    verification: GadgetVerification
+    provenance: str
+
+    @property
+    def path_length(self) -> int:
+        assert self.verification.path_length is not None
+        return self.verification.path_length
+
+
+# --------------------------------------------------------------------------- Figures 7 and 8
+
+
+def repeated_letter_chain_gadget(letter: str, gamma: str, delta: str) -> PreGadget:
+    """Build the chain gadget of Lemma 6.6 for the word ``letter gamma letter delta``.
+
+    Figure 7 is the case ``delta == ""`` and Figure 8 the case ``delta != ""``;
+    both use the same chain of four internal ``letter``-edges separated by
+    ``gamma``-paths, with a ``delta``-path hanging off after every ``letter``-edge.
+
+    When ``gamma`` is empty (word ``a a delta``) the out-block cannot join the
+    chain through a ``gamma``-path; it instead contributes its own
+    ``letter``-edge into the last chain node so that the out match shares the
+    final ``delta``-path (this keeps the odd-path property; for ``delta``
+    empty as well the word is ``aa`` and the Figure 3b gadget applies instead).
+    """
+    builder = GadgetBuilder()
+    if not gamma:
+        if not delta:
+            raise GadgetError(
+                "the chain gadget needs gamma or delta to be non-empty; "
+                "for the word 'aa' use the Figure 3b gadget"
+            )
+        previous = "t_in"
+        last_node = previous
+        for block in range(4):
+            after = builder.fresh_node("h")
+            builder.add_edge(previous, letter, after)
+            builder.add_word_path(after, delta, builder.fresh_node("d"))
+            previous = after
+            last_node = after
+        builder.add_edge("t_out", letter, last_node)
+        return builder.build(
+            "t_in", "t_out", letter, name=f"Lemma 6.6 chain ({letter}, '', {delta!r})"
+        )
+    chain_targets = []
+    previous = "t_in"
+    for block in range(4):
+        before = builder.fresh_node("g")
+        after = builder.fresh_node("h")
+        builder.add_word_path(previous, gamma, before)
+        builder.add_edge(before, letter, after)
+        chain_targets.append((before, after))
+        if delta:
+            builder.add_word_path(after, delta, builder.fresh_node("d"))
+        previous = after
+    # The out-block joins the chain right before its last letter-edge.
+    last_before, _ = chain_targets[-1]
+    builder.add_word_path("t_out", gamma, last_before)
+    return builder.build("t_in", "t_out", letter, name=f"Lemma 6.6 chain ({letter}, {gamma!r}, {delta!r})")
+
+
+# --------------------------------------------------------------------------- Figure 5 (case 1)
+
+
+def four_legged_case1_gadget(witness: FourLeggedWitness) -> PreGadget:
+    """Build the generic case-1 gadget of Theorem 5.3 (Figure 5).
+
+    Case 1 applies when the legs are stable and no infix of ``gamma' x beta'`` is
+    in the language.  The construction generalizes the ``axb|cxd`` gadget of
+    Figure 4a: words ``alpha'``, ``beta'``, ``gamma'``, ``delta'`` label paths in
+    place of the single letters ``a``, ``b``, ``c``, ``d``.
+    """
+    body = witness.body
+    alpha_p = witness.alpha
+    beta_p = witness.beta
+    gamma_p = witness.gamma
+    delta_p = witness.delta
+    label = alpha_p[0]
+    alpha_rest = alpha_p[1:]
+
+    builder = GadgetBuilder()
+
+    def alpha_path_into(head: str, *, from_node: str | None = None) -> None:
+        """Add a path spelling alpha' ending at ``head`` (optionally reusing its start)."""
+        start = from_node if from_node is not None else builder.fresh_node("p")
+        builder.add_word_path(start, alpha_p, head)
+
+    def gamma_path_into(head: str) -> None:
+        builder.add_word_path(builder.fresh_node("q"), gamma_p, head)
+
+    def beta_path_from(tail: str) -> None:
+        builder.add_word_path(tail, beta_p, builder.fresh_node("b"))
+
+    def delta_path_from(tail: str) -> None:
+        builder.add_word_path(tail, delta_p, builder.fresh_node("d"))
+
+    # In-block: the completion fact provides the first letter of alpha'.
+    builder.add_word_path("t_in", alpha_rest, "A1")
+    builder.add_edge("A1", body, "V1")
+    beta_path_from("V1")
+    delta_path_from("V1")
+
+    # Block A: alpha'- and gamma'-paths meeting at A2, then x into V1.
+    alpha_path_into("A2")
+    gamma_path_into("A2")
+    builder.add_edge("A2", body, "V1")
+
+    # Block B: a gamma'-path into A3, with x-edges into V1 and V2.
+    gamma_path_into("A3")
+    builder.add_edge("A3", body, "V1")
+    builder.add_edge("A3", body, "V2")
+    beta_path_from("V2")
+    delta_path_from("V2")
+
+    # Block C: alpha'- and gamma'-paths into A4, with x-edges into V2 and V3.
+    alpha_path_into("A4")
+    gamma_path_into("A4")
+    builder.add_edge("A4", body, "V2")
+    builder.add_edge("A4", body, "V3")
+    beta_path_from("V3")
+
+    # Out-block: the completion fact provides the first letter of alpha'.
+    builder.add_word_path("t_out", alpha_rest, "A5")
+    builder.add_edge("A5", body, "V3")
+
+    return builder.build("t_in", "t_out", label, name=f"Theorem 5.3 case 1 ({witness.word_one}|{witness.word_two})")
+
+
+# --------------------------------------------------------------------------- Figure 6 (case 2)
+
+
+def four_legged_case2_gadget(witness: FourLeggedWitness) -> PreGadget:
+    """Build the generic case-2 gadget of Theorem 5.3 (Figure 6).
+
+    Case 2 applies when the legs are stable but some infix of ``gamma' x beta'``
+    belongs to the language (every such infix must then contain ``c2 x b`` where
+    ``c2`` is the last letter of ``gamma'`` and ``b`` the first letter of
+    ``beta'``).
+
+    The construction is a chain of seven condensed matches::
+
+        F_in --[alpha'xbeta']-- b1 --[alpha'xbeta']-- x1 --[gamma'xdelta']-- c2_B
+             --[gamma'xdelta']-- d2 --[gamma'xdelta']-- c2_H --[gamma'xbeta' core]-- b3
+             --[alpha'xbeta']-- F_out
+
+    built from: an in-block (completion alpha', x into V1), a shared head B
+    receiving alpha' and gamma' with x-edges into V1 (beta'- and delta'-exits)
+    and V2 (shared delta'-exit), a gamma'-only head H with x-edges into V2 and
+    V3 (beta'-exit), and an out-block (completion alpha', x into V3).  The
+    ``gamma' x beta'``-infix matches are all edge-dominated by the condensed
+    ``{c2, x}`` and ``{x, b}`` matches except at V3, where they provide the
+    seventh path edge -- this is exactly where case 2 differs from case 1.
+    """
+    body = witness.body
+    alpha_p = witness.alpha
+    beta_p = witness.beta
+    gamma_p = witness.gamma
+    delta_p = witness.delta
+    label = alpha_p[0]
+    alpha_rest = alpha_p[1:]
+
+    builder = GadgetBuilder()
+
+    def alpha_path_into(head: str) -> None:
+        builder.add_word_path(builder.fresh_node("pa"), alpha_p, head)
+
+    def gamma_path_into(head: str) -> None:
+        builder.add_word_path(builder.fresh_node("pg"), gamma_p, head)
+
+    def beta_path_from(tail: str) -> None:
+        builder.add_word_path(tail, beta_p, builder.fresh_node("b"))
+
+    def delta_path_from(tail: str) -> None:
+        builder.add_word_path(tail, delta_p, builder.fresh_node("d"))
+
+    # In-block: the completion fact supplies the first letter of alpha'.
+    builder.add_word_path("t_in", alpha_rest, "HIN")
+    builder.add_edge("HIN", body, "V1")
+    beta_path_from("V1")
+    delta_path_from("V1")
+
+    # Shared head B (alpha' and gamma') with x-edges into V1 and V2.
+    alpha_path_into("HB")
+    gamma_path_into("HB")
+    builder.add_edge("HB", body, "V1")
+    builder.add_edge("HB", body, "V2")
+    delta_path_from("V2")
+
+    # Gamma'-only head H with x-edges into V2 (shared delta') and V3 (beta').
+    gamma_path_into("HH")
+    builder.add_edge("HH", body, "V2")
+    builder.add_edge("HH", body, "V3")
+    beta_path_from("V3")
+
+    # Out-block: the completion fact supplies the first letter of alpha'.
+    builder.add_word_path("t_out", alpha_rest, "HOUT")
+    builder.add_edge("HOUT", body, "V3")
+
+    return builder.build("t_in", "t_out", label, name=f"Theorem 5.3 case 2 ({witness.word_one}|{witness.word_two})")
+
+
+# --------------------------------------------------------------------------- Figure 12
+
+
+def nonoverlap_gadget(letter: str, x_letter: str, y_letter: str, eta: str) -> PreGadget:
+    """Build the gadget of Claim 6.13 (Figure 12) for words ``a x eta y a`` and ``y a x``.
+
+    Requires ``x != a`` and ``y != a`` (the other sub-cases of the claim reduce to
+    the ``aab`` / ``aaa`` gadgets, possibly after mirroring).
+    """
+    if x_letter == letter or y_letter == letter:
+        raise GadgetError("Claim 6.13's gadget requires x != a and y != a")
+    builder = GadgetBuilder()
+
+    def xey_segment(start: str, end: str) -> None:
+        """Add a path spelling ``x eta y`` from ``start`` to ``end``."""
+        middle_in = builder.fresh_node("e")
+        middle_out = builder.fresh_node("f")
+        builder.add_edge(start, x_letter, middle_in)
+        builder.add_word_path(middle_in, eta, middle_out)
+        builder.add_edge(middle_out, y_letter, end)
+
+    # In-chain: (completion a) x eta y a into the loop node N.
+    xey_segment("t_in", "in_y")
+    builder.add_edge("in_y", letter, "N")
+
+    # Loop block: N x eta y back onto N (through the back a-edge) and forward.
+    xey_segment("N", "loop_y")
+    builder.add_edge("loop_y", letter, "N")
+    builder.add_edge("loop_y", letter, "u1")
+
+    # Two plain units: a x eta y a chained forward.
+    xey_segment("u1", "u1_y")
+    builder.add_edge("u1_y", letter, "u2")
+    xey_segment("u2", "u2_y")
+    builder.add_edge("u2_y", letter, "u3")
+
+    # Out-chain: (completion a) x eta y joining the last unit's y-target.
+    builder.add_edge("t_out", x_letter, "out_x")
+    builder.add_word_path("out_x", eta, "out_e")
+    builder.add_edge("out_e", y_letter, "u2_y")
+
+    return builder.build(
+        "t_in", "t_out", letter, name=f"Claim 6.13 ({letter}{x_letter}{eta}{y_letter}{letter} & {y_letter}{letter}{x_letter})"
+    )
+
+
+# --------------------------------------------------------------------------- Theorem 5.3 driver
+
+
+def _case1_applies(language: Language, witness: FourLeggedWitness) -> bool:
+    """Return whether no infix of ``gamma' x beta'`` is in the language (case 1)."""
+    word = witness.gamma + witness.body + witness.beta
+    for start in range(len(word)):
+        for end in range(start, len(word) + 1):
+            if language.contains(word[start:end]):
+                return False
+    return True
+
+
+def four_legged_hardness_gadget(
+    language: Language, witness: FourLeggedWitness | None = None
+) -> HardnessCertificate:
+    """Build and verify a hardness gadget for a four-legged language (Theorem 5.3).
+
+    Args:
+        language: an infix-free four-legged language.
+        witness: an optional four-legged witness (it will be stabilized); found
+            automatically when omitted.
+
+    Raises:
+        GadgetNotAvailableError: if no witness exists or the construction cannot
+            be verified for this language.
+    """
+    if witness is None:
+        stable = find_stable_witness(language)
+        if stable is None:
+            raise GadgetNotAvailableError(f"{language} has no four-legged witness")
+    else:
+        stable = stabilize_witness(language, witness)
+
+    if _case1_applies(language, stable):
+        gadget = four_legged_case1_gadget(stable)
+        provenance = "Theorem 5.3 (case 1, Figure 5)"
+    else:
+        gadget = four_legged_case2_gadget(stable)
+        provenance = "Theorem 5.3 (case 2, Figure 6)"
+    verification = verify_gadget(language, gadget)
+    if not verification.valid:
+        raise GadgetNotAvailableError(
+            f"the {provenance} construction failed verification for {language}: {verification.reason}"
+        )
+    return HardnessCertificate(language, language, False, gadget, verification, provenance)
+
+
+# --------------------------------------------------------------------------- Theorem 6.1 driver
+
+
+def repeated_letter_hardness_gadget(language: Language) -> HardnessCertificate:
+    """Build and verify a hardness gadget for a finite infix-free language with a
+    repeated-letter word, following the case analysis of Theorem 6.1.
+
+    The returned certificate may be for the mirror language (``mirrored=True``),
+    in which case hardness transfers through Proposition 6.3.
+
+    Raises:
+        GadgetNotAvailableError: if the language has no repeated-letter word or a
+            construction step cannot be verified.
+    """
+    if not language.is_finite():
+        raise GadgetNotAvailableError("Theorem 6.1 only applies to finite languages")
+    if not language.is_infix_free():
+        raise GadgetNotAvailableError("Theorem 6.1 requires an infix-free language")
+    decompositions = maximal_gap_words(language.words())
+    if not decompositions:
+        raise GadgetNotAvailableError(f"{language} has no word with a repeated letter")
+    _, beta, letter, gamma, delta = sorted(decompositions)[0]
+
+    if beta and delta:
+        # Claim 6.5: the language is four-legged.
+        witness = FourLeggedWitness(letter, beta + letter + gamma, delta, beta, gamma + letter + delta)
+        certificate = four_legged_hardness_gadget(language, witness)
+        return HardnessCertificate(
+            language, language, False, certificate.gadget, certificate.verification,
+            f"Theorem 6.1 via Claim 6.5 and {certificate.provenance}",
+        )
+    if beta and not delta:
+        # Mirror the language so that the prefix before the first repeated letter is empty.
+        mirrored = language.mirror()
+        inner = _repeated_letter_beta_empty(mirrored, letter, gamma[::-1], beta[::-1])
+        return HardnessCertificate(
+            language, mirrored, True, inner.gadget, inner.verification,
+            f"Theorem 6.1 (mirrored, Proposition 6.3) via {inner.provenance}",
+        )
+    return _repeated_letter_beta_empty(language, letter, gamma, delta)
+
+
+def _repeated_letter_beta_empty(
+    language: Language, letter: str, gamma: str, delta: str
+) -> HardnessCertificate:
+    """Handle the ``beta = epsilon`` case of Theorem 6.1 (word ``a gamma a delta``)."""
+    if not gamma and not delta:
+        # The word is ``aa``: use the Figure 3b gadget of Proposition 4.1.
+        gadget = _relabelled_aa(letter)
+        verification = verify_gadget(language, gadget)
+        if not verification.valid:
+            raise GadgetNotAvailableError(
+                f"the Proposition 4.1 gadget failed verification for {language}: {verification.reason}"
+            )
+        return HardnessCertificate(
+            language, language, False, gadget, verification,
+            "Theorem 6.1 via Proposition 4.1 (Figure 3b)",
+        )
+    infix = _infix_of_gamma_a_gamma(language, letter, gamma)
+    if infix is None:
+        gadget = repeated_letter_chain_gadget(letter, gamma, delta)
+        verification = verify_gadget(language, gadget)
+        if not verification.valid:
+            raise GadgetNotAvailableError(
+                f"the Lemma 6.6 chain gadget failed verification for {language}: {verification.reason}"
+            )
+        figure = "Figure 7" if not delta else "Figure 8"
+        return HardnessCertificate(
+            language, language, False, gadget, verification, f"Theorem 6.1 via Lemma 6.6 ({figure})"
+        )
+
+    gamma_1, gamma_2 = infix
+    if delta:
+        # Claim 6.8: four-legged.
+        witness = FourLeggedWitness(letter, gamma_1, gamma_2, letter + gamma, delta)
+        certificate = four_legged_hardness_gadget(language, witness)
+        return HardnessCertificate(
+            language, language, False, certificate.gadget, certificate.verification,
+            f"Theorem 6.1 via Claim 6.8 and {certificate.provenance}",
+        )
+
+    if len(gamma_1) + len(gamma_2) > len(gamma):
+        return _overlapping_case(language, letter, gamma, gamma_1, gamma_2)
+    return _non_overlapping_case(language, letter, gamma, gamma_1, gamma_2)
+
+
+def _infix_of_gamma_a_gamma(language: Language, letter: str, gamma: str) -> tuple[str, str] | None:
+    """Return ``(gamma_1, gamma_2)`` such that ``gamma_1 a gamma_2`` is in the language,
+    with ``gamma_1`` a non-empty suffix and ``gamma_2`` a non-empty prefix of ``gamma``
+    (Claim 6.7), or ``None`` when no infix of ``gamma a gamma`` is in the language."""
+    word = gamma + letter + gamma
+    middle = len(gamma)
+    for start in range(len(word)):
+        for end in range(start, len(word) + 1):
+            candidate = word[start:end]
+            if candidate and language.contains(candidate):
+                if start <= middle < end:
+                    gamma_1 = word[start:middle]
+                    gamma_2 = word[middle + 1 : end]
+                    if gamma_1 and gamma_2:
+                        return gamma_1, gamma_2
+                # Any infix in the language must cover the middle letter with
+                # non-empty parts when the language is infix-free (Claim 6.7);
+                # other infixes are ignored.
+    return None
+
+
+def _overlapping_case(
+    language: Language, letter: str, gamma: str, gamma_1: str, gamma_2: str
+) -> HardnessCertificate:
+    """The overlapping case of Theorem 6.1: ``gamma = eta'' eta eta'`` with non-empty overlap."""
+    overlap = len(gamma_1) + len(gamma_2) - len(gamma)
+    eta = gamma_1[:overlap]
+    eta_prime = gamma_1[overlap:]
+    eta_second = gamma_2[: len(gamma_2) - overlap]
+
+    if eta_prime:
+        # Claim 6.9, first part.
+        body = eta_prime[0]
+        sigma = eta_prime[1:]
+        witness = FourLeggedWitness(
+            body, eta, sigma + letter + eta_second + eta, letter + eta_second + eta, sigma + letter
+        )
+        certificate = four_legged_hardness_gadget(language, witness)
+        return HardnessCertificate(
+            language, language, False, certificate.gadget, certificate.verification,
+            f"Theorem 6.1 via Claim 6.9 and {certificate.provenance}",
+        )
+    if eta_second:
+        # Claim 6.9, second part (eta' is empty).
+        body = eta_second[0]
+        sigma = eta_second[1:]
+        witness = FourLeggedWitness(body, letter, sigma + eta + letter, eta + letter, sigma + eta)
+        certificate = four_legged_hardness_gadget(language, witness)
+        return HardnessCertificate(
+            language, language, False, certificate.gadget, certificate.verification,
+            f"Theorem 6.1 via Claim 6.9 and {certificate.provenance}",
+        )
+
+    # eta' = eta'' = epsilon, so eta has length 1 by maximality.
+    eta_letter = eta[0] if eta else ""
+    if eta_letter and eta_letter != letter:
+        from .library import gadget_for_aba_bab
+
+        gadget = _relabelled_aba_bab(letter, eta_letter)
+        verification = verify_gadget(language, gadget)
+        if not verification.valid:
+            raise GadgetNotAvailableError(
+                f"the Claim 6.10 gadget failed verification for {language}: {verification.reason}"
+            )
+        return HardnessCertificate(
+            language, language, False, gadget, verification, "Theorem 6.1 via Claim 6.10 (Figure 9)"
+        )
+    from .library import gadget_for_aaa
+
+    gadget = _relabelled_aaa(letter)
+    verification = verify_gadget(language, gadget)
+    if not verification.valid:
+        raise GadgetNotAvailableError(
+            f"the Claim 6.11 gadget failed verification for {language}: {verification.reason}"
+        )
+    return HardnessCertificate(
+        language, language, False, gadget, verification, "Theorem 6.1 via Claim 6.11 (Figure 10)"
+    )
+
+
+def _non_overlapping_case(
+    language: Language, letter: str, gamma: str, gamma_1: str, gamma_2: str
+) -> HardnessCertificate:
+    """The non-overlapping case of Theorem 6.1: ``gamma = gamma_2 eta gamma_1``."""
+    if len(gamma_1) >= 2:
+        # Claim 6.12, first part.
+        chi = gamma_1[:-1]
+        body = gamma_1[-1]
+        eta = gamma[len(gamma_2) : len(gamma) - len(gamma_1)]
+        witness = FourLeggedWitness(
+            body, chi, letter + gamma_2, letter + gamma_2 + eta + chi, letter
+        )
+        certificate = four_legged_hardness_gadget(language, witness)
+        return HardnessCertificate(
+            language, language, False, certificate.gadget, certificate.verification,
+            f"Theorem 6.1 via Claim 6.12 and {certificate.provenance}",
+        )
+    if len(gamma_2) >= 2:
+        # Claim 6.12, second part.
+        body = gamma_2[0]
+        chi = gamma_2[1:]
+        eta = gamma[len(gamma_2) : len(gamma) - len(gamma_1)]
+        witness = FourLeggedWitness(body, letter, chi + eta + gamma_1 + letter, gamma_1 + letter, chi)
+        certificate = four_legged_hardness_gadget(language, witness)
+        return HardnessCertificate(
+            language, language, False, certificate.gadget, certificate.verification,
+            f"Theorem 6.1 via Claim 6.12 and {certificate.provenance}",
+        )
+
+    # |gamma_1| = |gamma_2| = 1: the language contains a x eta y a and y a x.
+    x_letter = gamma_2
+    y_letter = gamma_1
+    eta = gamma[1 : len(gamma) - 1]
+    return _claim_6_13(language, letter, x_letter, y_letter, eta)
+
+
+def _claim_6_13(
+    language: Language, letter: str, x_letter: str, y_letter: str, eta: str
+) -> HardnessCertificate:
+    """Handle Claim 6.13 (words ``a x eta y a`` and ``y a x``)."""
+    if y_letter == letter:
+        # The language contains a a x.
+        return _aab_or_aaa(language, letter, x_letter, mirrored=False, via="Claim 6.13 (y = a)")
+    if x_letter == letter:
+        # The mirror language contains a a y.
+        mirrored = language.mirror()
+        inner = _aab_or_aaa(mirrored, letter, y_letter, mirrored=True, via="Claim 6.13 (x = a, mirrored)")
+        return HardnessCertificate(
+            language, mirrored, True, inner.gadget, inner.verification, inner.provenance
+        )
+    gadget = nonoverlap_gadget(letter, x_letter, y_letter, eta)
+    verification = verify_gadget(language, gadget)
+    if not verification.valid:
+        raise GadgetNotAvailableError(
+            f"the Claim 6.13 gadget (Figure 12) failed verification for {language}: {verification.reason}"
+        )
+    return HardnessCertificate(
+        language, language, False, gadget, verification, "Theorem 6.1 via Claim 6.13 (Figure 12)"
+    )
+
+
+def _aab_or_aaa(
+    language: Language, letter: str, other: str, *, mirrored: bool, via: str
+) -> HardnessCertificate:
+    """Use the Figure 11 (``aab``) or Figure 10 (``aaa``) gadget."""
+    if other == letter:
+        gadget = _relabelled_aaa(letter)
+        provenance = f"Theorem 6.1 via {via} and Claim 6.11 (Figure 10)"
+    else:
+        gadget = _relabelled_aab(letter, other)
+        provenance = f"Theorem 6.1 via {via} and Claim 6.14 (Figure 11)"
+    verification = verify_gadget(language, gadget)
+    if not verification.valid:
+        raise GadgetNotAvailableError(
+            f"the {provenance} gadget failed verification for {language}: {verification.reason}"
+        )
+    return HardnessCertificate(language, language, mirrored, gadget, verification, provenance)
+
+
+def _relabelled_aa(letter: str) -> PreGadget:
+    from .library import gadget_for_aa
+    from ..graphdb.database import Fact, GraphDatabase
+
+    base = gadget_for_aa()
+    facts = [Fact(f.source, letter, f.target) for f in base.database.facts]
+    return PreGadget(GraphDatabase(facts), base.in_element, base.out_element, letter, name=f"Figure 3b ({letter*2})")
+
+
+def _relabelled_aaa(letter: str) -> PreGadget:
+    from .library import gadget_for_aaa
+    from ..graphdb.database import Fact, GraphDatabase
+
+    base = gadget_for_aaa()
+    facts = [Fact(f.source, letter, f.target) for f in base.database.facts]
+    return PreGadget(GraphDatabase(facts), base.in_element, base.out_element, letter, name=f"Figure 10 ({letter*3})")
+
+
+def _relabelled_aab(letter: str, other: str) -> PreGadget:
+    from .library import gadget_for_aab
+    from ..graphdb.database import Fact, GraphDatabase
+
+    base = gadget_for_aab()
+    mapping = {"a": letter, "b": other}
+    facts = [Fact(f.source, mapping[f.label], f.target) for f in base.database.facts]
+    return PreGadget(
+        GraphDatabase(facts), base.in_element, base.out_element, letter, name=f"Figure 11 ({letter}{letter}{other})"
+    )
+
+
+def _relabelled_aba_bab(letter: str, other: str) -> PreGadget:
+    from .library import gadget_for_aba_bab
+    from ..graphdb.database import Fact, GraphDatabase
+
+    base = gadget_for_aba_bab()
+    mapping = {"a": letter, "b": other}
+    facts = [Fact(f.source, mapping[f.label], f.target) for f in base.database.facts]
+    return PreGadget(
+        GraphDatabase(facts), base.in_element, base.out_element, letter,
+        name=f"Figure 9 ({letter}{other}{letter} & {other}{letter}{other})",
+    )
+
+
+# --------------------------------------------------------------------------- master entry point
+
+
+def hardness_gadget(language: Language) -> HardnessCertificate:
+    """Return a machine-verified hardness certificate for a language, if the paper provides one.
+
+    The search order follows the paper: known concrete gadgets (Propositions 4.1,
+    4.13, 7.4, 7.11 and the claims of Section 6), then the four-legged
+    construction of Theorem 5.3, then the repeated-letter case analysis of
+    Theorem 6.1 for finite languages.
+
+    Raises:
+        GadgetNotAvailableError: when the language is not covered by any hardness
+            result of the paper (it may still be NP-hard -- the classification is
+            not complete).
+    """
+    from .library import NAMED_GADGETS
+
+    infix_free = language.infix_free()
+    infix_free.name = language.name
+
+    if infix_free.is_finite():
+        words = "|".join(sorted(infix_free.words()))
+        factory = NAMED_GADGETS.get(words)
+        if factory is not None:
+            gadget = factory()
+            verification = verify_gadget(infix_free, gadget)
+            if verification.valid:
+                return HardnessCertificate(
+                    language, infix_free, False, gadget, verification, f"library gadget ({gadget.name})"
+                )
+
+    # Square letters: if xx is in IF(L), the Proposition 4.1 gadget relabelled to
+    # x works verbatim (by infix-freeness no other x-only word is in IF(L)).
+    for letter in sorted(infix_free.alphabet):
+        if infix_free.contains(letter + letter):
+            gadget = _relabelled_aa(letter)
+            verification = verify_gadget(infix_free, gadget)
+            if verification.valid:
+                return HardnessCertificate(
+                    language, infix_free, False, gadget, verification,
+                    "Proposition 4.1 gadget on a square letter (cf. Proposition 5.7)",
+                )
+
+    witness = find_witness(infix_free) if infix_free.is_infix_free() else None
+    if witness is not None:
+        try:
+            certificate = four_legged_hardness_gadget(infix_free, witness)
+            return HardnessCertificate(
+                language, infix_free, False, certificate.gadget, certificate.verification, certificate.provenance
+            )
+        except (GadgetError, GadgetNotAvailableError):
+            pass
+
+    if infix_free.is_finite() and infix_free.has_repeated_letter_word():
+        certificate = repeated_letter_hardness_gadget(infix_free)
+        return HardnessCertificate(
+            language,
+            certificate.gadget_language,
+            certificate.mirrored,
+            certificate.gadget,
+            certificate.verification,
+            certificate.provenance,
+        )
+
+    raise GadgetNotAvailableError(
+        f"no hardness construction of the paper applies to {language}"
+    )

@@ -1,0 +1,172 @@
+"""Hardness pre-gadgets, completions and graph encodings (Definitions 4.3--4.5).
+
+A *pre-gadget* is a database with two distinguished in/out elements (never heads
+of facts) and a label; its *completion* adds two fresh endpoint facts.  The
+*encoding* of a directed graph glues one copy of the pre-gadget per edge,
+identifying the in/out elements with per-vertex facts.  When the completion's
+hypergraph of matches condenses to an odd path between the endpoint facts, the
+pre-gadget is a *gadget* and the encoding reduces minimum vertex cover to
+resilience (Proposition 4.11).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from ..exceptions import GadgetError
+from ..graphdb.database import Fact, GraphDatabase, Node
+
+
+@dataclass(frozen=True)
+class PreGadget:
+    """A pre-gadget ``(D, t_in, t_out, a)`` (Definition 4.3).
+
+    Attributes:
+        database: the gadget database ``D``.
+        in_element: the in-element ``t_in``.
+        out_element: the out-element ``t_out``.
+        label: the letter used by the two completion facts.
+        name: a human-readable name for reporting.
+    """
+
+    database: GraphDatabase
+    in_element: Node
+    out_element: Node
+    label: str
+    name: str = ""
+
+    def validate(self) -> None:
+        """Check the structural requirements of Definition 4.3.
+
+        Raises:
+            GadgetError: if a requirement is violated.
+        """
+        if self.in_element == self.out_element:
+            raise GadgetError("the in-element and out-element must be distinct")
+        for fact in self.database.facts:
+            if fact.target == self.in_element:
+                raise GadgetError(f"the in-element occurs as the head of {fact}")
+            if fact.target == self.out_element:
+                raise GadgetError(f"the out-element occurs as the head of {fact}")
+
+    @property
+    def in_fact(self) -> Fact:
+        """The endpoint fact ``F_in`` added by the completion."""
+        return Fact(("completion", "s_in"), self.label, self.in_element)
+
+    @property
+    def out_fact(self) -> Fact:
+        """The endpoint fact ``F_out`` added by the completion."""
+        return Fact(("completion", "s_out"), self.label, self.out_element)
+
+    def completion(self) -> GraphDatabase:
+        """Return the completion ``D'`` of the pre-gadget (Definition 4.3)."""
+        self.validate()
+        return self.database.add([self.in_fact, self.out_fact])
+
+    def __repr__(self) -> str:
+        label = self.name or "pre-gadget"
+        return f"PreGadget({label!r}, {len(self.database)} facts, label={self.label!r})"
+
+
+@dataclass
+class GadgetBuilder:
+    """A small helper to assemble gadget databases from word-labelled paths.
+
+    Nodes are arbitrary strings; :meth:`add_word_path` adds a fresh path of edges
+    spelling a word between two existing (or new) nodes, merging the endpoints
+    when the word is empty.
+    """
+
+    facts: set[Fact] = field(default_factory=set)
+    merges: dict[Node, Node] = field(default_factory=dict)
+    _counter: int = 0
+
+    def _resolve(self, node: Node) -> Node:
+        while node in self.merges:
+            node = self.merges[node]
+        return node
+
+    def fresh_node(self, prefix: str = "n") -> str:
+        self._counter += 1
+        return f"{prefix}#{self._counter}"
+
+    def add_edge(self, source: Node, label: str, target: Node) -> None:
+        self.facts.add(Fact(self._resolve(source), label, self._resolve(target)))
+
+    def add_word_path(self, source: Node, word: str, target: Node) -> None:
+        """Add a path spelling ``word`` from ``source`` to ``target``.
+
+        When ``word`` is empty the two nodes are merged (``target`` becomes an
+        alias of ``source``), following the drawing convention of the paper's
+        generic gadget figures.
+        """
+        source = self._resolve(source)
+        target = self._resolve(target)
+        if not word:
+            if source != target:
+                self.merges[target] = source
+                # Re-resolve previously added facts that mention the target.
+                self.facts = {
+                    Fact(self._resolve(fact.source), fact.label, self._resolve(fact.target))
+                    for fact in self.facts
+                }
+            return
+        previous = source
+        for index, letter in enumerate(word):
+            nxt = target if index == len(word) - 1 else self.fresh_node()
+            self.add_edge(previous, letter, nxt)
+            previous = nxt
+
+    def build(self, in_element: Node, out_element: Node, label: str, name: str = "") -> PreGadget:
+        return PreGadget(
+            GraphDatabase(self.facts),
+            self._resolve(in_element),
+            self._resolve(out_element),
+            label,
+            name,
+        )
+
+
+def encode_graph(
+    pre_gadget: PreGadget, edges: Sequence[tuple[Node, Node]], vertices: Iterable[Node] = ()
+) -> tuple[GraphDatabase, dict[Node, Fact]]:
+    """Encode a directed graph with a pre-gadget (Definition 4.5).
+
+    Args:
+        pre_gadget: the pre-gadget to use.
+        edges: the directed edges of the graph (an arbitrary orientation of the
+            undirected input graph of the vertex-cover reduction).
+        vertices: optional additional isolated vertices.
+
+    Returns:
+        the encoding database and the per-vertex endpoint facts ``s_u -a-> t_u``.
+    """
+    pre_gadget.validate()
+    vertex_set: list[Node] = []
+    seen: set[Node] = set()
+    for vertex in list(vertices) + [v for edge in edges for v in edge]:
+        if vertex not in seen:
+            seen.add(vertex)
+            vertex_set.append(vertex)
+
+    facts: set[Fact] = set()
+    vertex_fact: dict[Node, Fact] = {}
+    for vertex in vertex_set:
+        fact = Fact(("vc", "s", vertex), pre_gadget.label, ("vc", "t", vertex))
+        vertex_fact[vertex] = fact
+        facts.add(fact)
+
+    for index, (tail, head) in enumerate(edges):
+        mapping: dict[Node, Node] = {}
+        for node in pre_gadget.database.nodes:
+            if node == pre_gadget.in_element:
+                mapping[node] = ("vc", "t", tail)
+            elif node == pre_gadget.out_element:
+                mapping[node] = ("vc", "t", head)
+            else:
+                mapping[node] = ("copy", index, node)
+        copy = pre_gadget.database.rename_nodes(mapping)
+        facts |= copy.facts
+    return GraphDatabase(facts), vertex_fact

@@ -1,0 +1,217 @@
+"""Hypergraphs of matches and the condensation rules (Section 4.3 of the paper).
+
+The hypergraph of matches ``H_{L,D}`` has the facts of the database as nodes and
+the matches of the query as hyperedges; the resilience in set semantics is the
+minimum hitting set of this hypergraph.  Two *condensation rules* simplify a
+hypergraph without changing the minimum hitting-set size (Claim 4.8):
+
+* edge domination: if ``e ⊆ e'`` with ``e ≠ e'``, drop ``e'``;
+* node domination: if ``E(v) ⊆ E(v')`` with ``v ≠ v'``, drop ``v``
+  (removing it from every hyperedge).
+
+Gadget verification needs a condensation that keeps the two endpoint facts, so
+:func:`condense` accepts a set of *protected* nodes that node domination never
+removes (the rules are confluent up to isomorphism, see the paper, so protecting
+the endpoints does not change whether an odd path can be reached).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass, field
+
+HyperNode = Hashable
+HyperEdge = frozenset
+
+
+@dataclass
+class Hypergraph:
+    """A hypergraph with hashable nodes and frozenset hyperedges."""
+
+    nodes: frozenset[HyperNode]
+    edges: frozenset[HyperEdge]
+
+    def __post_init__(self) -> None:
+        for edge in self.edges:
+            if not edge <= self.nodes:
+                raise ValueError("hyperedge uses unknown nodes")
+
+    @classmethod
+    def from_matches(cls, nodes: Iterable[HyperNode], matches: Iterable[Iterable[HyperNode]]) -> "Hypergraph":
+        return cls(frozenset(nodes), frozenset(frozenset(match) for match in matches))
+
+    def incident_edges(self, node: HyperNode) -> frozenset[HyperEdge]:
+        """Return ``E(v)``: the hyperedges containing the node."""
+        return frozenset(edge for edge in self.edges if node in edge)
+
+    def incidence(self) -> dict[HyperNode, set[HyperEdge]]:
+        result: dict[HyperNode, set[HyperEdge]] = {node: set() for node in self.nodes}
+        for edge in self.edges:
+            for node in edge:
+                result[node].add(edge)
+        return result
+
+    def remove_edge(self, edge: HyperEdge) -> "Hypergraph":
+        return Hypergraph(self.nodes, self.edges - {edge})
+
+    def remove_node(self, node: HyperNode) -> "Hypergraph":
+        return Hypergraph(
+            frozenset(n for n in self.nodes if n != node),
+            frozenset(frozenset(edge - {node}) for edge in self.edges),
+        )
+
+    def __repr__(self) -> str:
+        return f"Hypergraph({len(self.nodes)} nodes, {len(self.edges)} hyperedges)"
+
+
+@dataclass
+class CondensationTrace:
+    """A record of the condensation steps applied (for reporting and debugging)."""
+
+    steps: list[str] = field(default_factory=list)
+
+    def note(self, message: str) -> None:
+        self.steps.append(message)
+
+
+def condense(
+    hypergraph: Hypergraph,
+    protected: Iterable[HyperNode] = (),
+    trace: CondensationTrace | None = None,
+) -> Hypergraph:
+    """Apply the condensation rules until a fixpoint, never removing protected nodes.
+
+    Edge domination is applied eagerly; node domination removes any node whose
+    incident-edge set is contained in that of another node (ties broken by a
+    deterministic order, protected nodes always kept).
+    """
+    protected_set = set(protected)
+    current = hypergraph
+    changed = True
+    while changed:
+        changed = False
+
+        # Edge domination: drop strict supersets of other edges (and leave one
+        # copy of duplicated edges, which frozenset storage already ensures).
+        edges = sorted(current.edges, key=lambda edge: (len(edge), repr(sorted(edge, key=repr))))
+        kept: list[HyperEdge] = []
+        dropped: set[HyperEdge] = set()
+        for edge in edges:
+            if any(other < edge for other in kept):
+                dropped.add(edge)
+                continue
+            kept.append(edge)
+        if dropped:
+            changed = True
+            if trace is not None:
+                for edge in dropped:
+                    trace.note(f"edge-domination removed a hyperedge of size {len(edge)}")
+            current = Hypergraph(current.nodes, frozenset(kept))
+
+        # Node domination.
+        incidence = current.incidence()
+        ordered_nodes = sorted(current.nodes, key=repr)
+        removed_node = None
+        for node in ordered_nodes:
+            if node in protected_set:
+                continue
+            node_edges = incidence[node]
+            for other in ordered_nodes:
+                if other == node:
+                    continue
+                if node_edges <= incidence[other]:
+                    removed_node = node
+                    break
+            if removed_node is not None:
+                break
+        if removed_node is not None:
+            changed = True
+            if trace is not None:
+                trace.note(f"node-domination removed {removed_node!r}")
+            current = current.remove_node(removed_node)
+    return current
+
+
+def is_odd_path(hypergraph: Hypergraph, start: HyperNode, end: HyperNode) -> bool:
+    """Return whether the hypergraph is an odd path from ``start`` to ``end`` (Definition 4.9).
+
+    All hyperedges must have size two and, viewed as an undirected graph, the
+    hypergraph must be a simple path from ``start`` to ``end`` with an odd number
+    of edges covering every node.
+    """
+    if start == end:
+        return False
+    if start not in hypergraph.nodes or end not in hypergraph.nodes:
+        return False
+    if not hypergraph.edges:
+        return False
+    if any(len(edge) != 2 for edge in hypergraph.edges):
+        return False
+    adjacency: dict[HyperNode, set[HyperNode]] = {node: set() for node in hypergraph.nodes}
+    for edge in hypergraph.edges:
+        left, right = tuple(edge)
+        adjacency[left].add(right)
+        adjacency[right].add(left)
+    # Degree conditions of a simple path.
+    for node in hypergraph.nodes:
+        degree = len(adjacency[node])
+        if node in (start, end):
+            if degree != 1:
+                return False
+        elif degree != 2:
+            return False
+    # Walk from start to end and check we traverse every edge exactly once.
+    visited_nodes = {start}
+    previous: HyperNode | None = None
+    node = start
+    steps = 0
+    while node != end:
+        candidates = [n for n in adjacency[node] if n != previous]
+        if len(candidates) != 1:
+            return False
+        previous, node = node, candidates[0]
+        steps += 1
+        if node in visited_nodes:
+            return False
+        visited_nodes.add(node)
+        if steps > len(hypergraph.edges):
+            return False
+    if visited_nodes != hypergraph.nodes:
+        return False
+    if steps != len(hypergraph.edges):
+        return False
+    return steps % 2 == 1
+
+
+def odd_path_length(hypergraph: Hypergraph, start: HyperNode, end: HyperNode) -> int | None:
+    """Return the number of edges of the odd path, or ``None`` if it is not an odd path."""
+    if not is_odd_path(hypergraph, start, end):
+        return None
+    return len(hypergraph.edges)
+
+
+def minimum_hitting_set(hypergraph: Hypergraph) -> frozenset[HyperNode]:
+    """Return a minimum hitting set by branch and bound (exact, for small hypergraphs)."""
+    edges = [edge for edge in hypergraph.edges]
+    if any(not edge for edge in edges):
+        raise ValueError("an empty hyperedge cannot be hit")
+    best: list[frozenset[HyperNode]] = [frozenset(hypergraph.nodes)]
+
+    def branch(remaining: list[HyperEdge], chosen: frozenset[HyperNode]) -> None:
+        if len(chosen) >= len(best[0]):
+            return
+        uncovered = [edge for edge in remaining if not edge & chosen]
+        if not uncovered:
+            best[0] = chosen
+            return
+        edge = min(uncovered, key=len)
+        for node in sorted(edge, key=repr):
+            branch(uncovered, chosen | {node})
+
+    branch(edges, frozenset())
+    return best[0]
+
+
+def minimum_hitting_set_size(hypergraph: Hypergraph) -> int:
+    """Return the size of a minimum hitting set."""
+    return len(minimum_hitting_set(hypergraph))

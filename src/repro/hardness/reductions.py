@@ -1,0 +1,93 @@
+"""The vertex-cover-to-resilience reduction (Proposition 4.11).
+
+Given a verified gadget for a language ``L`` and an undirected graph ``G``, the
+encoding of (an arbitrary orientation of) ``G`` with the gadget has resilience
+``vc(G) + m (l - 1) / 2`` in set semantics, where ``m`` is the number of edges
+of ``G`` and ``l`` is the (odd) length of the gadget's condensed path.  This
+module builds the encoding, predicts the resilience through the vertex-cover
+solver, and can cross-check the prediction against the exact resilience
+algorithm (the numerical validation used by the hardness benchmarks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from ..graphdb.database import GraphDatabase
+from ..languages.core import Language
+from ..resilience.exact import resilience_exact
+from . import vertex_cover
+from .gadgets import PreGadget, encode_graph
+from .verification import GadgetVerification, require_verified
+
+
+@dataclass
+class ReductionInstance:
+    """One instance of the vertex-cover reduction.
+
+    Attributes:
+        language: the query language.
+        gadget: the verified gadget used.
+        graph_edges: the undirected input graph.
+        encoding: the encoded database ``Xi``.
+        subdivision_length: the odd length ``l`` of the gadget's condensed path.
+        vertex_cover_number: ``vc(G)`` computed exactly.
+        predicted_resilience: ``vc(G) + m (l - 1) / 2``.
+    """
+
+    language: Language
+    gadget: PreGadget
+    graph_edges: tuple[tuple[object, object], ...]
+    encoding: GraphDatabase
+    subdivision_length: int
+    vertex_cover_number: int
+    predicted_resilience: int
+
+
+def build_reduction(
+    language: Language,
+    gadget: PreGadget,
+    graph_edges: Sequence[tuple[object, object]],
+    *,
+    verification: GadgetVerification | None = None,
+) -> ReductionInstance:
+    """Encode an undirected graph with a gadget and predict the resilience of the encoding."""
+    if verification is None:
+        verification = require_verified(language, gadget)
+    assert verification.path_length is not None
+    encoding, _ = encode_graph(gadget, list(graph_edges))
+    cover = vertex_cover.vertex_cover_number(graph_edges)
+    length = verification.path_length
+    predicted = cover + len(_dedupe(graph_edges)) * (length - 1) // 2
+    return ReductionInstance(
+        language=language,
+        gadget=gadget,
+        graph_edges=tuple(graph_edges),
+        encoding=encoding,
+        subdivision_length=length,
+        vertex_cover_number=cover,
+        predicted_resilience=predicted,
+    )
+
+
+def _dedupe(edges: Sequence[tuple[object, object]]) -> list[frozenset]:
+    seen: set[frozenset] = set()
+    result = []
+    for left, right in edges:
+        edge = frozenset((left, right))
+        if edge not in seen:
+            seen.add(edge)
+            result.append(edge)
+    return result
+
+
+def check_reduction(instance: ReductionInstance, *, max_nodes: int | None = 2_000_000) -> bool:
+    """Cross-check the predicted resilience of an encoding against the exact algorithm.
+
+    This is the numerical validation that the reduction of Proposition 4.11 is
+    correct on a concrete graph; it is feasible for small graphs only (the exact
+    algorithm is exponential -- which is the point of the reduction).
+    """
+    result = resilience_exact(instance.language, instance.encoding, semantics="set", max_nodes=max_nodes)
+    return result.value == instance.predicted_resilience

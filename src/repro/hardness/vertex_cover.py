@@ -1,0 +1,110 @@
+"""Minimum vertex cover and the subdivision lemma (Section 4.1 of the paper).
+
+The hardness reductions of the paper go through the minimum vertex cover
+problem; this module provides an exact branch-and-bound vertex-cover solver (for
+validating reductions on small graphs) together with graph subdivisions and the
+identity of Proposition 4.2: for odd ``l``, the vertex cover number of an
+``l``-subdivision of ``G`` is ``vc(G) + m (l - 1) / 2``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+
+Vertex = Hashable
+Edge = tuple[Vertex, Vertex]
+
+
+def _normalize(edges: Iterable[Edge]) -> list[frozenset]:
+    normalized: list[frozenset] = []
+    seen: set[frozenset] = set()
+    for left, right in edges:
+        if left == right:
+            raise ValueError("self-loops are not allowed in vertex-cover instances")
+        edge = frozenset((left, right))
+        if edge not in seen:
+            seen.add(edge)
+            normalized.append(edge)
+    return normalized
+
+
+def is_vertex_cover(edges: Iterable[Edge], cover: Iterable[Vertex]) -> bool:
+    """Return whether ``cover`` touches every edge."""
+    cover_set = set(cover)
+    return all(set(edge) & cover_set for edge in _normalize(edges))
+
+
+def minimum_vertex_cover(edges: Sequence[Edge]) -> frozenset:
+    """Return a minimum vertex cover of an undirected graph (exact branch and bound).
+
+    The classical branching rule is used: pick an uncovered edge ``{u, v}`` and
+    branch on putting ``u`` or ``v`` in the cover; degree-1 vertices are handled
+    by always covering their neighbour.
+    """
+    normalized = _normalize(edges)
+    best: list[frozenset] = [frozenset({v for edge in normalized for v in edge})]
+
+    def branch(remaining: list[frozenset], chosen: frozenset) -> None:
+        if len(chosen) >= len(best[0]):
+            return
+        uncovered = [edge for edge in remaining if not edge & chosen]
+        if not uncovered:
+            best[0] = chosen
+            return
+        # Lower bound: a greedy matching of the uncovered edges.
+        matched: set[Vertex] = set()
+        matching_size = 0
+        for edge in uncovered:
+            if not edge & matched:
+                matched |= edge
+                matching_size += 1
+        if len(chosen) + matching_size >= len(best[0]):
+            return
+        # Branch on the endpoints of the edge with the highest-degree endpoint.
+        degrees: dict[Vertex, int] = {}
+        for edge in uncovered:
+            for vertex in edge:
+                degrees[vertex] = degrees.get(vertex, 0) + 1
+        edge = max(uncovered, key=lambda e: max(degrees[v] for v in e))
+        left, right = sorted(edge, key=repr)
+        if degrees[right] > degrees[left]:
+            left, right = right, left
+        branch(uncovered, chosen | {left})
+        branch(uncovered, chosen | {right})
+
+    branch(normalized, frozenset())
+    return best[0]
+
+
+def vertex_cover_number(edges: Sequence[Edge]) -> int:
+    """Return the vertex cover number of an undirected graph."""
+    return len(minimum_vertex_cover(edges))
+
+
+def subdivide(edges: Sequence[Edge], length: int) -> list[Edge]:
+    """Return an ``length``-subdivision of the graph: each edge becomes a path of ``length`` edges.
+
+    Fresh internal vertices are named ``("sub", edge_index, position)``.
+    """
+    if length < 1:
+        raise ValueError("the subdivision length must be at least 1")
+    result: list[Edge] = []
+    for index, (left, right) in enumerate(edges):
+        if length == 1:
+            result.append((left, right))
+            continue
+        previous: Vertex = left
+        for position in range(1, length):
+            middle: Vertex = ("sub", index, position)
+            result.append((previous, middle))
+            previous = middle
+        result.append((previous, right))
+    return result
+
+
+def subdivision_vertex_cover_number(edges: Sequence[Edge], length: int) -> int:
+    """Return ``vc(G) + m (length - 1) / 2`` as predicted by Proposition 4.2 (odd ``length``)."""
+    if length % 2 != 1:
+        raise ValueError("Proposition 4.2 requires an odd subdivision length")
+    num_edges = len(_normalize(edges))
+    return vertex_cover_number(edges) + num_edges * (length - 1) // 2

@@ -1,0 +1,19 @@
+"""Formal-language substrate: words, automata, regular expressions, and the
+language classes studied in the paper (local, star-free, four-legged, chain,
+bipartite chain, one-dangling, languages with neutral letters).
+"""
+
+from .automata import EpsilonNFA
+from .core import Language
+from .regex import parse_regex, regex_to_automaton
+from .words import EPSILON, has_repeated_letter, mirror
+
+__all__ = [
+    "EPSILON",
+    "EpsilonNFA",
+    "Language",
+    "has_repeated_letter",
+    "mirror",
+    "parse_regex",
+    "regex_to_automaton",
+]

@@ -1,0 +1,109 @@
+"""The example languages of Figure 1 (and a few more used throughout the paper).
+
+Each entry records the regular expression, the region of Figure 1 it belongs to,
+and the complexity of its resilience problem as classified by the paper.  These
+are used by the classifier tests and by the Figure 1 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .core import Language
+
+PTIME = "PTIME"
+NP_HARD = "NP-hard"
+UNCLASSIFIED = "unclassified"
+
+REGION_LOCAL = "local (Thm 3.13)"
+REGION_BCL = "bipartite chain (Prp 7.6)"
+REGION_ONE_DANGLING = "one-dangling (Prp 7.9)"
+REGION_FOUR_LEGGED = "four-legged (Thm 5.3)"
+REGION_NON_STAR_FREE = "non-star-free (Lem 5.6)"
+REGION_REPEATED_LETTER = "finite, repeated letter (Thm 6.1)"
+REGION_EXPLICIT_GADGET = "explicit gadget (Prp 7.4 / Prp 7.11)"
+REGION_UNCLASSIFIED = "unclassified"
+
+
+@dataclass(frozen=True)
+class ExampleLanguage:
+    """One language from Figure 1 with its classification in the paper.
+
+    Attributes:
+        regex: the regular expression, in the paper's notation.
+        region: the Figure 1 region the language is drawn in.
+        complexity: ``"PTIME"``, ``"NP-hard"`` or ``"unclassified"``.
+        finite: whether the language is finite.
+        note: free-form comment (which result classifies it).
+    """
+
+    regex: str
+    region: str
+    complexity: str
+    finite: bool
+    note: str = ""
+
+    def language(self) -> Language:
+        return Language.from_regex(self.regex)
+
+
+FIGURE_1_LANGUAGES: tuple[ExampleLanguage, ...] = (
+    # ---- PTIME: local languages (Theorem 3.13)
+    ExampleLanguage("abc|abd", REGION_LOCAL, PTIME, True, "local finite language"),
+    ExampleLanguage("ab|ad|cd", REGION_LOCAL, PTIME, True, "Figure 2b local DFA"),
+    ExampleLanguage("ax*b", REGION_LOCAL, PTIME, False, "Figure 2a; MinCut connection"),
+    # ---- PTIME: bipartite chain languages (Proposition 7.6)
+    ExampleLanguage("ab|bc", REGION_BCL, PTIME, True, "bipartite chain language"),
+    ExampleLanguage("axb|byc", REGION_BCL, PTIME, True, "bipartite chain language"),
+    # ---- PTIME: one-dangling languages (Proposition 7.9)
+    ExampleLanguage("ax*b|xd", REGION_ONE_DANGLING, PTIME, False, "classified by Prp 7.9"),
+    ExampleLanguage("abc|be", REGION_ONE_DANGLING, PTIME, True, "one-dangling"),
+    ExampleLanguage("abcd|ce", REGION_ONE_DANGLING, PTIME, True, "one-dangling"),
+    ExampleLanguage("abcd|be", REGION_ONE_DANGLING, PTIME, True, "classified by Prp 7.9"),
+    # ---- NP-hard: four-legged languages (Theorem 5.3)
+    ExampleLanguage("axb|cxd", REGION_FOUR_LEGGED, NP_HARD, True, "Proposition 4.13"),
+    ExampleLanguage("ax*b|cxd", REGION_FOUR_LEGGED, NP_HARD, False, "four-legged, infinite"),
+    # ---- NP-hard: non-star-free languages (Lemma 5.6)
+    ExampleLanguage("b(aa)*d", REGION_NON_STAR_FREE, NP_HARD, False, "non-star-free"),
+    # ---- NP-hard: finite languages with a repeated letter (Theorem 6.1)
+    ExampleLanguage("aa", REGION_REPEATED_LETTER, NP_HARD, True, "Proposition 4.1"),
+    ExampleLanguage("aaaa", REGION_REPEATED_LETTER, NP_HARD, True, "repeated letter"),
+    ExampleLanguage("abca|cab", REGION_REPEATED_LETTER, NP_HARD, True, "repeated letter"),
+    # ---- NP-hard: explicit gadgets (Propositions 7.4 and 7.11)
+    ExampleLanguage("ab|bc|ca", REGION_EXPLICIT_GADGET, NP_HARD, True, "Proposition 7.4"),
+    ExampleLanguage("abcd|be|ef", REGION_EXPLICIT_GADGET, NP_HARD, True, "Proposition 7.11"),
+    ExampleLanguage("abcd|bef", REGION_EXPLICIT_GADGET, NP_HARD, True, "Proposition 7.11"),
+    # ---- Unclassified languages
+    ExampleLanguage("abc|bcd", REGION_UNCLASSIFIED, UNCLASSIFIED, True, "open case"),
+    ExampleLanguage("abc|bef", REGION_UNCLASSIFIED, UNCLASSIFIED, True, "open case"),
+    ExampleLanguage("ab*c|ba", REGION_UNCLASSIFIED, UNCLASSIFIED, False, "open case, added in v2"),
+    ExampleLanguage("ab*d|ac*d|bc", REGION_UNCLASSIFIED, UNCLASSIFIED, False, "open case, added in v2"),
+)
+
+
+SUPPLEMENTARY_LANGUAGES: tuple[ExampleLanguage, ...] = (
+    ExampleLanguage("axb|cxd|cxb", REGION_FOUR_LEGGED, NP_HARD, True, "Example 5.2"),
+    ExampleLanguage("axyb|bztc|cd|dea", REGION_BCL, PTIME, True, "Example 7.3"),
+    ExampleLanguage("a|b", REGION_LOCAL, PTIME, True, "trivial local language"),
+    ExampleLanguage("axb|axc", REGION_LOCAL, PTIME, True, "local but not a BCL (Section 7.1)"),
+    ExampleLanguage("be*c|de*f", REGION_FOUR_LEGGED, NP_HARD, False, "IF(L1) in Section 5.2"),
+    ExampleLanguage("aab", REGION_REPEATED_LETTER, NP_HARD, True, "Claim 6.14"),
+    ExampleLanguage("aaa", REGION_REPEATED_LETTER, NP_HARD, True, "Claim 6.11"),
+    ExampleLanguage("aba|bab", REGION_REPEATED_LETTER, NP_HARD, True, "Claim 6.10"),
+)
+
+
+ALL_EXAMPLES: tuple[ExampleLanguage, ...] = FIGURE_1_LANGUAGES + SUPPLEMENTARY_LANGUAGES
+
+
+def figure_1_languages() -> tuple[ExampleLanguage, ...]:
+    """Return the Figure 1 example languages."""
+    return FIGURE_1_LANGUAGES
+
+
+def example_by_regex(regex: str) -> ExampleLanguage:
+    """Return the example entry with the given regular expression."""
+    for example in ALL_EXAMPLES:
+        if example.regex == regex:
+            return example
+    raise KeyError(regex)

@@ -1,0 +1,337 @@
+"""Four-legged languages (Section 5 of the paper).
+
+A language is *four-legged* (Definition 5.1) when it is infix-free and there are
+a letter ``x`` (the *body*) and four non-empty words ``alpha, beta, gamma,
+delta`` (the *legs*) with ``alpha x beta`` and ``gamma x delta`` in the language
+but ``alpha x delta`` not in the language.  Theorem 5.3 shows that resilience is
+NP-hard for every four-legged language.
+
+This module provides:
+
+* exact witness search for arbitrary regular languages via the (complete) DFA,
+* the stabilization of legs of Lemma 5.5,
+* the construction of a four-legged witness from a counterexample to
+  star-freeness (Lemma 5.6).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..exceptions import LanguageError
+from . import operations, star_free
+from .automata import EpsilonNFA, State
+from .core import Language
+
+
+@dataclass(frozen=True)
+class FourLeggedWitness:
+    """A witness that a language is four-legged (Definition 5.1).
+
+    ``alpha * body * beta`` and ``gamma * body * delta`` are in the language but
+    the cross-product word ``alpha * body * delta`` is not.
+    """
+
+    body: str
+    alpha: str
+    beta: str
+    gamma: str
+    delta: str
+
+    @property
+    def word_one(self) -> str:
+        return self.alpha + self.body + self.beta
+
+    @property
+    def word_two(self) -> str:
+        return self.gamma + self.body + self.delta
+
+    @property
+    def cross_word(self) -> str:
+        return self.alpha + self.body + self.delta
+
+    def legs_nonempty(self) -> bool:
+        return bool(self.alpha and self.beta and self.gamma and self.delta)
+
+    def is_valid_for(self, language: Language) -> bool:
+        """Return whether this tuple really witnesses that ``language`` is four-legged."""
+        return (
+            self.legs_nonempty()
+            and language.contains(self.word_one)
+            and language.contains(self.word_two)
+            and not language.contains(self.cross_word)
+        )
+
+    def is_stable_for(self, language: Language) -> bool:
+        """Return whether the legs are *stable* (Definition 5.4): no infix of the
+        cross-product word belongs to the language."""
+        if not self.is_valid_for(language):
+            return False
+        cross = self.cross_word
+        for start in range(len(cross)):
+            for end in range(start, len(cross) + 1):
+                if language.contains(cross[start:end]):
+                    return False
+        return True
+
+
+# --------------------------------------------------------------------------- witness search
+
+
+def find_witness(language: Language) -> FourLeggedWitness | None:
+    """Return a four-legged witness of the language, or ``None`` when none exists.
+
+    The search runs on the complete minimal DFA of the language and is exact for
+    every regular language (finite or infinite): for every letter ``x`` it looks
+    for two states reached by non-empty words followed by ``x`` such that some
+    non-empty continuation is accepting from one but not from the other.
+
+    Note: this only searches for the *witness*; Definition 5.1 additionally
+    requires the language to be infix-free, which :func:`is_four_legged` checks.
+    """
+    dfa = operations.complete(operations.determinize(language.automaton.trim()), language.alphabet)
+    if not dfa.initial:
+        return None
+    (initial,) = dfa.initial
+    table = {
+        (source, label): target for source, label, target in dfa.letter_transitions if label is not None
+    }
+    letters = sorted(dfa.alphabet)
+    final = set(dfa.final)
+
+    reach_nonempty = _states_reachable_by_nonempty_words(dfa, initial)
+    accept_nonempty = _nonempty_accepting_continuations(dfa)
+
+    for body in letters:
+        # Map each state p to a shortest word "alpha" (non-empty) with
+        # delta(initial, alpha + body) = p.
+        entry_word: dict[State, str] = {}
+        for state, alpha in sorted(reach_nonempty.items(), key=lambda item: (len(item[1]), item[1])):
+            target = table.get((state, body))
+            if target is None:
+                continue
+            if target not in entry_word:
+                entry_word[target] = alpha
+        for p_state, alpha in entry_word.items():
+            if p_state not in accept_nonempty:
+                continue
+            beta = accept_nonempty[p_state]
+            for r_state, gamma in entry_word.items():
+                if r_state not in accept_nonempty:
+                    continue
+                delta = _nonempty_word_accepted_by_first_not_second(dfa, table, final, r_state, p_state)
+                if delta is None:
+                    continue
+                witness = FourLeggedWitness(body, alpha, beta, gamma, delta)
+                if witness.is_valid_for(language):
+                    return witness
+    return None
+
+
+def is_four_legged(language: Language) -> bool:
+    """Return whether the language is four-legged (Definition 5.1)."""
+    if not language.is_infix_free():
+        return False
+    return find_witness(language) is not None
+
+
+def _states_reachable_by_nonempty_words(dfa: EpsilonNFA, initial: State) -> dict[State, str]:
+    """Return, for each state reachable by some non-empty word, a shortest such word."""
+    table: dict[State, list[tuple[str, State]]] = {}
+    for source, label, target in dfa.letter_transitions:
+        assert label is not None
+        table.setdefault(source, []).append((label, target))
+    result: dict[State, str] = {}
+    queue: deque[tuple[State, str]] = deque([(initial, "")])
+    seen_with_word: set[State] = set()
+    while queue:
+        state, word = queue.popleft()
+        for label, target in sorted(table.get(state, ()), key=lambda item: item[0]):
+            new_word = word + label
+            if target not in result:
+                result[target] = new_word
+            if target not in seen_with_word:
+                seen_with_word.add(target)
+                queue.append((target, new_word))
+    return result
+
+
+def _nonempty_accepting_continuations(dfa: EpsilonNFA) -> dict[State, str]:
+    """Return, for each state, a shortest non-empty word leading to a final state."""
+    reverse: dict[State, list[tuple[str, State]]] = {}
+    for source, label, target in dfa.letter_transitions:
+        assert label is not None
+        reverse.setdefault(target, []).append((label, source))
+    result: dict[State, str] = {}
+    queue: deque[tuple[State, str]] = deque((state, "") for state in dfa.final)
+    while queue:
+        state, word = queue.popleft()
+        for label, predecessor in sorted(reverse.get(state, ()), key=lambda item: item[0]):
+            new_word = label + word
+            if predecessor not in result:
+                result[predecessor] = new_word
+                queue.append((predecessor, new_word))
+    return result
+
+
+def _nonempty_word_accepted_by_first_not_second(
+    dfa: EpsilonNFA,
+    table: dict[tuple[State, str], State],
+    final: set[State],
+    first: State,
+    second: State,
+) -> str | None:
+    """Return a non-empty word ``w`` with ``delta(first, w)`` final and ``delta(second, w)`` not final."""
+    letters = sorted(dfa.alphabet)
+    start = (first, second)
+    seen = {start}
+    queue: deque[tuple[tuple[State, State], str]] = deque([(start, "")])
+    while queue:
+        (state_a, state_b), word = queue.popleft()
+        for letter in letters:
+            next_a = table.get((state_a, letter))
+            next_b = table.get((state_b, letter))
+            if next_a is None or next_b is None:  # pragma: no cover - DFA is complete
+                continue
+            new_word = word + letter
+            if next_a in final and next_b not in final:
+                return new_word
+            pair = (next_a, next_b)
+            if pair not in seen:
+                seen.add(pair)
+                queue.append((pair, new_word))
+    return None
+
+
+# --------------------------------------------------------------------------- stabilization (Lemma 5.5)
+
+
+def stabilize_witness(language: Language, witness: FourLeggedWitness) -> FourLeggedWitness:
+    """Return stable legs with the same body, following the proof of Lemma 5.5.
+
+    The input language must be infix-free and the witness valid.
+    """
+    if not witness.is_valid_for(language):
+        raise LanguageError("the provided witness is not valid for the language")
+    if witness.is_stable_for(language):
+        return witness
+
+    alpha_p, beta_p, gamma_p, delta_p = witness.alpha, witness.beta, witness.gamma, witness.delta
+    body = witness.body
+    cross = witness.cross_word
+
+    # Find a strict infix eta of cross = alpha' x delta' that belongs to L and
+    # covers the middle body letter (such an infix must exist and must overlap
+    # both alpha' and delta' since L is infix-free).
+    middle = len(alpha_p)
+    found: tuple[str, str] | None = None
+    for start in range(0, middle):
+        for end in range(middle + 2, len(cross) + 1):
+            candidate = cross[start:end]
+            if candidate == cross:
+                continue
+            if language.contains(candidate):
+                alpha_1 = cross[start:middle]
+                delta_1 = cross[middle + 1 : end]
+                found = (alpha_1, delta_1)
+                break
+        if found:
+            break
+    if found is None:
+        raise LanguageError(
+            "could not find the strict infix required by Lemma 5.5; "
+            "is the language really infix-free?"
+        )
+    alpha_1, delta_1 = found
+    alpha_2 = alpha_p[: len(alpha_p) - len(alpha_1)]
+    delta_2 = delta_p[len(delta_1) :]
+
+    if delta_2:
+        candidate = FourLeggedWitness(body, gamma_p, delta_p, alpha_1, delta_1)
+    elif alpha_2:
+        candidate = FourLeggedWitness(body, alpha_1, delta_1, alpha_p, beta_p)
+    else:  # pragma: no cover - impossible per the proof of Lemma 5.5
+        raise LanguageError("alpha_2 and delta_2 cannot both be empty")
+    if not candidate.is_stable_for(language):
+        raise LanguageError(
+            "Lemma 5.5 stabilization produced unstable legs; is the language infix-free?"
+        )
+    return candidate
+
+
+def find_stable_witness(language: Language) -> FourLeggedWitness | None:
+    """Return a stable four-legged witness (Lemma 5.5), or ``None`` when the
+    language has no four-legged witness at all."""
+    witness = find_witness(language)
+    if witness is None:
+        return None
+    return stabilize_witness(language, witness)
+
+
+# --------------------------------------------------------------------------- Lemma 5.6
+
+
+def witness_from_non_star_free(language: Language) -> FourLeggedWitness | None:
+    """Build a four-legged witness for an infix-free non-star-free language (Lemma 5.6).
+
+    Returns ``None`` when the language is star-free.  The construction follows
+    the proof of Lemma 5.6 literally: it extracts a counterexample to
+    star-freeness, pumps it along a cycle of the DFA, and assembles the legs.
+    """
+    counterexample = star_free.non_star_free_witness(language)
+    if counterexample is None:
+        return None
+    rho, sigma, tau = counterexample.rho, counterexample.sigma, counterexample.tau
+    exponent_k, exponent_m = counterexample.exponent_k, counterexample.exponent_m
+
+    # Use the minimal complete DFA so that the pigeonhole bound of the
+    # counterexample (computed on the same minimal DFA) applies.
+    dfa = operations.minimize(language.automaton)
+    (initial,) = dfa.initial
+    table = {
+        (source, label): target for source, label, target in dfa.letter_transitions if label is not None
+    }
+
+    def run(word: str) -> State:
+        state = initial
+        for letter in word:
+            state = table[(state, letter)]
+        return state
+
+    # Pigeonhole: two exponents i < j <= k with the same state after rho sigma^i.
+    seen: dict[State, int] = {}
+    pair: tuple[int, int] | None = None
+    state = run(rho)
+    seen[state] = 0
+    for exponent in range(1, exponent_k + 1):
+        for letter in sigma:
+            state = table[(state, letter)]
+        if state in seen:
+            pair = (seen[state], exponent)
+            break
+        seen[state] = exponent
+    if pair is None:
+        raise LanguageError("pigeonhole failed; the counterexample exponent is too small")
+    omega = pair[1] - pair[0]
+
+    word_k = rho + sigma * exponent_k + tau
+    if language.contains(word_k):
+        phi, psi = exponent_k, exponent_m
+    else:
+        phi, psi = exponent_m, exponent_k
+
+    repeats = 1
+    while phi + repeats * omega - 1 <= psi:
+        repeats += 1
+
+    body = sigma[0]
+    sigma_rest = sigma[1:]
+    alpha = rho + sigma * (2 * omega - 1)
+    beta = sigma_rest + sigma * phi + tau
+    gamma = rho + sigma * (phi + repeats * omega - 1 - psi)
+    delta = sigma_rest + sigma * psi + tau
+    witness = FourLeggedWitness(body, alpha, beta, gamma, delta)
+    if not witness.is_valid_for(language):
+        raise LanguageError("Lemma 5.6 construction produced an invalid witness")
+    return witness

@@ -1,0 +1,91 @@
+"""Infix-free sublanguages ``IF(L)`` (Section 2 and Appendix B of the paper).
+
+For a language ``L``, ``IF(L)`` keeps exactly the words of ``L`` that have no
+strict infix in ``L``.  The Boolean RPQs of ``L`` and ``IF(L)`` are the same
+query, so all complexity results are stated on ``IF(L)``.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import LanguageError
+from . import operations
+from .automata import EpsilonNFA
+from .core import Language
+from .words import is_strict_infix
+
+
+def infix_free_words(words: frozenset[str] | set[str]) -> frozenset[str]:
+    """Return ``IF(L)`` for a finite language given as an explicit word set."""
+    return frozenset(
+        word
+        for word in words
+        if not any(is_strict_infix(other, word) for other in words)
+    )
+
+
+def _padded_automaton(language: Language, left_nonempty: bool, right_nonempty: bool) -> EpsilonNFA:
+    """Return an automaton for ``Sigma^x . L . Sigma^y``.
+
+    ``x`` is ``+`` when ``left_nonempty`` else ``*`` and similarly for ``y``.
+    """
+    alphabet = language.alphabet
+    if not alphabet:
+        raise LanguageError("cannot pad a language over an empty alphabet")
+
+    def sigma_many(required: bool, tag: str) -> EpsilonNFA:
+        if required:
+            states = [f"{tag}0", f"{tag}1"]
+            transitions = [(f"{tag}0", letter, f"{tag}1") for letter in alphabet]
+            transitions += [(f"{tag}1", letter, f"{tag}1") for letter in alphabet]
+            return EpsilonNFA.build(states, [f"{tag}0"], [f"{tag}1"], transitions, alphabet)
+        states = [f"{tag}0"]
+        transitions = [(f"{tag}0", letter, f"{tag}0") for letter in alphabet]
+        return EpsilonNFA.build(states, [f"{tag}0"], [f"{tag}0"], transitions, alphabet)
+
+    left = sigma_many(left_nonempty, "l")
+    right = sigma_many(right_nonempty, "r")
+    middle = language.automaton
+    return operations.concatenation(operations.concatenation(left, middle), right)
+
+
+def infix_free_sublanguage(language: Language) -> Language:
+    """Return ``IF(L)`` as a :class:`Language`.
+
+    For finite languages the computation is done directly on the word set.  For
+    infinite regular languages it uses the identity (Appendix B)::
+
+        IF(L) = L \\ (Sigma+ L Sigma*  U  Sigma* L Sigma+)
+
+    which may incur the usual determinization blow-up; the languages studied in
+    the paper are small so this is not a concern in practice.
+    """
+    if language.is_finite():
+        kept = infix_free_words(language.words())
+        return Language.from_words(kept, alphabet=language.alphabet)
+    padded_left = _padded_automaton(language, True, False)
+    padded_right = _padded_automaton(language, False, True)
+    removed = operations.union(padded_left, padded_right)
+    result = operations.difference(language.automaton, removed).trim()
+    name = f"IF({language.name})" if language.name else None
+    return Language(result.with_alphabet(language.alphabet), name=name)
+
+
+def is_infix_free(language: Language) -> bool:
+    """Return whether ``L = IF(L)``."""
+    if language.is_finite():
+        words = language.words()
+        return infix_free_words(words) == words
+    return infix_free_sublanguage(language).equivalent_to(language)
+
+
+def strict_infix_in_language(word: str, language: Language) -> str | None:
+    """Return some strict infix of ``word`` belonging to ``language``, or ``None``."""
+    length = len(word)
+    for size in range(length):
+        for start in range(length - size + 1):
+            candidate = word[start : start + size]
+            if candidate == word:
+                continue
+            if language.contains(candidate):
+                return candidate
+    return None

@@ -1,0 +1,105 @@
+"""Neutral letters and the dichotomy of Proposition 5.7 (Section 5.2 of the paper).
+
+A letter ``e`` is *neutral* for ``L`` when inserting or deleting ``e`` anywhere
+in a word never changes membership: for every ``alpha, beta`` we have
+``alpha beta in L`` iff ``alpha e beta in L``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import operations
+from .automata import EpsilonNFA
+from .core import Language
+from . import four_legged as four_legged_module
+
+
+def _insertion_language(language: Language, letter: str) -> EpsilonNFA:
+    """Return an automaton for ``{alpha e beta : alpha beta in L}`` (one insertion of ``e``)."""
+    base = language.automaton.remove_epsilon().trim()
+    states = {(phase, state) for phase in (0, 1) for state in base.states}
+    transitions = set()
+    for source, label, target in base.transitions:
+        transitions.add(((0, source), label, (0, target)))
+        transitions.add(((1, source), label, (1, target)))
+    for state in base.states:
+        transitions.add(((0, state), letter, (1, state)))
+    initial = {(0, state) for state in base.initial}
+    final = {(1, state) for state in base.final}
+    return EpsilonNFA.build(states, initial, final, transitions, language.alphabet | {letter})
+
+
+def _deletion_language(language: Language, letter: str) -> EpsilonNFA:
+    """Return an automaton for ``{alpha beta : alpha e beta in L}`` (one deletion of ``e``)."""
+    base = language.automaton.remove_epsilon().trim()
+    states = {(phase, state) for phase in (0, 1) for state in base.states}
+    transitions = set()
+    for source, label, target in base.transitions:
+        transitions.add(((0, source), label, (0, target)))
+        transitions.add(((1, source), label, (1, target)))
+        if label == letter:
+            transitions.add(((0, source), None, (1, target)))
+    initial = {(0, state) for state in base.initial}
+    final = {(1, state) for state in base.final}
+    return EpsilonNFA.build(states, initial, final, transitions, language.alphabet)
+
+
+def is_neutral_letter(language: Language, letter: str) -> bool:
+    """Return whether ``letter`` is neutral for the language.
+
+    The letter is neutral iff the language is closed under inserting one ``e``
+    anywhere and under deleting one ``e`` anywhere.
+    """
+    automaton = language.automaton.with_alphabet(language.alphabet | {letter})
+    insertion = _insertion_language(language, letter)
+    if not operations.contains_language(automaton, insertion):
+        return False
+    deletion = _deletion_language(language, letter)
+    return operations.contains_language(automaton, deletion)
+
+
+def neutral_letters(language: Language) -> frozenset[str]:
+    """Return the set of letters of the alphabet that are neutral for the language."""
+    return frozenset(
+        letter for letter in language.alphabet if is_neutral_letter(language, letter)
+    )
+
+
+@dataclass(frozen=True)
+class NeutralLetterCase:
+    """The outcome of the Lemma 5.8 case analysis for a language with a neutral letter.
+
+    Exactly one of ``four_legged_witness`` and ``square_letter`` is set when the
+    infix-free sublanguage is not local; both are ``None`` when it is local.
+    """
+
+    neutral_letter: str | None
+    infix_free_is_local: bool
+    four_legged_witness: four_legged_module.FourLeggedWitness | None
+    square_letter: str | None
+
+
+def lemma_5_8_analysis(language: Language) -> NeutralLetterCase:
+    """Perform the case analysis of Lemma 5.8 for a language with a neutral letter.
+
+    If ``IF(L)`` is local the language is tractable (Theorem 3.13); otherwise the
+    lemma guarantees that ``IF(L)`` is four-legged or contains a word ``xx``, and
+    this function returns which case applies (searching for concrete evidence).
+    """
+    letters = neutral_letters(language)
+    neutral = min(letters) if letters else None
+    infix_free = language.infix_free()
+    if infix_free.is_local():
+        return NeutralLetterCase(neutral, True, None, None)
+    square = None
+    for letter in sorted(infix_free.alphabet):
+        if infix_free.contains(letter + letter):
+            square = letter
+            break
+    witness = four_legged_module.find_witness(infix_free)
+    if witness is None and square is None:
+        raise AssertionError(
+            "Lemma 5.8 violated: IF(L) is neither local, four-legged, nor contains xx"
+        )
+    return NeutralLetterCase(neutral, False, witness, square)

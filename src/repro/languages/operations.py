@@ -1,0 +1,427 @@
+"""Algorithms on finite automata.
+
+This module contains the classical constructions used throughout the paper:
+subset-construction determinization, completion, complementation, product
+(intersection), union, difference, Moore minimization, equivalence testing,
+emptiness, finiteness, and enumeration of the words of a finite language.
+
+All functions are pure: they take :class:`~repro.languages.automata.EpsilonNFA`
+instances and return new ones.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+from itertools import count
+
+from ..exceptions import LanguageError, NotFiniteError
+from .automata import EpsilonNFA, State
+
+_SINK = "__sink__"
+
+
+# --------------------------------------------------------------------------- determinization
+
+
+def determinize(automaton: EpsilonNFA) -> EpsilonNFA:
+    """Return a DFA equivalent to ``automaton`` via the subset construction.
+
+    The resulting DFA is *not* complete: missing transitions mean rejection.
+    States of the result are frozensets of states of the input.
+    """
+    step: dict[tuple[State, str], set[State]] = {}
+    for source, label, target in automaton.transitions:
+        if label is not None:
+            step.setdefault((source, label), set()).add(target)
+
+    start = automaton.epsilon_closure(automaton.initial)
+    states: set[frozenset[State]] = {start}
+    transitions: list[tuple[frozenset[State], str, frozenset[State]]] = []
+    queue: deque[frozenset[State]] = deque([start])
+    alphabet = sorted(automaton.alphabet)
+    while queue:
+        current = queue.popleft()
+        for letter in alphabet:
+            successors: set[State] = set()
+            for state in current:
+                successors |= step.get((state, letter), set())
+            if not successors:
+                continue
+            closure = automaton.epsilon_closure(successors)
+            if closure not in states:
+                states.add(closure)
+                queue.append(closure)
+            transitions.append((current, letter, closure))
+    final = {subset for subset in states if subset & automaton.final}
+    return EpsilonNFA.build(states, [start], final, transitions, automaton.alphabet)
+
+
+def complete(automaton: EpsilonNFA, alphabet: Iterable[str] | None = None) -> EpsilonNFA:
+    """Return a complete DFA equivalent to the given DFA, adding a sink if needed."""
+    if not automaton.is_dfa():
+        automaton = determinize(automaton)
+    full_alphabet = frozenset(alphabet) if alphabet is not None else automaton.alphabet
+    full_alphabet = full_alphabet | automaton.alphabet
+    outgoing = {(source, label) for source, label, _ in automaton.letter_transitions}
+    transitions = set(automaton.transitions)
+    states = set(automaton.states)
+    needs_sink = False
+    for state in automaton.states:
+        for letter in full_alphabet:
+            if (state, letter) not in outgoing:
+                transitions.add((state, letter, _SINK))
+                needs_sink = True
+    if needs_sink:
+        states.add(_SINK)
+        for letter in full_alphabet:
+            transitions.add((_SINK, letter, _SINK))
+    if not automaton.initial:
+        states.add(_SINK)
+        return EpsilonNFA.build(states, [_SINK], automaton.final, transitions, full_alphabet)
+    return EpsilonNFA.build(states, automaton.initial, automaton.final, transitions, full_alphabet)
+
+
+def complement(automaton: EpsilonNFA, alphabet: Iterable[str] | None = None) -> EpsilonNFA:
+    """Return an automaton for the complement of the language over ``alphabet``."""
+    dfa = complete(determinize(automaton), alphabet)
+    return EpsilonNFA.build(
+        dfa.states, dfa.initial, dfa.states - dfa.final, dfa.transitions, dfa.alphabet
+    )
+
+
+# --------------------------------------------------------------------------- boolean combinations
+
+
+def product(left: EpsilonNFA, right: EpsilonNFA, *, mode: str = "intersection") -> EpsilonNFA:
+    """Return the product automaton of two automata.
+
+    ``mode`` selects the acceptance condition: ``"intersection"`` accepts when
+    both components accept, ``"difference"`` when the left accepts and the right
+    does not (the right automaton must then be a complete DFA).
+    """
+    left_nfa = left.remove_epsilon()
+    right_nfa = right.remove_epsilon()
+    alphabet = left_nfa.alphabet | right_nfa.alphabet
+    left_step: dict[tuple[State, str], set[State]] = {}
+    for source, label, target in left_nfa.transitions:
+        left_step.setdefault((source, label), set()).add(target)
+    right_step: dict[tuple[State, str], set[State]] = {}
+    for source, label, target in right_nfa.transitions:
+        right_step.setdefault((source, label), set()).add(target)
+
+    start = {(l, r) for l in left_nfa.initial for r in right_nfa.initial}
+    states: set[tuple[State, State]] = set(start)
+    transitions: list[tuple[tuple[State, State], str, tuple[State, State]]] = []
+    queue = deque(start)
+    while queue:
+        current = queue.popleft()
+        l_state, r_state = current
+        for letter in alphabet:
+            l_targets = left_step.get((l_state, letter), set())
+            r_targets = right_step.get((r_state, letter), set())
+            for l_target in l_targets:
+                for r_target in r_targets:
+                    nxt = (l_target, r_target)
+                    transitions.append((current, letter, nxt))
+                    if nxt not in states:
+                        states.add(nxt)
+                        queue.append(nxt)
+    if mode == "intersection":
+        final = {
+            (l, r) for (l, r) in states if l in left_nfa.final and r in right_nfa.final
+        }
+    elif mode == "difference":
+        final = {
+            (l, r) for (l, r) in states if l in left_nfa.final and r not in right_nfa.final
+        }
+    else:  # pragma: no cover - defensive
+        raise LanguageError(f"unknown product mode: {mode}")
+    return EpsilonNFA.build(states, start, final, transitions, alphabet)
+
+
+def intersection(left: EpsilonNFA, right: EpsilonNFA) -> EpsilonNFA:
+    """Return an automaton for ``L(left) & L(right)``."""
+    return product(left, right, mode="intersection")
+
+
+def union(left: EpsilonNFA, right: EpsilonNFA) -> EpsilonNFA:
+    """Return an automaton for ``L(left) | L(right)`` (disjoint union of automata)."""
+    alphabet = left.alphabet | right.alphabet
+
+    def tag(automaton: EpsilonNFA, marker: str) -> EpsilonNFA:
+        mapping = {state: (marker, state) for state in automaton.states}
+        return EpsilonNFA.build(
+            mapping.values(),
+            (mapping[s] for s in automaton.initial),
+            (mapping[s] for s in automaton.final),
+            ((mapping[s], label, mapping[t]) for s, label, t in automaton.transitions),
+            alphabet,
+        )
+
+    tagged_left = tag(left, "L")
+    tagged_right = tag(right, "R")
+    return EpsilonNFA.build(
+        tagged_left.states | tagged_right.states,
+        tagged_left.initial | tagged_right.initial,
+        tagged_left.final | tagged_right.final,
+        tagged_left.transitions | tagged_right.transitions,
+        alphabet,
+    )
+
+
+def difference(left: EpsilonNFA, right: EpsilonNFA) -> EpsilonNFA:
+    """Return an automaton for ``L(left) \\ L(right)``."""
+    alphabet = left.alphabet | right.alphabet
+    right_complete = complete(determinize(right), alphabet)
+    return product(left, right_complete, mode="difference")
+
+
+def concatenation(left: EpsilonNFA, right: EpsilonNFA) -> EpsilonNFA:
+    """Return an automaton for ``L(left) . L(right)`` using epsilon transitions."""
+    alphabet = left.alphabet | right.alphabet
+
+    def tag(automaton: EpsilonNFA, marker: str) -> EpsilonNFA:
+        mapping = {state: (marker, state) for state in automaton.states}
+        return EpsilonNFA.build(
+            mapping.values(),
+            (mapping[s] for s in automaton.initial),
+            (mapping[s] for s in automaton.final),
+            ((mapping[s], label, mapping[t]) for s, label, t in automaton.transitions),
+            alphabet,
+        )
+
+    tagged_left = tag(left, "L")
+    tagged_right = tag(right, "R")
+    glue = {(state, None, target) for state in tagged_left.final for target in tagged_right.initial}
+    return EpsilonNFA.build(
+        tagged_left.states | tagged_right.states,
+        tagged_left.initial,
+        tagged_right.final,
+        tagged_left.transitions | tagged_right.transitions | glue,
+        alphabet,
+    )
+
+
+def kleene_star(automaton: EpsilonNFA) -> EpsilonNFA:
+    """Return an automaton for ``L(automaton)*``."""
+    mapping = {state: ("S", state) for state in automaton.states}
+    new_initial = "__star_init__"
+    states = set(mapping.values()) | {new_initial}
+    transitions = {(mapping[s], label, mapping[t]) for s, label, t in automaton.transitions}
+    transitions |= {(new_initial, None, mapping[s]) for s in automaton.initial}
+    transitions |= {(mapping[s], None, new_initial) for s in automaton.final}
+    return EpsilonNFA.build(
+        states, [new_initial], [new_initial], transitions, automaton.alphabet
+    )
+
+
+# --------------------------------------------------------------------------- minimization
+
+
+def minimize(automaton: EpsilonNFA) -> EpsilonNFA:
+    """Return the minimal complete DFA of the language (Moore's algorithm).
+
+    The result is trimmed of the sink only if the sink is not needed, i.e. the
+    minimal automaton is complete; callers who want the canonical minimal DFA for
+    equivalence checks should compare the outputs of this function directly.
+    """
+    dfa = complete(determinize(automaton.trim()), automaton.alphabet)
+    alphabet = sorted(dfa.alphabet)
+    table = {
+        (source, label): target for source, label, target in dfa.letter_transitions
+    }
+    # Moore refinement.
+    partition_of: dict[State, int] = {
+        state: (1 if state in dfa.final else 0) for state in dfa.states
+    }
+    while True:
+        signatures: dict[State, tuple] = {}
+        for state in dfa.states:
+            signature = (
+                partition_of[state],
+                tuple(partition_of[table[(state, letter)]] for letter in alphabet),
+            )
+            signatures[state] = signature
+        distinct = {signature: index for index, signature in enumerate(sorted(set(signatures.values()), key=repr))}
+        new_partition = {state: distinct[signatures[state]] for state in dfa.states}
+        if len(set(new_partition.values())) == len(set(partition_of.values())):
+            partition_of = new_partition
+            break
+        partition_of = new_partition
+    classes = sorted(set(partition_of.values()))
+    (initial_state,) = dfa.initial
+    transitions = {
+        (partition_of[source], label, partition_of[target])
+        for source, label, target in dfa.letter_transitions
+    }
+    final = {partition_of[state] for state in dfa.final}
+    return EpsilonNFA.build(classes, [partition_of[initial_state]], final, transitions, dfa.alphabet)
+
+
+def equivalent(left: EpsilonNFA, right: EpsilonNFA) -> bool:
+    """Return whether two automata recognize the same language."""
+    alphabet = left.alphabet | right.alphabet
+    left_minus_right = difference(left.with_alphabet(alphabet), right.with_alphabet(alphabet))
+    if not is_empty(left_minus_right):
+        return False
+    right_minus_left = difference(right.with_alphabet(alphabet), left.with_alphabet(alphabet))
+    return is_empty(right_minus_left)
+
+
+def contains_language(larger: EpsilonNFA, smaller: EpsilonNFA) -> bool:
+    """Return whether ``L(smaller)`` is a subset of ``L(larger)``."""
+    alphabet = larger.alphabet | smaller.alphabet
+    return is_empty(difference(smaller.with_alphabet(alphabet), larger.with_alphabet(alphabet)))
+
+
+# --------------------------------------------------------------------------- emptiness / finiteness / enumeration
+
+
+def is_empty(automaton: EpsilonNFA) -> bool:
+    """Return whether the language of the automaton is empty."""
+    return not automaton.trim().final
+
+
+def is_finite(automaton: EpsilonNFA) -> bool:
+    """Return whether the language of the automaton is finite.
+
+    A trimmed automaton recognizes an infinite language iff it has a cycle
+    (every state of a trimmed automaton lies on some accepting path).
+    """
+    trimmed = automaton.trim()
+    adjacency: dict[State, list[State]] = {}
+    for source, _, target in trimmed.transitions:
+        adjacency.setdefault(source, []).append(target)
+    color: dict[State, int] = {}
+
+    def has_cycle_from(start: State) -> bool:
+        stack: list[tuple[State, int]] = [(start, 0)]
+        color[start] = 1
+        path: list[State] = [start]
+        while stack:
+            state, index = stack[-1]
+            successors = adjacency.get(state, [])
+            if index < len(successors):
+                stack[-1] = (state, index + 1)
+                nxt = successors[index]
+                status = color.get(nxt, 0)
+                if status == 1:
+                    return True
+                if status == 0:
+                    color[nxt] = 1
+                    stack.append((nxt, 0))
+                    path.append(nxt)
+            else:
+                stack.pop()
+                finished = path.pop()
+                color[finished] = 2
+        return False
+
+    for state in trimmed.states:
+        if color.get(state, 0) == 0 and has_cycle_from(state):
+            return False
+    return True
+
+
+def shortest_word(automaton: EpsilonNFA) -> str | None:
+    """Return a shortest word of the language, or ``None`` if the language is empty."""
+    trimmed = automaton.trim()
+    if not trimmed.final:
+        return None
+    start = trimmed.epsilon_closure(trimmed.initial)
+    if start & trimmed.final:
+        return ""
+    step: dict[State, list[tuple[str, State]]] = {}
+    for source, label, target in trimmed.transitions:
+        if label is not None:
+            step.setdefault(source, []).append((label, target))
+    queue: deque[tuple[State, str]] = deque((state, "") for state in start)
+    visited = set(start)
+    while queue:
+        state, word = queue.popleft()
+        for label, target in step.get(state, ()):
+            closure = trimmed.epsilon_closure([target])
+            new_word = word + label
+            if closure & trimmed.final:
+                return new_word
+            for nxt in closure:
+                if nxt not in visited:
+                    visited.add(nxt)
+                    queue.append((nxt, new_word))
+    return None
+
+
+def enumerate_finite_language(automaton: EpsilonNFA, limit: int | None = None) -> frozenset[str]:
+    """Return the words of a finite regular language as an explicit set.
+
+    Args:
+        automaton: the automaton; its language must be finite.
+        limit: optional safety cap on the number of words; exceeding it raises
+            :class:`~repro.exceptions.NotFiniteError`.
+
+    Raises:
+        NotFiniteError: if the language is infinite (or exceeds ``limit`` words).
+    """
+    if not is_finite(automaton):
+        raise NotFiniteError("the language of the automaton is infinite")
+    trimmed = automaton.trim()
+    if not trimmed.final:
+        return frozenset()
+    step: dict[State, list[tuple[str, State]]] = {}
+    for source, label, target in trimmed.remove_epsilon().transitions:
+        step.setdefault(source, []).append((label, target))
+    nfa = trimmed.remove_epsilon()
+    words: set[str] = set()
+
+    stack: list[tuple[State, str]] = [(state, "") for state in nfa.initial]
+    # The language is finite and the NFA is trimmed, hence acyclic as a labelled
+    # multigraph restricted to useful states; a DFS terminates.
+    while stack:
+        state, word = stack.pop()
+        if state in nfa.final:
+            words.add(word)
+            if limit is not None and len(words) > limit:
+                raise NotFiniteError(f"language has more than {limit} words")
+        for label, target in step.get(state, ()):
+            stack.append((target, word + label))
+    return frozenset(words)
+
+
+def enumerate_words_up_to_length(automaton: EpsilonNFA, max_length: int) -> frozenset[str]:
+    """Return every word of the language of length at most ``max_length``."""
+    nfa = automaton.trim().remove_epsilon()
+    step: dict[State, list[tuple[str, State]]] = {}
+    for source, label, target in nfa.transitions:
+        step.setdefault(source, []).append((label, target))
+    words: set[str] = set()
+    frontier: list[tuple[State, str]] = [(state, "") for state in nfa.initial]
+    while frontier:
+        state, word = frontier.pop()
+        if state in nfa.final:
+            words.add(word)
+        if len(word) == max_length:
+            continue
+        for label, target in step.get(state, ()):
+            frontier.append((target, word + label))
+    return frozenset(words)
+
+
+def max_word_length(automaton: EpsilonNFA) -> int:
+    """Return the length of the longest word of a finite language (0 for the empty language)."""
+    words = enumerate_finite_language(automaton)
+    return max((len(word) for word in words), default=0)
+
+
+def fresh_letter(alphabet: Iterable[str], *, avoid: Iterable[str] = ()) -> str:
+    """Return a single-character letter not present in ``alphabet`` nor ``avoid``."""
+    used = set(alphabet) | set(avoid)
+    candidates = "zyxwvutsrqponmlkjihgfedcba0123456789"
+    for candidate in candidates:
+        if candidate not in used:
+            return candidate
+    for code in count(0x100):
+        candidate = chr(code)
+        if candidate not in used:
+            return candidate
+    raise LanguageError("could not find a fresh letter")  # pragma: no cover

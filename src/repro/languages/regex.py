@@ -1,0 +1,202 @@
+"""A small regular-expression parser producing epsilon-NFAs.
+
+The syntax matches the paper's notation:
+
+* a letter is any single character except the reserved ones ``| * ( )`` and whitespace,
+* juxtaposition denotes concatenation (``ab`` is "a then b"),
+* ``|`` denotes union,
+* ``*`` is the postfix Kleene star,
+* parentheses group subexpressions,
+* the empty word can be written ``ε`` or ``_``.
+
+Examples from the paper: ``ax*b``, ``ab|ad|cd``, ``abc|bef``, ``b(aa)*d``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import RegexSyntaxError
+from .automata import EpsilonNFA
+from . import operations
+
+RESERVED = set("|*()")
+EPSILON_TOKENS = {"ε", "_"}
+
+
+# --------------------------------------------------------------------------- AST
+
+
+@dataclass(frozen=True)
+class RegexNode:
+    """Base class of regular-expression AST nodes."""
+
+
+@dataclass(frozen=True)
+class Epsilon(RegexNode):
+    pass
+
+
+@dataclass(frozen=True)
+class Letter(RegexNode):
+    letter: str
+
+
+@dataclass(frozen=True)
+class Concat(RegexNode):
+    left: RegexNode
+    right: RegexNode
+
+
+@dataclass(frozen=True)
+class Union(RegexNode):
+    left: RegexNode
+    right: RegexNode
+
+
+@dataclass(frozen=True)
+class Star(RegexNode):
+    inner: RegexNode
+
+
+# --------------------------------------------------------------------------- parser
+
+
+class _Parser:
+    """Recursive-descent parser for the regular-expression grammar.
+
+    Grammar (lowest to highest precedence)::
+
+        union   := concat ('|' concat)*
+        concat  := starred starred*
+        starred := atom '*'*
+        atom    := letter | 'ε' | '_' | '(' union ')'
+    """
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.position = 0
+
+    def parse(self) -> RegexNode:
+        node = self._union()
+        if self.position != len(self.text):
+            raise RegexSyntaxError(
+                f"unexpected character {self.text[self.position]!r} at position {self.position}"
+            )
+        return node
+
+    # -- helpers
+
+    def _peek(self) -> str | None:
+        if self.position < len(self.text):
+            return self.text[self.position]
+        return None
+
+    def _advance(self) -> str:
+        character = self.text[self.position]
+        self.position += 1
+        return character
+
+    # -- grammar rules
+
+    def _union(self) -> RegexNode:
+        node = self._concat()
+        while self._peek() == "|":
+            self._advance()
+            node = Union(node, self._concat())
+        return node
+
+    def _concat(self) -> RegexNode:
+        parts: list[RegexNode] = []
+        while True:
+            character = self._peek()
+            if character is None or character in "|)":
+                break
+            parts.append(self._starred())
+        if not parts:
+            return Epsilon()
+        node = parts[0]
+        for part in parts[1:]:
+            node = Concat(node, part)
+        return node
+
+    def _starred(self) -> RegexNode:
+        node = self._atom()
+        while self._peek() == "*":
+            self._advance()
+            node = Star(node)
+        return node
+
+    def _atom(self) -> RegexNode:
+        character = self._peek()
+        if character is None:
+            raise RegexSyntaxError("unexpected end of expression")
+        if character == "(":
+            self._advance()
+            node = self._union()
+            if self._peek() != ")":
+                raise RegexSyntaxError(f"missing closing parenthesis at position {self.position}")
+            self._advance()
+            return node
+        if character == "*":
+            raise RegexSyntaxError(f"misplaced '*' at position {self.position}")
+        if character in RESERVED:
+            raise RegexSyntaxError(f"unexpected {character!r} at position {self.position}")
+        self._advance()
+        if character in EPSILON_TOKENS:
+            return Epsilon()
+        if character.isspace():
+            raise RegexSyntaxError("whitespace is not allowed in regular expressions")
+        return Letter(character)
+
+
+def parse_regex(text: str) -> RegexNode:
+    """Parse ``text`` into a regular-expression AST."""
+    return _Parser(text).parse()
+
+
+# --------------------------------------------------------------------------- compilation
+
+
+def _compile(node: RegexNode) -> EpsilonNFA:
+    if isinstance(node, Epsilon):
+        return EpsilonNFA.build(["q"], ["q"], ["q"], [])
+    if isinstance(node, Letter):
+        return EpsilonNFA.for_word(node.letter)
+    if isinstance(node, Concat):
+        return operations.concatenation(_compile(node.left), _compile(node.right))
+    if isinstance(node, Union):
+        return operations.union(_compile(node.left), _compile(node.right))
+    if isinstance(node, Star):
+        return operations.kleene_star(_compile(node.inner))
+    raise RegexSyntaxError(f"unknown AST node: {node!r}")  # pragma: no cover
+
+
+def regex_to_automaton(text: str) -> EpsilonNFA:
+    """Compile a regular expression into an epsilon-NFA recognizing its language."""
+    automaton = _compile(parse_regex(text))
+    return automaton.trim().relabel()
+
+
+def node_to_string(node: RegexNode) -> str:
+    """Render an AST back into a regular-expression string (for debugging and reports)."""
+    if isinstance(node, Epsilon):
+        return "ε"
+    if isinstance(node, Letter):
+        return node.letter
+    if isinstance(node, Star):
+        inner = node_to_string(node.inner)
+        if isinstance(node.inner, (Letter, Epsilon)):
+            return f"{inner}*"
+        return f"({inner})*"
+    if isinstance(node, Concat):
+        parts = []
+        for child in (node.left, node.right):
+            rendered = node_to_string(child)
+            if isinstance(child, Union):
+                rendered = f"({rendered})"
+            parts.append(rendered)
+        return "".join(parts)
+    if isinstance(node, Union):
+        return f"{node_to_string(node.left)}|{node_to_string(node.right)}"
+    raise RegexSyntaxError(f"unknown AST node: {node!r}")  # pragma: no cover

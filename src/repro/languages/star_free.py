@@ -1,0 +1,230 @@
+"""Star-free (aperiodic) languages (Section 5.2 of the paper).
+
+The paper defines a regular language ``L`` to be star-free when there is a
+``k > 0`` such that for all words ``rho, sigma, tau`` and all ``m >= k`` we have
+``rho sigma^k tau in L`` iff ``rho sigma^m tau in L``.  This is the classical
+notion of an *aperiodic* (counter-free) language, which we test through the
+transition monoid of the minimal DFA: the language is star-free iff every
+element ``t`` of the monoid satisfies ``t^n = t^(n+1)`` for some ``n``.
+
+When the language is not star-free, :func:`non_star_free_witness` extracts a
+counterexample ``(rho, sigma, tau, k, m)`` which is then turned into a
+four-legged witness by :mod:`repro.languages.four_legged` (Lemma 5.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import LanguageError
+from . import operations
+from .automata import EpsilonNFA, State
+from .core import Language
+
+
+@dataclass(frozen=True)
+class StarFreeCounterexample:
+    """A counterexample to star-freeness: exactly one of ``rho sigma^k tau`` and
+    ``rho sigma^m tau`` belongs to the language, with ``k`` greater than the
+    number of states of the DFA used and ``m >= k``."""
+
+    rho: str
+    sigma: str
+    tau: str
+    exponent_k: int
+    exponent_m: int
+    num_states: int
+
+    def word_k(self) -> str:
+        return self.rho + self.sigma * self.exponent_k + self.tau
+
+    def word_m(self) -> str:
+        return self.rho + self.sigma * self.exponent_m + self.tau
+
+
+def _minimal_dfa(language: Language) -> EpsilonNFA:
+    return operations.minimize(language.automaton)
+
+
+def _transition_table(dfa: EpsilonNFA) -> tuple[list[State], dict[tuple[State, str], State]]:
+    states = sorted(dfa.states, key=repr)
+    table = {
+        (source, label): target for source, label, target in dfa.letter_transitions if label is not None
+    }
+    return states, table
+
+
+def _compose(first: tuple[int, ...], second: tuple[int, ...]) -> tuple[int, ...]:
+    """Return the composition ``second after first`` of two transformations."""
+    return tuple(second[value] for value in first)
+
+
+def transition_monoid(
+    language: Language, max_monoid_size: int = 200_000
+) -> tuple[dict[tuple[int, ...], str], list[int]]:
+    """Return the transition monoid of the minimal DFA of the language.
+
+    Returns a pair ``(elements, state_indices)`` where ``elements`` maps each
+    transformation (a tuple over state indices) to a shortest word inducing it.
+
+    Raises:
+        LanguageError: if the monoid would exceed ``max_monoid_size`` elements.
+    """
+    dfa = _minimal_dfa(language)
+    states, table = _transition_table(dfa)
+    index_of = {state: index for index, state in enumerate(states)}
+    alphabet = sorted(dfa.alphabet)
+
+    generators: dict[str, tuple[int, ...]] = {}
+    for letter in alphabet:
+        generators[letter] = tuple(index_of[table[(state, letter)]] for state in states)
+
+    identity = tuple(range(len(states)))
+    elements: dict[tuple[int, ...], str] = {identity: ""}
+    frontier = [identity]
+    while frontier:
+        new_frontier: list[tuple[int, ...]] = []
+        for element in frontier:
+            word = elements[element]
+            for letter in alphabet:
+                composed = _compose(element, generators[letter])
+                if composed not in elements:
+                    elements[composed] = word + letter
+                    new_frontier.append(composed)
+                    if len(elements) > max_monoid_size:
+                        raise LanguageError(
+                            f"transition monoid exceeds {max_monoid_size} elements"
+                        )
+        frontier = new_frontier
+    return elements, [index_of[state] for state in dfa.initial]
+
+
+def _is_aperiodic_element(element: tuple[int, ...], bound: int) -> bool:
+    """Return whether ``element^n == element^(n+1)`` for some ``n <= bound``."""
+    power = element
+    for _ in range(bound + 1):
+        next_power = _compose(power, element)
+        if next_power == power:
+            return True
+        power = next_power
+    return False
+
+
+def is_star_free(language: Language, max_monoid_size: int = 200_000) -> bool:
+    """Return whether the language is star-free (aperiodic)."""
+    if language.is_empty():
+        return True
+    elements, _ = transition_monoid(language, max_monoid_size=max_monoid_size)
+    bound = max(len(element) for element in elements)
+    return all(_is_aperiodic_element(element, bound) for element in elements)
+
+
+def non_star_free_witness(
+    language: Language, max_monoid_size: int = 200_000
+) -> StarFreeCounterexample | None:
+    """Return a counterexample to star-freeness, or ``None`` when the language is star-free.
+
+    The counterexample follows the shape used in the proof of Lemma 5.6: a word
+    ``sigma`` whose transformation is not aperiodic, a prefix ``rho`` reaching a
+    state on which the powers of ``sigma`` differ, and a distinguishing suffix
+    ``tau``; the two exponents differ by one and both exceed the number of
+    states of the minimal DFA.
+    """
+    if language.is_empty():
+        return None
+    dfa = _minimal_dfa(language)
+    states, table = _transition_table(dfa)
+    index_of = {state: index for index, state in enumerate(states)}
+    final_indices = {index_of[state] for state in dfa.final}
+    (initial_state,) = dfa.initial
+    initial_index = index_of[initial_state]
+    num_states = len(states)
+
+    elements, _ = transition_monoid(language, max_monoid_size=max_monoid_size)
+    bound = max(len(element) for element in elements)
+
+    for element, sigma in elements.items():
+        if not sigma:
+            continue
+        if _is_aperiodic_element(element, bound):
+            continue
+        # Powers of ``element`` are eventually periodic with period >= 2, so for
+        # every large enough exponent n we have element^n != element^(n+1).
+        exponent = num_states + 1
+        power = element
+        for _ in range(exponent - 1):
+            power = _compose(power, element)
+        next_power = _compose(power, element)
+        while power == next_power:  # pragma: no cover - cannot happen for non-aperiodic elements
+            exponent += 1
+            power, next_power = next_power, _compose(next_power, element)
+
+        # Find a state reachable from the initial state on which the two powers
+        # lead to different acceptance behaviour for some suffix tau.
+        rho_to_state = _shortest_words_from(dfa, initial_state)
+        for state, rho in rho_to_state.items():
+            source = index_of[state]
+            state_k = power[source]
+            state_m = next_power[source]
+            if state_k == state_m:
+                continue
+            tau = _distinguishing_suffix(states, table, final_indices, state_k, state_m)
+            if tau is None:
+                continue
+            word_k = rho + sigma * exponent + tau
+            word_m = rho + sigma * (exponent + 1) + tau
+            in_k = language.contains(word_k)
+            in_m = language.contains(word_m)
+            if in_k != in_m:
+                return StarFreeCounterexample(rho, sigma, tau, exponent, exponent + 1, num_states)
+    return None
+
+
+def _shortest_words_from(dfa: EpsilonNFA, start: State) -> dict[State, str]:
+    """Return, for each state reachable from ``start``, a shortest word reaching it."""
+    from collections import deque
+
+    table: dict[State, list[tuple[str, State]]] = {}
+    for source, label, target in dfa.letter_transitions:
+        assert label is not None
+        table.setdefault(source, []).append((label, target))
+    words: dict[State, str] = {start: ""}
+    queue: deque[State] = deque([start])
+    while queue:
+        state = queue.popleft()
+        for label, target in sorted(table.get(state, ()), key=lambda item: item[0]):
+            if target not in words:
+                words[target] = words[state] + label
+                queue.append(target)
+    return words
+
+
+def _distinguishing_suffix(
+    states: list[State],
+    table: dict[tuple[State, str], State],
+    final_indices: set[int],
+    first: int,
+    second: int,
+) -> str | None:
+    """Return a word tau such that exactly one of the two states accepts tau."""
+    from collections import deque
+
+    index_of = {state: index for index, state in enumerate(states)}
+    start = (first, second)
+    seen = {start}
+    queue: deque[tuple[tuple[int, int], str]] = deque([(start, "")])
+    letters = sorted({label for (_, label) in table})
+    while queue:
+        (state_a, state_b), word = queue.popleft()
+        accept_a = state_a in final_indices
+        accept_b = state_b in final_indices
+        if accept_a != accept_b:
+            return word
+        for letter in letters:
+            next_a = index_of[table[(states[state_a], letter)]]
+            next_b = index_of[table[(states[state_b], letter)]]
+            pair = (next_a, next_b)
+            if pair not in seen:
+                seen.add(pair)
+                queue.append((pair, word + letter))
+    return None

@@ -1,0 +1,164 @@
+"""Word-level utilities (Section 2 of the paper).
+
+Words are plain Python strings; letters are single characters.  The empty word
+is the empty string ``""`` (written epsilon in the paper).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+EPSILON = ""
+
+
+def letters_of(word: str) -> set[str]:
+    """Return the set of letters occurring in ``word``."""
+    return set(word)
+
+
+def alphabet_of(words: Iterable[str]) -> frozenset[str]:
+    """Return the union of the letters occurring in ``words``."""
+    result: set[str] = set()
+    for word in words:
+        result.update(word)
+    return frozenset(result)
+
+
+def is_prefix(alpha: str, beta: str) -> bool:
+    """Return whether ``alpha`` is a prefix of ``beta``."""
+    return beta.startswith(alpha)
+
+
+def is_strict_prefix(alpha: str, beta: str) -> bool:
+    """Return whether ``alpha`` is a prefix of ``beta`` with ``alpha != beta``."""
+    return beta.startswith(alpha) and alpha != beta
+
+
+def is_suffix(alpha: str, beta: str) -> bool:
+    """Return whether ``alpha`` is a suffix of ``beta``."""
+    return beta.endswith(alpha)
+
+
+def is_strict_suffix(alpha: str, beta: str) -> bool:
+    """Return whether ``alpha`` is a suffix of ``beta`` with ``alpha != beta``."""
+    return beta.endswith(alpha) and alpha != beta
+
+
+def is_infix(alpha: str, beta: str) -> bool:
+    """Return whether ``alpha`` is an infix (contiguous factor) of ``beta``."""
+    return alpha in beta
+
+
+def is_strict_infix(alpha: str, beta: str) -> bool:
+    """Return whether ``alpha`` is a *strict* infix of ``beta``.
+
+    Following the paper, ``alpha`` is a strict infix of ``beta`` when
+    ``beta = delta + alpha + gamma`` with ``delta + gamma`` non-empty, i.e.
+    ``alpha`` occurs in ``beta`` and ``alpha != beta``.
+    """
+    return alpha != beta and alpha in beta
+
+
+def infixes(word: str) -> set[str]:
+    """Return the set of all infixes of ``word`` (including ``word`` and epsilon)."""
+    result = {EPSILON}
+    length = len(word)
+    for start in range(length):
+        for end in range(start + 1, length + 1):
+            result.add(word[start:end])
+    return result
+
+
+def strict_infixes(word: str) -> set[str]:
+    """Return the set of all strict infixes of ``word``."""
+    result = infixes(word)
+    result.discard(word)
+    return result
+
+
+def prefixes(word: str) -> list[str]:
+    """Return all prefixes of ``word`` from the empty word to ``word`` itself."""
+    return [word[:index] for index in range(len(word) + 1)]
+
+
+def suffixes(word: str) -> list[str]:
+    """Return all suffixes of ``word`` from ``word`` itself down to the empty word."""
+    return [word[index:] for index in range(len(word) + 1)]
+
+
+def mirror(word: str) -> str:
+    """Return the mirror (reversal) of ``word``."""
+    return word[::-1]
+
+
+def mirror_language(words: Iterable[str]) -> frozenset[str]:
+    """Return the mirror of a finite language given as an iterable of words."""
+    return frozenset(mirror(word) for word in words)
+
+
+def has_repeated_letter(word: str) -> bool:
+    """Return whether ``word`` contains some letter at least twice.
+
+    A word ``alpha`` has a repeated letter when ``alpha = beta + a + gamma + a + delta``
+    for some letter ``a`` (Section 6 of the paper).
+    """
+    return len(set(word)) < len(word)
+
+
+def repeated_letter_decompositions(word: str) -> Iterator[tuple[str, str, str, str]]:
+    """Yield all decompositions ``(beta, a, gamma, delta)`` with ``word = beta a gamma a delta``.
+
+    Each yielded tuple witnesses one repeated occurrence of the letter ``a``.
+    """
+    for first in range(len(word)):
+        for second in range(first + 1, len(word)):
+            if word[first] == word[second]:
+                yield (
+                    word[:first],
+                    word[first],
+                    word[first + 1 : second],
+                    word[second + 1 :],
+                )
+
+
+def maximal_gap_words(words: Iterable[str]) -> list[tuple[str, str, str, str, str]]:
+    """Return the maximal-gap decompositions of a finite language (Definition 6.4).
+
+    A decomposition is a tuple ``(alpha, beta, a, gamma, delta)`` with
+    ``alpha = beta a gamma a delta``.  Among all decompositions of all words with
+    a repeated letter, first the gap ``|gamma|`` is maximised, then the total
+    length ``|alpha|`` is maximised.  All decompositions attaining the optimum
+    are returned (the paper picks an arbitrary one).
+    """
+    best: list[tuple[str, str, str, str, str]] = []
+    best_key: tuple[int, int] | None = None
+    for word in words:
+        for beta, letter, gamma, delta in repeated_letter_decompositions(word):
+            key = (len(gamma), len(word))
+            if best_key is None or key > best_key:
+                best_key = key
+                best = [(word, beta, letter, gamma, delta)]
+            elif key == best_key:
+                best.append((word, beta, letter, gamma, delta))
+    return best
+
+
+def concatenate_languages(left: Iterable[str], right: Iterable[str]) -> frozenset[str]:
+    """Return the concatenation ``{alpha + beta}`` of two finite languages."""
+    left_words = list(left)
+    right_words = list(right)
+    return frozenset(alpha + beta for alpha in left_words for beta in right_words)
+
+
+def words_up_to_length(alphabet: Iterable[str], max_length: int) -> Iterator[str]:
+    """Yield every word over ``alphabet`` of length at most ``max_length``.
+
+    Words are yielded in order of increasing length, then lexicographically.
+    """
+    letters = sorted(set(alphabet))
+    current = [EPSILON]
+    yield EPSILON
+    for _ in range(max_length):
+        nxt = [word + letter for word in current for letter in letters]
+        yield from nxt
+        current = nxt

@@ -1,0 +1,23 @@
+"""Resilience algorithms: the exact baseline, the three flow reductions of the
+paper (local, bipartite chain, one-dangling), and the dispatching engine."""
+
+from .bcl_flow import resilience_bcl
+from .engine import choose_method, resilience, verify_contingency_set
+from .exact import resilience_brute_force, resilience_exact
+from .local_flow import build_product_network, resilience_local
+from .one_dangling import resilience_one_dangling
+from .result import INFINITE, ResilienceResult
+
+__all__ = [
+    "INFINITE",
+    "ResilienceResult",
+    "build_product_network",
+    "choose_method",
+    "resilience",
+    "resilience_bcl",
+    "resilience_brute_force",
+    "resilience_exact",
+    "resilience_local",
+    "resilience_one_dangling",
+    "verify_contingency_set",
+]

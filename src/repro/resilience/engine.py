@@ -1,0 +1,117 @@
+"""The resilience engine: dispatches each query to the best applicable algorithm.
+
+The dispatcher mirrors the paper's tractability landscape: it first replaces the
+language by its infix-free sublanguage (the query is unchanged, Section 2), then
+tries the local-language MinCut reduction (Theorem 3.13), the bipartite-chain
+reduction (Proposition 7.6) and the one-dangling reduction (Proposition 7.9), and
+finally falls back to the exact branch-and-bound baseline (which is correct for
+every language but may take exponential time).
+"""
+
+from __future__ import annotations
+
+from ..graphdb.database import BagGraphDatabase, GraphDatabase
+from ..languages import chain, dangling, local
+from ..languages.core import Language
+from ..rpq.query import RPQ
+from .bcl_flow import resilience_bcl
+from .exact import resilience_exact
+from .local_flow import resilience_local
+from .one_dangling import resilience_one_dangling
+from .result import INFINITE, ResilienceResult
+
+
+def choose_method(language: Language) -> str:
+    """Return the name of the algorithm the dispatcher would use for a language.
+
+    One of ``"trivial-epsilon"``, ``"local-flow"``, ``"bcl-flow"``,
+    ``"one-dangling-flow"`` or ``"exact"``.
+    """
+    if language.contains(""):
+        return "trivial-epsilon"
+    infix_free = language.infix_free()
+    if local.is_local(infix_free):
+        return "local-flow"
+    if chain.is_bipartite_chain_language(infix_free):
+        return "bcl-flow"
+    if dangling.is_one_dangling(infix_free):
+        return "one-dangling-flow"
+    return "exact"
+
+
+def resilience(
+    query: Language | RPQ | str,
+    database: GraphDatabase | BagGraphDatabase,
+    *,
+    method: str | None = None,
+    semantics: str | None = None,
+    exact_max_nodes: int | None = None,
+) -> ResilienceResult:
+    """Compute the resilience of an RPQ on a database.
+
+    Args:
+        query: the query language, as a :class:`Language`, an :class:`RPQ`, or a
+            regular-expression string.
+        database: a set or bag graph database.
+        method: force a specific algorithm (``"local-flow"``, ``"bcl-flow"``,
+            ``"one-dangling-flow"``, ``"exact"``); by default the dispatcher picks
+            the fastest sound algorithm based on the language class.
+        semantics: force reporting as ``"set"`` or ``"bag"``; inferred from the
+            database type otherwise.
+        exact_max_nodes: search-node cap forwarded to the exact baseline.
+
+    Returns:
+        a :class:`ResilienceResult` with the resilience value, a witnessing
+        contingency set (when available) and the algorithm used.
+    """
+    if isinstance(query, str):
+        language = Language.from_regex(query)
+    elif isinstance(query, RPQ):
+        language = query.language
+    else:
+        language = query
+
+    if semantics is None:
+        semantics = "bag" if isinstance(database, BagGraphDatabase) else "set"
+
+    if language.contains(""):
+        return ResilienceResult(INFINITE, None, semantics, "trivial-epsilon", language.name or "")
+
+    chosen = method if method is not None else choose_method(language)
+    infix_free = language.infix_free()
+    # Preserve the original name for reporting.
+    infix_free.name = language.name
+
+    if chosen == "local-flow":
+        return resilience_local(infix_free, database, semantics=semantics)
+    if chosen == "bcl-flow":
+        return resilience_bcl(infix_free, database, semantics=semantics)
+    if chosen == "one-dangling-flow":
+        return resilience_one_dangling(infix_free, database, semantics=semantics)
+    if chosen in ("exact", "trivial-epsilon"):
+        return resilience_exact(infix_free, database, semantics=semantics, max_nodes=exact_max_nodes)
+    raise ValueError(f"unknown resilience method: {chosen}")
+
+
+def verify_contingency_set(
+    query: Language | RPQ | str,
+    database: GraphDatabase | BagGraphDatabase,
+    result: ResilienceResult,
+) -> bool:
+    """Check that a resilience result's contingency set really falsifies the query
+    and that its cost matches the reported value (used in tests and examples)."""
+    if isinstance(query, str):
+        rpq = RPQ.from_regex(query)
+    elif isinstance(query, Language):
+        rpq = RPQ(query)
+    else:
+        rpq = query
+    if result.contingency_set is None:
+        return result.is_infinite
+    if not rpq.is_contingency_set(database, result.contingency_set):
+        return False
+    if isinstance(database, BagGraphDatabase):
+        cost = database.total_cost(result.contingency_set)
+    else:
+        cost = len(result.contingency_set)
+    return cost == result.value

@@ -1,0 +1,152 @@
+"""Exact resilience by branch-and-bound over witness walks.
+
+This is the ground-truth baseline used throughout the test suite and the
+benchmarks: it is correct for *every* language (the NP upper bound of Section 2)
+but takes exponential time in the worst case.  The algorithm repeatedly finds a
+shortest witnessing walk in the remaining database and branches on which of its
+facts to remove, pruning with the best solution found so far.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..graphdb.database import BagGraphDatabase, Fact, GraphDatabase, as_bag, as_set
+from ..languages.core import Language
+from ..rpq.evaluation import find_l_walk
+from .result import INFINITE, ResilienceResult
+
+
+@dataclass
+class _SearchState:
+    best_value: float
+    best_set: frozenset[Fact] | None
+    nodes_explored: int = 0
+
+
+def resilience_exact(
+    language: Language,
+    database: GraphDatabase | BagGraphDatabase,
+    *,
+    semantics: str | None = None,
+    max_nodes: int | None = None,
+) -> ResilienceResult:
+    """Compute the exact resilience of ``Q_L`` on a database.
+
+    Args:
+        language: the query language ``L``.
+        database: a set or bag database; set databases are treated as bag
+            databases with unit multiplicities, so the returned value is the
+            set-semantics resilience for them.
+        semantics: force ``"set"`` or ``"bag"`` reporting; inferred from the
+            database type when omitted.
+        max_nodes: optional cap on the number of branch-and-bound nodes; the
+            search raises ``RuntimeError`` if exceeded (protection for callers
+            that use the exact baseline on large instances by mistake).
+    """
+    bag = as_bag(database)
+    set_database = as_set(database)
+    if semantics is None:
+        semantics = "bag" if isinstance(database, BagGraphDatabase) else "set"
+
+    if language.contains(""):
+        return ResilienceResult(INFINITE, None, semantics, "exact", language.name or "")
+
+    automaton = language.automaton
+    multiplicities = bag.multiplicities()
+
+    state = _SearchState(best_value=math.inf, best_set=None)
+
+    def branch(
+        current: GraphDatabase, removed: frozenset[Fact], cost: float, forbidden: frozenset[Fact]
+    ) -> None:
+        state.nodes_explored += 1
+        if max_nodes is not None and state.nodes_explored > max_nodes:
+            raise RuntimeError(f"exact resilience exceeded {max_nodes} search nodes")
+        if cost >= state.best_value:
+            return
+        walk = find_l_walk(automaton, current)
+        if walk is None:
+            state.best_value = cost
+            state.best_set = removed
+            return
+        # Branch on the distinct facts of the witness walk, cheapest first.  The
+        # i-th branch additionally forbids removing the facts of the earlier
+        # branches (a standard hitting-set decomposition of the solution space);
+        # a witness made entirely of forbidden facts can never be hit, so the
+        # branch is pruned.
+        facts = sorted(set(walk), key=lambda fact: (multiplicities[fact], repr(fact)))
+        if all(fact in forbidden for fact in facts):
+            return
+        newly_forbidden: set[Fact] = set()
+        for fact in facts:
+            if fact in forbidden:
+                newly_forbidden.add(fact)
+                continue
+            branch(
+                current.remove([fact]),
+                removed | {fact},
+                cost + multiplicities[fact],
+                forbidden | newly_forbidden,
+            )
+            newly_forbidden.add(fact)
+
+    branch(set_database, frozenset(), 0.0, frozenset())
+
+    value = state.best_value
+    if value == math.inf:  # pragma: no cover - only when epsilon in L, handled above
+        return ResilienceResult(INFINITE, None, semantics, "exact", language.name or "")
+    return ResilienceResult(
+        float(int(value)) if float(value).is_integer() else value,
+        state.best_set,
+        semantics,
+        "exact",
+        language.name or "",
+        details={"nodes_explored": state.nodes_explored},
+    )
+
+
+def resilience_brute_force(
+    language: Language,
+    database: GraphDatabase | BagGraphDatabase,
+    *,
+    semantics: str | None = None,
+) -> ResilienceResult:
+    """Compute resilience by enumerating all subsets of facts (tiny instances only).
+
+    This is deliberately the most naive possible algorithm; it exists as an
+    independent cross-check of :func:`resilience_exact` in the test suite.
+    """
+    from itertools import combinations
+
+    bag = as_bag(database)
+    set_database = as_set(database)
+    if semantics is None:
+        semantics = "bag" if isinstance(database, BagGraphDatabase) else "set"
+    if language.contains(""):
+        return ResilienceResult(INFINITE, None, semantics, "brute-force", language.name or "")
+    automaton = language.automaton
+    facts = sorted(set_database.facts, key=repr)
+    multiplicities = bag.multiplicities()
+
+    best_value: float = math.inf
+    best_set: frozenset[Fact] | None = None
+    for size in range(len(facts) + 1):
+        for subset in combinations(facts, size):
+            cost = sum(multiplicities[fact] for fact in subset)
+            if cost >= best_value:
+                continue
+            if find_l_walk(automaton, set_database.remove(subset)) is None:
+                best_value = cost
+                best_set = frozenset(subset)
+        # In set semantics the first size with a contingency set is optimal.
+        if semantics == "set" and best_set is not None:
+            break
+    return ResilienceResult(
+        float(int(best_value)) if best_value != math.inf else INFINITE,
+        best_set,
+        semantics,
+        "brute-force",
+        language.name or "",
+    )

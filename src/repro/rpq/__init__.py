@@ -1,0 +1,14 @@
+"""Regular path queries: evaluation, witness walks and match enumeration."""
+
+from .evaluation import find_l_walk, has_l_walk, walk_label
+from .matching import enumerate_matches, minimal_matches
+from .query import RPQ
+
+__all__ = [
+    "RPQ",
+    "enumerate_matches",
+    "find_l_walk",
+    "has_l_walk",
+    "minimal_matches",
+    "walk_label",
+]

@@ -1,0 +1,100 @@
+"""RPQ evaluation by product construction (Section 2 of the paper).
+
+``Q_L(D) = 1`` iff the database contains a walk labelled by a word of ``L``.
+Evaluation builds the product of the database (viewed as an automaton whose
+states are nodes and whose transitions are facts) with an epsilon-NFA for ``L``
+and checks reachability; a witness walk can be extracted from the BFS tree.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..graphdb.database import Fact, GraphDatabase, Node
+from ..languages.automata import EpsilonNFA, State
+
+
+def has_l_walk(automaton: EpsilonNFA, database: GraphDatabase) -> bool:
+    """Return whether the database contains an ``L``-walk for ``L = L(automaton)``."""
+    return find_l_walk(automaton, database) is not None
+
+
+def find_l_walk(automaton: EpsilonNFA, database: GraphDatabase) -> list[Fact] | None:
+    """Return a shortest ``L``-walk of the database as a list of facts, or ``None``.
+
+    The empty walk (when the empty word belongs to ``L``) is returned as ``[]``.
+    The walk is shortest in number of edges, which makes it a convenient
+    branching witness for the exact resilience algorithm.
+    """
+    trimmed = automaton.trim()
+    if not trimmed.final:
+        return None
+    initial_closure = trimmed.epsilon_closure(trimmed.initial)
+    if initial_closure & trimmed.final:
+        return []
+    if not database.facts:
+        return None
+
+    # Transitions of the query automaton indexed by label.
+    by_label: dict[str, list[tuple[State, State]]] = {}
+    for source, label, target in trimmed.letter_transitions:
+        assert label is not None
+        by_label.setdefault(label, []).append((source, target))
+
+    outgoing = database.outgoing()
+
+    # Product BFS over pairs (database node, automaton state); automaton states
+    # are always taken epsilon-closed.
+    start_pairs = [
+        (node, state) for node in database.nodes for state in initial_closure
+    ]
+    parents: dict[tuple[Node, State], tuple[tuple[Node, State], Fact] | None] = {
+        pair: None for pair in start_pairs
+    }
+    queue: deque[tuple[Node, State]] = deque(start_pairs)
+    final_states = trimmed.final
+
+    def closure_pairs(node: Node, state: State) -> list[tuple[Node, State]]:
+        return [(node, closed) for closed in trimmed.epsilon_closure([state])]
+
+    while queue:
+        node, state = queue.popleft()
+        for fact in outgoing.get(node, ()):
+            for q_source, q_target in by_label.get(fact.label, ()):
+                if q_source != state:
+                    continue
+                for pair in closure_pairs(fact.target, q_target):
+                    if pair in parents:
+                        continue
+                    parents[pair] = ((node, state), fact)
+                    if pair[1] in final_states:
+                        return _reconstruct_walk(parents, pair)
+                    queue.append(pair)
+    return None
+
+
+def _reconstruct_walk(
+    parents: dict[tuple[Node, State], tuple[tuple[Node, State], Fact] | None],
+    end: tuple[Node, State],
+) -> list[Fact]:
+    walk: list[Fact] = []
+    current = end
+    while True:
+        entry = parents[current]
+        if entry is None:
+            break
+        previous, fact = entry
+        walk.append(fact)
+        current = previous
+    walk.reverse()
+    return walk
+
+
+def walk_label(walk: list[Fact]) -> str:
+    """Return the word labelling a walk."""
+    return "".join(fact.label for fact in walk)
+
+
+def is_walk(walk: list[Fact]) -> bool:
+    """Return whether a list of facts forms a walk (consecutive facts share endpoints)."""
+    return all(walk[index].target == walk[index + 1].source for index in range(len(walk) - 1))

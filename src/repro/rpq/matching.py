@@ -1,0 +1,144 @@
+"""Enumeration of query matches (Section 4.3 of the paper).
+
+A *match* (or witness) of a language ``L`` on a database ``D`` is the set of
+facts of an ``L``-walk.  The hypergraph of matches has the facts of ``D`` as
+nodes and the matches as hyperedges; resilience in set semantics equals the
+minimum hitting set of this hypergraph.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import NotApplicableError
+from ..graphdb.database import Fact, GraphDatabase, Node
+from ..languages.automata import EpsilonNFA, State
+from ..languages.core import Language
+
+Match = frozenset[Fact]
+
+
+def default_walk_bound(language: Language, database: GraphDatabase) -> int:
+    """Return a sound bound on the walk length needed to enumerate all matches.
+
+    For finite languages the bound is the longest word of the language (longer
+    walks cannot be matches).  For infinite languages the enumeration is only
+    guaranteed to terminate on acyclic databases, where walks never repeat a
+    node; otherwise the caller must provide an explicit bound.
+    """
+    if language.is_finite():
+        return language.max_word_length()
+    if database.is_acyclic():
+        return max(len(database.nodes) - 1, 0)
+    raise NotApplicableError(
+        "cannot bound walk length: the language is infinite and the database has cycles; "
+        "pass max_walk_length explicitly"
+    )
+
+
+def enumerate_matches(
+    language: Language,
+    database: GraphDatabase,
+    max_walk_length: int | None = None,
+) -> set[Match]:
+    """Return every match of the language on the database.
+
+    The enumeration explores walks whose label is a prefix of some word of the
+    language (tracked through the states of the query automaton) up to the walk
+    bound, and records the fact set of every walk whose label is in the
+    language.
+
+    Args:
+        language: the query language.
+        database: the database.
+        max_walk_length: override for the walk-length bound (see
+            :func:`default_walk_bound`).
+    """
+    bound = max_walk_length if max_walk_length is not None else default_walk_bound(language, database)
+    automaton = language.automaton.trim()
+    matches: set[Match] = set()
+    if not automaton.final:
+        return matches
+    initial_closure = automaton.epsilon_closure(automaton.initial)
+    if initial_closure & automaton.final:
+        matches.add(frozenset())
+
+    by_label: dict[str, list[tuple[State, State]]] = {}
+    for source, label, target in automaton.letter_transitions:
+        assert label is not None
+        by_label.setdefault(label, []).append((source, target))
+    outgoing = database.outgoing()
+    final_states = automaton.final
+
+    def explore(node: Node, states: frozenset[State], facts: tuple[Fact, ...]) -> None:
+        if len(facts) >= bound:
+            return
+        for fact in outgoing.get(node, ()):
+            transitions = by_label.get(fact.label)
+            if not transitions:
+                continue
+            next_states = {target for source, target in transitions if source in states}
+            if not next_states:
+                continue
+            closed = automaton.epsilon_closure(next_states)
+            new_facts = facts + (fact,)
+            if closed & final_states:
+                matches.add(frozenset(new_facts))
+            explore(fact.target, frozenset(closed), new_facts)
+
+    for node in database.nodes:
+        explore(node, initial_closure, ())
+    return matches
+
+
+def minimal_matches(matches: set[Match]) -> set[Match]:
+    """Return the inclusion-minimal matches (larger matches are redundant for hitting sets)."""
+    ordered = sorted(matches, key=len)
+    kept: list[Match] = []
+    for match in ordered:
+        if not any(existing <= match for existing in kept):
+            kept.append(match)
+    return set(kept)
+
+
+def matches_using_fact(matches: set[Match], fact: Fact) -> set[Match]:
+    """Return the matches containing a given fact."""
+    return {match for match in matches if fact in match}
+
+
+def label_of_match_walks(
+    language: Language, database: GraphDatabase, match: Match, max_walk_length: int | None = None
+) -> set[str]:
+    """Return the set of language words labelling walks whose fact set is exactly ``match``.
+
+    This is a debugging / reporting helper used by the gadget verification tool.
+    """
+    sub_database = GraphDatabase(match)
+    bound = max_walk_length if max_walk_length is not None else default_walk_bound(language, sub_database)
+    automaton = language.automaton.trim()
+    results: set[str] = set()
+    initial_closure = automaton.epsilon_closure(automaton.initial)
+    by_label: dict[str, list[tuple[State, State]]] = {}
+    for source, label, target in automaton.letter_transitions:
+        assert label is not None
+        by_label.setdefault(label, []).append((source, target))
+    outgoing = sub_database.outgoing()
+
+    def explore(node: Node, states: frozenset[State], facts: tuple[Fact, ...], word: str) -> None:
+        if len(facts) >= bound:
+            return
+        for fact in outgoing.get(node, ()):
+            transitions = by_label.get(fact.label)
+            if not transitions:
+                continue
+            next_states = {target for source, target in transitions if source in states}
+            if not next_states:
+                continue
+            closed = automaton.epsilon_closure(next_states)
+            new_facts = facts + (fact,)
+            new_word = word + fact.label
+            if closed & automaton.final and frozenset(new_facts) == match:
+                results.add(new_word)
+            explore(fact.target, frozenset(closed), new_facts, new_word)
+
+    for node in sub_database.nodes:
+        explore(node, initial_closure, (), "")
+    return results

@@ -1,0 +1,42 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphdb import GraphDatabase
+from repro.languages import Language
+
+
+@pytest.fixture
+def local_language() -> Language:
+    return Language.from_regex("ab|ad|cd")
+
+
+@pytest.fixture
+def star_language() -> Language:
+    return Language.from_regex("ax*b")
+
+
+@pytest.fixture
+def aa_language() -> Language:
+    return Language.from_regex("aa")
+
+
+@pytest.fixture
+def small_database() -> GraphDatabase:
+    return GraphDatabase.from_edges(
+        [
+            ("s", "a", "u"),
+            ("u", "x", "v"),
+            ("v", "x", "w"),
+            ("w", "b", "t"),
+            ("u", "b", "t"),
+        ]
+    )
+
+
+def assert_same_language(left, right, samples):
+    """Assert two languages agree on a collection of sample words."""
+    for word in samples:
+        assert (word in left) == (word in right), word

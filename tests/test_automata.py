@@ -1,0 +1,198 @@
+"""Unit tests for the EpsilonNFA class (Section 2 formalisms)."""
+
+import pytest
+
+from repro.exceptions import LanguageError
+from repro.languages.automata import EpsilonNFA, dfa_run, dfa_transition_map
+
+
+def figure_2a() -> EpsilonNFA:
+    """The local DFA A1 of Figure 2a for ``a x* b``."""
+    return EpsilonNFA.build(
+        states=["s1", "s2", "s3"],
+        initial=["s1"],
+        final=["s3"],
+        transitions=[("s1", "a", "s2"), ("s2", "x", "s2"), ("s2", "b", "s3")],
+    )
+
+
+def figure_2b() -> EpsilonNFA:
+    """The local DFA A2 of Figure 2b for ``ab|ad|cd``."""
+    return EpsilonNFA.build(
+        states=["s1", "s2", "s3", "s4", "s5"],
+        initial=["s1"],
+        final=["s3", "s5"],
+        transitions=[
+            ("s1", "a", "s2"),
+            ("s2", "b", "s3"),
+            ("s2", "d", "s5"),
+            ("s1", "c", "s4"),
+            ("s4", "d", "s5"),
+        ],
+    )
+
+
+def figure_2c() -> EpsilonNFA:
+    """The RO-epsilon-NFA A3 of Figure 2c for ``ab|ad|cd``."""
+    return EpsilonNFA.build(
+        states=["s1", "s2", "s3", "s4", "s5"],
+        initial=["s1"],
+        final=["s3", "s5"],
+        transitions=[
+            ("s1", "a", "s2"),
+            ("s2", "b", "s3"),
+            ("s1", "c", "s4"),
+            ("s2", None, "s4"),
+            ("s4", "d", "s5"),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_build_rejects_unknown_states(self):
+        with pytest.raises(LanguageError):
+            EpsilonNFA.build(["q"], ["q"], ["q"], [("q", "a", "missing")])
+
+    def test_build_rejects_bad_initial(self):
+        with pytest.raises(LanguageError):
+            EpsilonNFA.build(["q"], ["other"], [], [])
+
+    def test_for_word(self):
+        automaton = EpsilonNFA.for_word("abc")
+        assert automaton.accepts("abc")
+        assert not automaton.accepts("ab")
+        assert not automaton.accepts("abcd")
+
+    def test_for_finite_language(self):
+        automaton = EpsilonNFA.for_finite_language(["ab", "cd", ""])
+        assert automaton.accepts("ab")
+        assert automaton.accepts("cd")
+        assert automaton.accepts("")
+        assert not automaton.accepts("ad")
+
+    def test_empty_language(self):
+        automaton = EpsilonNFA.empty_language("ab")
+        assert not automaton.accepts("")
+        assert not automaton.accepts("a")
+        assert automaton.alphabet == frozenset("ab")
+
+    def test_size_counts_states_and_transitions(self):
+        automaton = figure_2a()
+        assert automaton.size == 3 + 3
+
+
+class TestMembership:
+    def test_figure_2a_accepts_ax_star_b(self):
+        automaton = figure_2a()
+        assert automaton.accepts("ab")
+        assert automaton.accepts("axb")
+        assert automaton.accepts("axxxxb")
+        assert not automaton.accepts("a")
+        assert not automaton.accepts("axx")
+        assert not automaton.accepts("xb")
+
+    def test_figure_2c_epsilon_transition_run(self):
+        # The example accepting run of A3 on "ad" from the paper.
+        automaton = figure_2c()
+        assert automaton.accepts("ad")
+        assert automaton.accepts("ab")
+        assert automaton.accepts("cd")
+        assert not automaton.accepts("cb")
+
+    def test_contains_operator(self):
+        assert "ab" in figure_2b()
+
+
+class TestClassPredicates:
+    def test_is_dfa(self):
+        assert figure_2a().is_dfa()
+        assert figure_2b().is_dfa()
+        assert not figure_2c().is_dfa()
+
+    def test_is_nfa(self):
+        assert figure_2b().is_nfa()
+        assert not figure_2c().is_nfa()
+
+    def test_local_dfa_detection(self):
+        assert figure_2a().is_local_dfa()
+        assert figure_2b().is_local_dfa()
+
+    def test_non_local_dfa(self):
+        automaton = EpsilonNFA.build(
+            ["q0", "q1", "q2"],
+            ["q0"],
+            ["q2"],
+            [("q0", "a", "q1"), ("q1", "a", "q2")],
+        )
+        assert automaton.is_dfa()
+        assert not automaton.is_local_dfa()
+
+    def test_read_once(self):
+        assert figure_2a().is_read_once()
+        assert not figure_2b().is_read_once()  # two d-transitions
+        assert figure_2c().is_read_once()
+
+
+class TestTransformations:
+    def test_trim_removes_useless_states(self):
+        automaton = EpsilonNFA.build(
+            ["q0", "q1", "junk"],
+            ["q0"],
+            ["q1"],
+            [("q0", "a", "q1"), ("q1", "b", "junk")],
+        )
+        trimmed = automaton.trim()
+        assert "junk" not in trimmed.states
+        assert trimmed.accepts("a")
+
+    def test_trim_empty_language(self):
+        automaton = EpsilonNFA.build(["q0", "q1"], ["q0"], [], [("q0", "a", "q1")])
+        assert not automaton.trim().final
+
+    def test_remove_epsilon_preserves_language(self):
+        automaton = figure_2c()
+        without = automaton.remove_epsilon()
+        assert without.is_nfa()
+        for word in ["ab", "ad", "cd", "cb", "a", ""]:
+            assert automaton.accepts(word) == without.accepts(word)
+
+    def test_reverse_recognizes_mirror(self):
+        automaton = figure_2a()
+        reverse = automaton.reverse()
+        assert reverse.accepts("ba")
+        assert reverse.accepts("bxxa")
+        assert not reverse.accepts("ab")
+
+    def test_relabel_preserves_language(self):
+        automaton = figure_2c()
+        relabelled = automaton.relabel()
+        assert set(relabelled.states) == set(range(len(automaton.states)))
+        for word in ["ab", "ad", "cd", "cb"]:
+            assert automaton.accepts(word) == relabelled.accepts(word)
+
+    def test_epsilon_closure(self):
+        automaton = figure_2c()
+        closure = automaton.epsilon_closure(["s2"])
+        assert closure == frozenset({"s2", "s4"})
+
+
+class TestDfaHelpers:
+    def test_dfa_transition_map(self):
+        table = dfa_transition_map(figure_2a())
+        assert table[("s1", "a")] == "s2"
+        assert table[("s2", "x")] == "s2"
+
+    def test_dfa_transition_map_rejects_nfa(self):
+        with pytest.raises(LanguageError):
+            dfa_transition_map(figure_2c())
+
+    def test_dfa_run(self):
+        run = dfa_run(figure_2a(), "axb")
+        assert run == ["s1", "s2", "s2", "s3"]
+
+    def test_dfa_run_stuck(self):
+        assert dfa_run(figure_2a(), "ba") is None
+
+    def test_describe_mentions_kind(self):
+        assert "DFA" in figure_2a().describe()
+        assert "eps-NFA" in figure_2c().describe()

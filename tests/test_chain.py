@@ -1,0 +1,80 @@
+"""Tests for chain languages and bipartite chain languages (Section 7.1)."""
+
+import pytest
+
+from repro.exceptions import NotApplicableError
+from repro.languages import Language, chain
+
+
+class TestChainDetection:
+    @pytest.mark.parametrize("expression", ["ab|bc", "axb|byc", "ab|bc|ca", "axyb|bztc|cd|dea", "a|b"])
+    def test_chain_languages(self, expression):
+        assert chain.is_chain_language(Language.from_regex(expression)), expression
+
+    @pytest.mark.parametrize("expression", ["aa", "abc|bcd", "ax*b", "abca|cab", "axb|axc"])
+    def test_not_chain_languages(self, expression):
+        assert not chain.is_chain_language(Language.from_regex(expression)), expression
+
+    def test_chain_languages_are_finite(self):
+        assert not chain.is_chain_language(Language.from_regex("ax*b|xd"))
+
+
+class TestBipartiteness:
+    @pytest.mark.parametrize("expression", ["ab|bc", "axb|byc", "axyb|bztc|cd|dea"])
+    def test_bcls(self, expression):
+        assert chain.is_bipartite_chain_language(Language.from_regex(expression)), expression
+
+    def test_triangle_is_not_bipartite(self):
+        # Example 7.3: ab|bc|ca is a chain language but not a BCL.
+        assert not chain.is_bipartite_chain_language(Language.from_regex("ab|bc|ca"))
+
+    def test_endpoint_graph(self):
+        adjacency = chain.endpoint_graph(Language.from_regex("ab|bc"))
+        assert adjacency["a"] == {"b"}
+        assert adjacency["b"] == {"a", "c"}
+
+    def test_bipartition(self):
+        adjacency = chain.endpoint_graph(Language.from_regex("ab|bc"))
+        sides = chain.bipartition(adjacency)
+        assert sides is not None
+        side_of = {}
+        for index, side in enumerate(sides):
+            for letter in side:
+                side_of[letter] = index
+        assert side_of["a"] != side_of["b"]
+        assert side_of["b"] != side_of["c"]
+
+    def test_lemma_7_5_subsets_of_bcls_are_bcls(self):
+        full = Language.from_regex("axyb|bztc|cd|dea")
+        for subset in [["axyb", "cd"], ["bztc"], ["axyb", "bztc", "cd"]]:
+            assert chain.is_bipartite_chain_language(Language.from_words(subset))
+
+
+class TestBclStructure:
+    def test_structure_orients_words(self):
+        structure = chain.bcl_structure(Language.from_regex("ab|bc"))
+        assert structure.forward_words | structure.reversed_words == {"ab", "bc"}
+        # The two words are oriented in opposite directions (they share letter b).
+        forward_first = {word[0] for word in structure.forward_words}
+        backward_first = {word[0] for word in structure.reversed_words}
+        assert forward_first.isdisjoint(backward_first) or not structure.reversed_words
+
+    def test_structure_rejects_non_bcl(self):
+        with pytest.raises(NotApplicableError):
+            chain.bcl_structure(Language.from_regex("ab|bc|ca"))
+
+    def test_single_letter_words_recorded(self):
+        structure = chain.bcl_structure(Language.from_words(["ab", "c"]))
+        assert structure.single_letter_words == {"c"}
+
+
+class TestLemma77Extraction:
+    @pytest.mark.parametrize("expression", ["ab|bc", "axb|byc", "axyb|bztc|cd|dea", "a|bc", "ε|ab"])
+    def test_words_extracted_correctly(self, expression):
+        language = Language.from_regex(expression)
+        extracted = chain.chain_language_words(language.automaton)
+        assert extracted == language.words()
+
+    def test_extraction_rejects_infinite(self):
+        with pytest.raises(NotApplicableError):
+            chain.chain_language_words(Language.from_regex("ax*b").automaton)

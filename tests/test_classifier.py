@@ -1,0 +1,91 @@
+"""Tests for the Figure 1 classifier."""
+
+import pytest
+
+from repro.classify import classify, classify_regex, figure_1_table
+from repro.languages import Language
+from repro.languages.examples import FIGURE_1_LANGUAGES, NP_HARD, PTIME, UNCLASSIFIED
+
+
+class TestFigure1:
+    @pytest.mark.parametrize("example", FIGURE_1_LANGUAGES, ids=lambda e: e.regex)
+    def test_every_figure_1_language_is_classified_as_in_the_paper(self, example):
+        result = classify(example.language())
+        assert result.complexity == example.complexity, (example.regex, result.reason)
+
+    def test_figure_1_table_agrees_everywhere(self):
+        rows = figure_1_table()
+        assert len(rows) == len(FIGURE_1_LANGUAGES)
+        assert all(row["agrees"] for row in rows)
+
+    def test_ptime_languages_have_algorithms(self):
+        for example in FIGURE_1_LANGUAGES:
+            if example.complexity == PTIME:
+                result = classify(example.language())
+                assert result.algorithm is not None, example.regex
+
+
+class TestSpecificClassifications:
+    def test_infix_free_reduction_is_applied(self):
+        # L = a | aa has IF(L) = a which is local.
+        assert classify_regex("a|aa").complexity == PTIME
+
+    def test_epsilon_language(self):
+        result = classify_regex("ε|ab")
+        assert result.complexity == PTIME
+        assert result.algorithm == "trivial-epsilon"
+
+    def test_square_letter_infinite_language(self):
+        result = classify_regex("e*(a|c)e*(a|d)e*")
+        assert result.complexity == NP_HARD
+
+    def test_unclassified_open_cases(self):
+        for expression in ["abc|bcd", "abc|bef", "ab*c|ba", "ab*d|ac*d|bc"]:
+            assert classify_regex(expression).complexity == UNCLASSIFIED, expression
+
+    def test_reason_mentions_paper_result(self):
+        assert "Theorem 3.13" in classify_regex("ax*b").reason
+        assert "Proposition 7.6" in classify_regex("ab|bc").reason
+        assert "Proposition 7.9" in classify_regex("abc|be").reason
+        assert "Theorem 5.3" in classify_regex("axb|cxd").reason
+        assert "Theorem 6.1" in classify_regex("aa").reason
+
+    def test_evidence_for_four_legged(self):
+        result = classify_regex("axb|cxd")
+        witness = result.evidence["four_legged_witness"]
+        assert witness.is_valid_for(Language.from_regex("axb|cxd"))
+
+
+class TestCertificates:
+    @pytest.mark.parametrize("expression", ["aa", "axb|cxd", "ab|bc|ca", "aaaa"])
+    def test_certificates_are_verified(self, expression):
+        result = classify_regex(expression, build_certificate=True)
+        assert result.complexity == NP_HARD
+        assert result.certificate is not None
+        assert result.certificate.verification.valid
+
+    def test_certificate_gap_is_reported_not_fabricated(self):
+        # abca|cab needs the Figure 12 construction, which this reproduction
+        # could not verify; the classifier must report the gap explicitly.
+        result = classify_regex("abca|cab", build_certificate=True)
+        assert result.complexity == NP_HARD
+        assert result.certificate is None
+        assert "certificate_error" in result.evidence
+
+    def test_ptime_languages_have_no_certificates(self):
+        result = classify_regex("ax*b", build_certificate=True)
+        assert result.certificate is None
+
+
+class TestConsistencyWithResilience:
+    def test_classifier_and_dispatcher_agree(self):
+        from repro.resilience import choose_method
+
+        for example in FIGURE_1_LANGUAGES:
+            language = example.language()
+            result = classify(language)
+            method = choose_method(language)
+            if result.complexity == PTIME and result.algorithm != "trivial-epsilon":
+                assert method == result.algorithm, example.regex
+            if result.complexity in (NP_HARD, UNCLASSIFIED):
+                assert method == "exact", example.regex

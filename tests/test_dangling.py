@@ -1,0 +1,57 @@
+"""Tests for one-dangling languages (Definition 7.8)."""
+
+import pytest
+
+from repro.languages import Language, dangling
+
+
+class TestDecomposition:
+    @pytest.mark.parametrize(
+        "expression, word",
+        [
+            ("abc|be", "be"),
+            ("abcd|be", "be"),
+            ("abcd|ce", "ce"),
+            ("ax*b|xd", "xd"),
+        ],
+    )
+    def test_one_dangling_examples(self, expression, word):
+        decomposition = dangling.one_dangling_decomposition(Language.from_regex(expression))
+        assert decomposition is not None, expression
+        assert decomposition.dangling_word == word
+        assert decomposition.fresh_letters
+        assert decomposition.local_part.is_local()
+
+    @pytest.mark.parametrize("expression", ["aa", "axb|cxd", "abc|bcd", "abcd|be|ef", "ab|bc|ca", "abc|bef"])
+    def test_not_one_dangling(self, expression):
+        assert dangling.one_dangling_decomposition(Language.from_regex(expression)) is None, expression
+
+    def test_local_languages_alone_are_not_required(self):
+        # A local language with an extra fresh two-letter word is one-dangling.
+        language = Language.from_words(["abc", "xz"])
+        decomposition = dangling.one_dangling_decomposition(language)
+        assert decomposition is not None
+        assert decomposition.dangling_word == "xz"
+        assert decomposition.fresh_letters == frozenset("xz")
+
+    def test_fresh_letter_requirement(self):
+        # ab|ba: removing either two-letter word leaves a local language, but
+        # both letters of the removed word still occur in the rest, so neither
+        # decomposition satisfies the freshness condition of Definition 7.8.
+        assert not dangling.is_one_dangling(Language.from_regex("ab|ba"))
+
+    def test_bcl_can_also_be_one_dangling(self):
+        # ab|bc is classified as a BCL in Figure 1, but it also satisfies
+        # Definition 7.8 (L = {bc} is local and 'a' is fresh); both routes are
+        # tractable and consistent.
+        assert dangling.is_one_dangling(Language.from_regex("ab|bc"))
+
+    def test_local_part_of_infinite_language(self):
+        decomposition = dangling.one_dangling_decomposition(Language.from_regex("ax*b|xd"))
+        assert decomposition is not None
+        assert decomposition.local_part.equivalent_to(Language.from_regex("ax*b"))
+        assert decomposition.local_alphabet == frozenset("axb")
+
+    def test_is_one_dangling_predicate(self):
+        assert dangling.is_one_dangling(Language.from_regex("abc|be"))
+        assert not dangling.is_one_dangling(Language.from_regex("aa"))

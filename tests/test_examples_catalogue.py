@@ -1,0 +1,52 @@
+"""Tests for the Figure 1 example catalogue."""
+
+import pytest
+
+from repro.languages import Language
+from repro.languages.examples import (
+    ALL_EXAMPLES,
+    FIGURE_1_LANGUAGES,
+    NP_HARD,
+    PTIME,
+    UNCLASSIFIED,
+    example_by_regex,
+)
+
+
+class TestCatalogue:
+    def test_figure_1_has_22_languages(self):
+        assert len(FIGURE_1_LANGUAGES) == 22
+
+    def test_all_examples_parse(self):
+        for example in ALL_EXAMPLES:
+            language = example.language()
+            assert isinstance(language, Language)
+            assert not language.is_empty()
+
+    def test_finiteness_flags_are_correct(self):
+        for example in ALL_EXAMPLES:
+            assert example.language().is_finite() == example.finite, example.regex
+
+    def test_complexity_values_are_known(self):
+        assert {example.complexity for example in ALL_EXAMPLES} == {PTIME, NP_HARD, UNCLASSIFIED}
+
+    def test_example_by_regex(self):
+        assert example_by_regex("aa").complexity == NP_HARD
+        with pytest.raises(KeyError):
+            example_by_regex("zzz")
+
+    def test_region_matches_language_properties(self):
+        for example in FIGURE_1_LANGUAGES:
+            language = example.language()
+            if "local" in example.region:
+                assert language.is_local(), example.regex
+            if "bipartite chain" in example.region:
+                assert language.is_bipartite_chain_language(), example.regex
+            if "one-dangling" in example.region:
+                assert language.one_dangling_decomposition() is not None, example.regex
+            if "four-legged" in example.region:
+                assert language.infix_free().is_four_legged(), example.regex
+            if "non-star-free" in example.region:
+                assert not language.is_star_free(), example.regex
+            if "repeated letter" in example.region:
+                assert language.infix_free().has_repeated_letter_word(), example.regex

@@ -1,0 +1,121 @@
+"""Tests for the flow-network substrate (Dinic max-flow / min-cut)."""
+
+import math
+
+import pytest
+
+from repro.flow import INFINITY, FlowNetwork, min_cut, min_cut_value
+
+
+def diamond_network(cap_left=3, cap_right=2) -> FlowNetwork:
+    network = FlowNetwork(source="s", target="t")
+    network.add_edge("s", "u", cap_left)
+    network.add_edge("s", "v", cap_right)
+    network.add_edge("u", "t", cap_right)
+    network.add_edge("v", "t", cap_left)
+    network.add_edge("u", "v", 1)
+    return network
+
+
+class TestMinCutValues:
+    def test_single_edge(self):
+        network = FlowNetwork(source="s", target="t")
+        network.add_edge("s", "t", 7)
+        assert min_cut_value(network) == 7
+
+    def test_two_parallel_edges(self):
+        network = FlowNetwork(source="s", target="t")
+        network.add_edge("s", "t", 2)
+        network.add_edge("s", "t", 3)
+        assert min_cut_value(network) == 5
+
+    def test_series_takes_minimum(self):
+        network = FlowNetwork(source="s", target="t")
+        network.add_edge("s", "m", 5)
+        network.add_edge("m", "t", 2)
+        assert min_cut_value(network) == 2
+
+    def test_diamond(self):
+        # Max flow: 2 along s-u-t, 2 along s-v-t, and 1 along s-u-v-t.
+        assert min_cut_value(diamond_network()) == 5
+
+    def test_disconnected(self):
+        network = FlowNetwork(source="s", target="t")
+        network.add_edge("s", "u", 4)
+        assert min_cut_value(network) == 0
+
+    def test_infinite_cut(self):
+        network = FlowNetwork(source="s", target="t")
+        network.add_edge("s", "m", INFINITY)
+        network.add_edge("m", "t", INFINITY)
+        assert min_cut_value(network) == math.inf
+
+    def test_infinite_edge_bypassed_by_finite_cut(self):
+        network = FlowNetwork(source="s", target="t")
+        network.add_edge("s", "m", INFINITY)
+        network.add_edge("m", "t", 3)
+        assert min_cut_value(network) == 3
+
+    def test_bigger_layered_network(self):
+        network = FlowNetwork(source="s", target="t")
+        for index in range(5):
+            network.add_edge("s", f"u{index}", 2)
+            network.add_edge(f"u{index}", f"v{index}", 1)
+            network.add_edge(f"v{index}", "t", 2)
+        assert min_cut_value(network) == 5
+
+
+class TestCutEdges:
+    def test_cut_edges_form_a_cut(self):
+        network = diamond_network()
+        result = min_cut(network)
+        assert network.is_cut(result.cut_edges)
+        assert sum(edge.capacity for edge in result.cut_edges) == result.value
+
+    def test_cut_keys_round_trip(self):
+        network = FlowNetwork(source="s", target="t")
+        network.add_edge("s", "m", 5, key="first")
+        network.add_edge("m", "t", 2, key="second")
+        result = min_cut(network)
+        assert result.cut_keys == ("second",)
+
+    def test_source_side_contains_source(self):
+        result = min_cut(diamond_network())
+        assert "s" in result.source_side
+        assert "t" not in result.source_side
+
+    def test_zero_capacity_edges_are_ignored(self):
+        network = FlowNetwork(source="s", target="t")
+        network.add_edge("s", "t", 0)
+        assert min_cut_value(network) == 0
+        assert network.is_cut([])
+
+    def test_negative_capacity_rejected(self):
+        network = FlowNetwork(source="s", target="t")
+        with pytest.raises(ValueError):
+            network.add_edge("s", "t", -1)
+
+
+class TestAgainstNetworkx:
+    def test_random_networks_match_networkx(self):
+        networkx = pytest.importorskip("networkx")
+        import random
+
+        for seed in range(8):
+            rng = random.Random(seed)
+            graph = networkx.DiGraph()
+            network = FlowNetwork(source=0, target=7)
+            for _ in range(20):
+                left, right = rng.randrange(8), rng.randrange(8)
+                if left == right:
+                    continue
+                capacity = rng.randint(1, 9)
+                network.add_edge(left, right, capacity)
+                if graph.has_edge(left, right):
+                    graph[left][right]["capacity"] += capacity
+                else:
+                    graph.add_edge(left, right, capacity=capacity)
+            graph.add_node(0)
+            graph.add_node(7)
+            expected = networkx.maximum_flow_value(graph, 0, 7) if graph.has_node(0) else 0
+            assert min_cut_value(network) == expected, seed

@@ -1,0 +1,74 @@
+"""Tests for four-legged languages (Section 5)."""
+
+import pytest
+
+from repro.languages import Language, four_legged
+
+
+class TestWitnessSearch:
+    @pytest.mark.parametrize(
+        "expression",
+        ["axb|cxd", "axb|cxd|cxb", "ax*b|cxd", "be*c|de*f", "aaaa", "b(aa)*d", "axyb|cxyd"],
+    )
+    def test_four_legged_languages(self, expression):
+        language = Language.from_regex(expression)
+        witness = four_legged.find_witness(language)
+        assert witness is not None, expression
+        assert witness.is_valid_for(language)
+        assert four_legged.is_four_legged(language)
+
+    @pytest.mark.parametrize("expression", ["aa", "ab|bc", "ax*b", "ab|ad|cd", "abc|bcd", "aba"])
+    def test_not_four_legged(self, expression):
+        # Example 5.2: aa and ab|bc are non-local but not four-legged.
+        assert not four_legged.is_four_legged(Language.from_regex(expression)), expression
+
+    def test_witness_words(self):
+        witness = four_legged.find_witness(Language.from_regex("axb|cxd"))
+        assert witness.word_one in Language.from_regex("axb|cxd")
+        assert witness.word_two in Language.from_regex("axb|cxd")
+        assert witness.cross_word not in Language.from_regex("axb|cxd")
+        assert witness.legs_nonempty()
+
+    def test_section_5_2_example_l2_not_four_legged(self):
+        # IF(L2) = (a|c) e* (a|d) contains aa but is not four-legged.
+        language = Language.from_regex("(a|c)e*(a|d)")
+        assert language.contains("aa")
+        assert four_legged.find_witness(language) is None
+
+
+class TestStabilization:
+    def test_already_stable_witness(self):
+        language = Language.from_regex("axb|cxd")
+        witness = four_legged.FourLeggedWitness("x", "a", "b", "c", "d")
+        assert witness.is_stable_for(language)
+        assert four_legged.stabilize_witness(language, witness) == witness
+
+    def test_lemma_5_5_produces_stable_legs(self):
+        for expression in ["axb|cxd|cxb", "aaaa", "aaaaa", "axyb|cxyd|cxyb"]:
+            language = Language.from_regex(expression)
+            stable = four_legged.find_stable_witness(language)
+            assert stable is not None, expression
+            assert stable.is_stable_for(language), expression
+
+    def test_stabilize_rejects_invalid_witness(self):
+        from repro.exceptions import LanguageError
+
+        language = Language.from_regex("axb|cxd")
+        bad = four_legged.FourLeggedWitness("x", "a", "d", "c", "b")
+        with pytest.raises(LanguageError):
+            four_legged.stabilize_witness(language, bad)
+
+
+class TestLemma56:
+    @pytest.mark.parametrize("expression", ["b(aa)*d", "a(bb)*c", "e(aaa)*f"])
+    def test_non_star_free_gives_four_legged_witness(self, expression):
+        language = Language.from_regex(expression)
+        if not language.is_infix_free():
+            language = language.infix_free()
+        witness = four_legged.witness_from_non_star_free(language)
+        assert witness is not None, expression
+        assert witness.is_valid_for(language)
+        assert witness.legs_nonempty()
+
+    def test_star_free_language_returns_none(self):
+        assert four_legged.witness_from_non_star_free(Language.from_regex("ax*b")) is None

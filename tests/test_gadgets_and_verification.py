@@ -1,0 +1,107 @@
+"""Tests for pre-gadgets, completions, graph encodings and the verification tool."""
+
+import pytest
+
+from repro.exceptions import GadgetError
+from repro.graphdb import Fact, GraphDatabase
+from repro.hardness import PreGadget, encode_graph, verify_gadget
+from repro.hardness.gadgets import GadgetBuilder
+from repro.hardness.library import gadget_for_aa
+from repro.hardness.verification import describe_condensed_path, require_verified
+from repro.languages import Language
+
+
+class TestPreGadget:
+    def test_validate_accepts_figure_3b(self):
+        gadget_for_aa().validate()
+
+    def test_validate_rejects_in_element_as_head(self):
+        bad = PreGadget(
+            GraphDatabase.from_edges([("x", "a", "t_in")]), "t_in", "t_out", "a"
+        )
+        with pytest.raises(GadgetError):
+            bad.validate()
+
+    def test_validate_rejects_equal_endpoints(self):
+        bad = PreGadget(GraphDatabase(), "t", "t", "a")
+        with pytest.raises(GadgetError):
+            bad.validate()
+
+    def test_completion_adds_two_fresh_facts(self):
+        gadget = gadget_for_aa()
+        completion = gadget.completion()
+        assert len(completion) == len(gadget.database) + 2
+        assert gadget.in_fact in completion
+        assert gadget.out_fact in completion
+
+
+class TestGadgetBuilder:
+    def test_word_path(self):
+        builder = GadgetBuilder()
+        builder.add_word_path("u", "abc", "v")
+        gadget = builder.build("u", "x", "a")
+        assert len(gadget.database) == 3
+
+    def test_empty_word_merges_nodes(self):
+        builder = GadgetBuilder()
+        builder.add_word_path("u", "", "v")
+        builder.add_edge("v", "a", "w")
+        facts = GadgetBuilder.build(builder, "u", "w2", "a").database.facts
+        assert Fact("u", "a", "w") in facts
+
+
+class TestEncoding:
+    def test_encoding_size(self):
+        gadget = gadget_for_aa()
+        edges = [(0, 1), (1, 2), (2, 0)]
+        encoding, vertex_facts = encode_graph(gadget, edges)
+        # One fact per vertex plus one gadget copy (4 facts) per edge.
+        assert len(encoding) == 3 + 3 * len(gadget.database)
+        assert len(vertex_facts) == 3
+
+    def test_claim_4_6_no_walk_across_copies(self):
+        # Internal elements of different copies are never connected by a walk:
+        # check that every fact entering a copy's internal node comes from the
+        # same copy or from a vertex fact.
+        gadget = gadget_for_aa()
+        encoding, _ = encode_graph(gadget, [(0, 1), (1, 2)])
+        for fact in encoding.facts:
+            if isinstance(fact.target, tuple) and fact.target[0] == "copy":
+                copy_index = fact.target[1]
+                assert (
+                    not isinstance(fact.source, tuple)
+                    or fact.source[0] != "copy"
+                    or fact.source[1] == copy_index
+                )
+
+
+class TestVerification:
+    def test_figure_3b_verifies_for_aa(self):
+        verification = verify_gadget(Language.from_regex("aa"), gadget_for_aa())
+        assert verification.valid
+        assert verification.path_length == 5
+        assert verification.num_matches == 5
+
+    def test_wrong_language_fails(self):
+        verification = verify_gadget(Language.from_regex("ab"), gadget_for_aa())
+        assert not verification.valid
+
+    def test_epsilon_language_fails(self):
+        verification = verify_gadget(Language.from_regex("ε|aa"), gadget_for_aa())
+        assert not verification.valid
+        assert "empty match" in verification.reason
+
+    def test_no_match_fails(self):
+        verification = verify_gadget(Language.from_regex("zz"), gadget_for_aa())
+        assert not verification.valid
+
+    def test_require_verified_raises(self):
+        with pytest.raises(GadgetError):
+            require_verified(Language.from_regex("ab"), gadget_for_aa())
+
+    def test_describe_condensed_path(self):
+        verification = verify_gadget(Language.from_regex("aa"), gadget_for_aa())
+        path = describe_condensed_path(verification)
+        assert len(path) == verification.path_length + 1
+        assert "s_in" in path[0]
+        assert "s_out" in path[-1]

@@ -1,0 +1,114 @@
+"""Tests for hypergraphs of matches, condensation rules, and hitting sets (Section 4.3)."""
+
+import pytest
+
+from repro.hardness.hypergraph import (
+    Hypergraph,
+    condense,
+    is_odd_path,
+    minimum_hitting_set,
+    minimum_hitting_set_size,
+    odd_path_length,
+)
+
+
+def path_hypergraph(length: int) -> Hypergraph:
+    nodes = list(range(length + 1))
+    edges = [{i, i + 1} for i in range(length)]
+    return Hypergraph.from_matches(nodes, edges)
+
+
+class TestBasics:
+    def test_incident_edges(self):
+        graph = path_hypergraph(3)
+        assert len(graph.incident_edges(1)) == 2
+        assert len(graph.incident_edges(0)) == 1
+
+    def test_rejects_unknown_nodes(self):
+        with pytest.raises(ValueError):
+            Hypergraph(frozenset({1}), frozenset({frozenset({1, 2})}))
+
+    def test_remove_node(self):
+        graph = path_hypergraph(2).remove_node(1)
+        assert 1 not in graph.nodes
+        assert all(1 not in edge for edge in graph.edges)
+
+
+class TestCondensation:
+    def test_edge_domination(self):
+        graph = Hypergraph.from_matches([1, 2, 3], [{1, 2}, {1, 2, 3}])
+        condensed = condense(graph, protected=[1])
+        assert frozenset({1, 2, 3}) not in condensed.edges
+
+    def test_node_domination(self):
+        # Node 3 appears only in the big edge; it is dominated by 1 and 2.
+        graph = Hypergraph.from_matches([1, 2, 3], [{1, 2}, {2, 3}, {1, 2, 3}])
+        condensed = condense(graph)
+        assert minimum_hitting_set_size(condensed) == minimum_hitting_set_size(graph)
+
+    def test_protected_nodes_survive(self):
+        graph = Hypergraph.from_matches([1, 2], [{1, 2}])
+        condensed = condense(graph, protected=[1, 2])
+        assert condensed.nodes == frozenset({1, 2})
+
+    def test_claim_4_8_hitting_set_preserved(self):
+        import random
+
+        rng = random.Random(0)
+        for _ in range(15):
+            nodes = list(range(7))
+            edges = []
+            for _ in range(6):
+                size = rng.randint(1, 3)
+                edges.append(set(rng.sample(nodes, size)))
+            graph = Hypergraph.from_matches(nodes, edges)
+            condensed = condense(graph)
+            assert minimum_hitting_set_size(condensed) == minimum_hitting_set_size(graph)
+
+    def test_path_is_a_fixpoint(self):
+        graph = path_hypergraph(5)
+        condensed = condense(graph, protected=[0, 5])
+        assert condensed.edges == graph.edges
+
+
+class TestOddPath:
+    def test_odd_path_detection(self):
+        assert is_odd_path(path_hypergraph(5), 0, 5)
+        assert not is_odd_path(path_hypergraph(4), 0, 4)
+        assert odd_path_length(path_hypergraph(7), 0, 7) == 7
+
+    def test_wrong_endpoints(self):
+        assert not is_odd_path(path_hypergraph(5), 0, 3)
+        assert not is_odd_path(path_hypergraph(5), 0, 0)
+
+    def test_branching_is_not_a_path(self):
+        graph = Hypergraph.from_matches([0, 1, 2, 3], [{0, 1}, {1, 2}, {1, 3}])
+        assert not is_odd_path(graph, 0, 3)
+
+    def test_disconnected_extra_node(self):
+        graph = Hypergraph.from_matches([0, 1, 2, 3, 9], [{0, 1}, {1, 2}, {2, 3}])
+        assert not is_odd_path(graph, 0, 3)
+
+    def test_large_hyperedge_is_not_a_path(self):
+        graph = Hypergraph.from_matches([0, 1, 2], [{0, 1, 2}])
+        assert not is_odd_path(graph, 0, 2)
+
+    def test_cycle_is_not_a_path(self):
+        graph = Hypergraph.from_matches([0, 1, 2, 3], [{0, 1}, {1, 2}, {2, 3}, {3, 1}])
+        assert not is_odd_path(graph, 0, 3)
+
+
+class TestHittingSet:
+    def test_path_hitting_set(self):
+        assert minimum_hitting_set_size(path_hypergraph(5)) == 3  # vertex cover of P6
+
+    def test_hitting_set_is_valid(self):
+        graph = Hypergraph.from_matches([1, 2, 3, 4], [{1, 2}, {2, 3}, {3, 4}, {1, 4}])
+        hitting = minimum_hitting_set(graph)
+        assert all(edge & hitting for edge in graph.edges)
+        assert len(hitting) == 2
+
+    def test_empty_hyperedge_rejected(self):
+        graph = Hypergraph.from_matches([1], [set()])
+        with pytest.raises(ValueError):
+            minimum_hitting_set(graph)

@@ -1,0 +1,85 @@
+"""Tests for infix-free sublanguages IF(L) (Section 2, Appendix B)."""
+
+import pytest
+
+from repro.languages import Language, infix
+
+
+class TestFiniteInfixFree:
+    def test_paper_example(self):
+        # The paper's example: IF(abbc | bb) = bb.
+        assert infix.infix_free_words({"abbc", "bb"}) == {"bb"}
+
+    def test_already_infix_free(self):
+        words = {"ab", "cd", "ef"}
+        assert infix.infix_free_words(words) == words
+
+    def test_removes_superwords_only(self):
+        assert infix.infix_free_words({"a", "aa", "ba", "ab"}) == {"a"}
+
+    def test_l0_example_from_section_3(self):
+        # IF({a, aa}) = {a} (used right after Theorem 3.13).
+        language = Language.from_words(["a", "aa"])
+        assert language.infix_free().words() == {"a"}
+
+    def test_epsilon_dominates_everything(self):
+        assert infix.infix_free_words({"", "a", "ab"}) == {""}
+
+
+class TestRegularInfixFree:
+    def test_infinite_language(self):
+        # IF(a x* b | xx) : xx is an infix of axxb, so axxb and longer words go away.
+        language = Language.from_regex("ax*b|xx")
+        reduced = language.infix_free()
+        assert "ab" in reduced
+        assert "axb" in reduced
+        assert "xx" in reduced
+        assert "axxb" not in reduced
+        assert "axxxb" not in reduced
+
+    def test_infinite_language_stays_equal_when_already_infix_free(self):
+        language = Language.from_regex("ax*b")
+        assert language.infix_free().equivalent_to(language)
+
+    def test_is_infix_free_predicate(self):
+        assert infix.is_infix_free(Language.from_regex("ab|cd"))
+        assert not infix.is_infix_free(Language.from_regex("ab|abc"))
+        assert infix.is_infix_free(Language.from_regex("ax*b"))
+        assert not infix.is_infix_free(Language.from_regex("ax*b|xx"))
+
+    def test_queries_unchanged(self):
+        # Q_L and Q_IF(L) are the same query: IF never removes all witnesses.
+        language = Language.from_regex("abb|bb|b")
+        reduced = language.infix_free()
+        assert reduced.words() == {"b"}
+
+
+class TestStrictInfixSearch:
+    def test_strict_infix_in_language(self):
+        language = Language.from_regex("bb")
+        assert infix.strict_infix_in_language("abbc", language) == "bb"
+
+    def test_no_strict_infix(self):
+        language = Language.from_regex("abc")
+        assert infix.strict_infix_in_language("abc", language) is None
+
+
+class TestPreservationLemmas:
+    def test_lemma_3_14_infix_free_preserves_locality(self):
+        # If L is local then IF(L) is local.
+        for expression in ["ax*b", "ab|ad|cd", "a|ab", "abc|abd"]:
+            language = Language.from_regex(expression)
+            if language.is_local():
+                assert language.infix_free().is_local(), expression
+
+    def test_claim_b1_infix_free_preserves_star_freeness(self):
+        for expression in ["ab|cd", "ax*b", "abc|abd|a"]:
+            language = Language.from_regex(expression)
+            assert language.is_star_free()
+            assert language.infix_free().is_star_free()
+
+    def test_mirror_commutes_with_infix_free(self):
+        language = Language.from_regex("abbc|bb|dd")
+        left = language.mirror().infix_free()
+        right = language.infix_free().mirror()
+        assert left.equivalent_to(right)

@@ -1,0 +1,95 @@
+"""Cross-module integration tests: the full pipeline of the paper on small scenarios."""
+
+import pytest
+
+from repro import BagGraphDatabase, GraphDatabase, Language, RPQ, resilience
+from repro.classify import classify
+from repro.graphdb import generators
+from repro.hardness import build_reduction, check_reduction, hardness_gadget
+from repro.resilience import resilience_exact, verify_contingency_set
+
+
+class TestMinCutStory:
+    """The introduction's connection between resilience of a x* b and MinCut."""
+
+    def test_flow_network_resilience(self):
+        bag = generators.layered_flow_database(4, 3, seed=11)
+        result = resilience("ax*b", bag)
+        assert result.method == "local-flow"
+        assert verify_contingency_set("ax*b", bag, result)
+
+    def test_resilience_monotone_in_multiplicities(self):
+        base = generators.layered_flow_database(3, 2, seed=3)
+        doubled = BagGraphDatabase({fact: 2 * mult for fact, mult in base.multiplicities().items()})
+        assert resilience("ax*b", doubled).value == 2 * resilience("ax*b", base).value
+
+
+class TestTractableAlgorithmsAgree:
+    def test_all_three_flow_algorithms_against_exact(self):
+        scenarios = [
+            ("ab|ad|cd", "abcd"),
+            ("ab|bc", "abc"),
+            ("abc|be", "abce"),
+        ]
+        for expression, alphabet in scenarios:
+            language = Language.from_regex(expression)
+            for seed in range(3):
+                database = generators.random_labelled_graph(5, 11, alphabet, seed=seed)
+                fast = resilience(language, database)
+                slow = resilience_exact(language, database)
+                assert fast.value == slow.value, (expression, seed)
+
+
+class TestHardnessPipeline:
+    def test_classify_then_certify_then_reduce(self):
+        language = Language.from_regex("axb|cxd")
+        classification = classify(language, build_certificate=True)
+        assert classification.complexity == "NP-hard"
+        certificate = classification.certificate
+        assert certificate is not None
+        instance = build_reduction(
+            certificate.gadget_language,
+            certificate.gadget,
+            [(0, 1), (1, 2)],
+            verification=certificate.verification,
+        )
+        assert check_reduction(instance)
+
+    def test_certificate_for_every_decidedly_hard_small_language(self):
+        for expression in ["aa", "aaa", "aab", "ab|bc|ca", "abcd|bef"]:
+            certificate = hardness_gadget(Language.from_regex(expression))
+            assert certificate.verification.valid, expression
+
+
+class TestEndToEndScenario:
+    def test_fraud_ring_scenario(self):
+        # A small "transaction graph" scenario: accounts connected by labelled
+        # edges; the query detects a suspicious pattern; resilience counts how
+        # many edges an auditor must delete to rule the pattern out.
+        edges = [
+            ("acct1", "a", "acct2"),
+            ("acct2", "x", "acct3"),
+            ("acct3", "x", "acct4"),
+            ("acct4", "b", "acct5"),
+            ("acct2", "b", "acct6"),
+            ("acct0", "a", "acct2"),
+        ]
+        database = GraphDatabase.from_edges(edges)
+        query = RPQ.from_regex("ax*b")
+        assert query.holds(database)
+        result = resilience(query.language, database)
+        # Every witnessing walk enters acct2 through one of the two a-edges and
+        # leaves towards storage through one of the two b-branches, so two
+        # deletions are needed (e.g. both b-side bottlenecks).
+        assert result.value == 2
+        assert verify_contingency_set(query.language, database, result)
+        cleaned = database.remove(result.contingency_set)
+        assert not query.holds(cleaned)
+
+    def test_bag_semantics_costs(self):
+        bag = BagGraphDatabase.from_edges(
+            [("u", "a", "v", 10), ("v", "x", "w", 1), ("w", "b", "t", 10), ("v", "b", "t", 1)]
+        )
+        result = resilience("ax*b", bag)
+        assert result.value == 2  # cut the two cheap facts rather than the expensive ones
+        assert verify_contingency_set("ax*b", bag, result)

@@ -1,0 +1,119 @@
+"""Unit tests for the Language façade."""
+
+import pytest
+
+from repro.exceptions import NotFiniteError
+from repro.languages import Language
+
+
+class TestConstruction:
+    def test_from_regex(self):
+        language = Language.from_regex("ab|cd")
+        assert "ab" in language
+        assert "cd" in language
+        assert "ac" not in language
+
+    def test_from_words(self):
+        language = Language.from_words(["ab", "cd"])
+        assert language.words() == {"ab", "cd"}
+        assert language.is_finite()
+
+    def test_from_words_with_epsilon(self):
+        language = Language.from_words(["", "a"])
+        assert language.contains_epsilon()
+
+    def test_alphabet(self):
+        assert Language.from_regex("ab|cd").alphabet == frozenset("abcd")
+
+    def test_extra_alphabet_letters(self):
+        language = Language.from_regex("ab", alphabet="abz")
+        assert "z" in language.alphabet
+
+
+class TestBasicQueries:
+    def test_finite_vs_infinite(self):
+        assert Language.from_regex("ab|cd").is_finite()
+        assert not Language.from_regex("ax*b").is_finite()
+
+    def test_words_raises_for_infinite(self):
+        with pytest.raises(NotFiniteError):
+            Language.from_regex("ax*b").words()
+
+    def test_words_up_to_length(self):
+        assert Language.from_regex("ax*b").words_up_to_length(3) == {"ab", "axb"}
+
+    def test_is_empty(self):
+        assert Language.from_words([]).is_empty()
+        assert not Language.from_regex("a").is_empty()
+
+    def test_shortest_word(self):
+        assert Language.from_regex("ax*b").shortest_word() == "ab"
+
+    def test_max_word_length(self):
+        assert Language.from_regex("ab|abcd").max_word_length() == 4
+
+
+class TestComparisons:
+    def test_equivalent_to(self):
+        assert Language.from_regex("ab|ad").equivalent_to(Language.from_regex("a(b|d)"))
+
+    def test_equality_operator(self):
+        assert Language.from_regex("ab|ad") == Language.from_regex("a(b|d)")
+        assert Language.from_regex("ab") != Language.from_regex("ad")
+
+    def test_subset_of(self):
+        assert Language.from_regex("ab").subset_of(Language.from_regex("ab|ad"))
+        assert not Language.from_regex("ab|ad").subset_of(Language.from_regex("ab"))
+
+
+class TestTransformations:
+    def test_mirror_finite(self):
+        mirrored = Language.from_regex("abc|de").mirror()
+        assert mirrored.words() == {"cba", "ed"}
+
+    def test_mirror_infinite(self):
+        mirrored = Language.from_regex("ax*b").mirror()
+        assert "bxxa" in mirrored
+        assert "axb" not in mirrored
+
+    def test_restrict_to_letters(self):
+        restricted = Language.from_regex("ab|cd|ax").restrict_to_letters("abx")
+        assert restricted.words() == {"ab", "ax"}
+
+    def test_infix_free_shortcut(self):
+        assert Language.from_regex("abbc|bb").infix_free().words() == {"bb"}
+
+    def test_has_repeated_letter_word(self):
+        assert Language.from_regex("abca|cab").has_repeated_letter_word()
+        assert not Language.from_regex("abc|cab").has_repeated_letter_word()
+
+
+class TestDelegations:
+    def test_is_local_delegation(self):
+        assert Language.from_regex("ax*b").is_local()
+        assert not Language.from_regex("aa").is_local()
+
+    def test_is_star_free_delegation(self):
+        assert Language.from_regex("abc").is_star_free()
+        assert not Language.from_regex("b(aa)*d").is_star_free()
+
+    def test_is_four_legged_delegation(self):
+        assert Language.from_regex("axb|cxd").is_four_legged()
+        assert not Language.from_regex("ab|bc").is_four_legged()
+
+    def test_chain_delegations(self):
+        assert Language.from_regex("ab|bc").is_bipartite_chain_language()
+        assert Language.from_regex("ab|bc|ca").is_chain_language()
+        assert not Language.from_regex("ab|bc|ca").is_bipartite_chain_language()
+
+    def test_one_dangling_delegation(self):
+        assert Language.from_regex("abc|be").one_dangling_decomposition() is not None
+        assert Language.from_regex("aa").one_dangling_decomposition() is None
+
+    def test_neutral_letters_delegation(self):
+        assert Language.from_regex("e*ae*|e*be*").neutral_letters() == frozenset("e")
+
+    def test_repr_and_str(self):
+        language = Language.from_regex("ab|cd")
+        assert "ab|cd" in repr(language)
+        assert str(language) == "ab|cd"

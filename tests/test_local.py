@@ -1,0 +1,89 @@
+"""Tests for local languages (Section 3.1)."""
+
+import pytest
+
+from repro.languages import Language, local
+
+
+class TestLocalProfile:
+    def test_profile_of_ax_star_b(self):
+        profile = local.local_profile(Language.from_regex("ax*b"))
+        assert profile.start_letters == {"a"}
+        assert profile.end_letters == {"b"}
+        assert profile.consecutive_pairs == {("a", "x"), ("x", "x"), ("x", "b"), ("a", "b")}
+        assert not profile.has_epsilon
+
+    def test_profile_of_finite_language(self):
+        profile = local.local_profile(Language.from_regex("ab|ad|cd"))
+        assert profile.start_letters == {"a", "c"}
+        assert profile.end_letters == {"b", "d"}
+        assert profile.consecutive_pairs == {("a", "b"), ("a", "d"), ("c", "d")}
+
+    def test_profile_epsilon(self):
+        profile = local.local_profile(Language.from_regex("ε|a"))
+        assert profile.has_epsilon
+
+
+class TestLocalOverapproximation:
+    def test_overapproximation_is_local_dfa(self):
+        for expression in ["ax*b", "aa", "abc|bcd"]:
+            approx = local.local_overapproximation(Language.from_regex(expression))
+            assert approx.is_local_dfa(), expression
+
+    def test_overapproximation_contains_language(self):
+        # Claim 3.9: L(A) >= L.
+        language = Language.from_regex("abc|bcd")
+        approx = Language.from_automaton(local.local_overapproximation(language))
+        assert language.subset_of(approx)
+
+    def test_overapproximation_of_aa_adds_longer_words(self):
+        approx = local.local_overapproximation(Language.from_regex("aa"))
+        assert approx.accepts("aa")
+        assert approx.accepts("aaa")  # the overapproximation is strictly larger
+
+
+class TestIsLocal:
+    @pytest.mark.parametrize(
+        "expression", ["ax*b", "ab|ad|cd", "abc|abd", "a|b", "axb|axc", "abcd"]
+    )
+    def test_local_languages(self, expression):
+        assert local.is_local(Language.from_regex(expression)), expression
+
+    @pytest.mark.parametrize(
+        "expression",
+        ["aa", "axb|cxd", "ab|bc", "abc|bcd", "abca|cab", "b(aa)*d", "ab|bc|ca", "abc|be"],
+    )
+    def test_non_local_languages(self, expression):
+        assert not local.is_local(Language.from_regex(expression)), expression
+
+    def test_empty_language_is_local(self):
+        assert local.is_local(Language.from_words([]))
+
+    def test_proposition_3_12_dfa_input(self):
+        # Locality testing for DFAs: feed the minimized DFA and test.
+        language = Language.from_regex("ab|ad|cd")
+        minimal = language.automaton.minimize()
+        assert local.is_local(Language.from_automaton(minimal))
+
+
+class TestLetterCartesian:
+    def test_example_3_4_aa_violation(self):
+        violation = local.letter_cartesian_violation_finite(Language.from_regex("aa"))
+        assert violation is not None
+        letter, alpha, beta, gamma, delta = violation
+        assert letter == "a"
+        # The cross word is not in the language.
+        assert alpha + letter + delta not in Language.from_regex("aa")
+
+    def test_local_language_has_no_violation(self):
+        assert local.is_letter_cartesian_finite(Language.from_regex("ab|ad|cd"))
+
+    def test_equivalence_with_locality_on_finite_languages(self):
+        # Proposition 3.5 on a battery of finite languages.
+        for expression in ["ab|ad|cd", "aa", "abc|abd", "abc|bcd", "ab|bc", "abca|cab"]:
+            language = Language.from_regex(expression)
+            assert local.is_local(language) == local.is_letter_cartesian_finite(language), expression
+
+    def test_infinite_language_sampled_check(self):
+        language = Language.from_regex("ax*b")
+        assert local.is_letter_cartesian_finite(language, max_length=5)

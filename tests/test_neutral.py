@@ -1,0 +1,69 @@
+"""Tests for neutral letters and Lemma 5.8 / Proposition 5.7 (Section 5.2)."""
+
+import pytest
+
+from repro.languages import Language, neutral
+
+
+class TestNeutralLetterDetection:
+    def test_neutral_letter_of_l1(self):
+        # L1 = e*be*ce* | e*de*fe* has neutral letter e.
+        language = Language.from_regex("e*be*ce*|e*de*fe*")
+        assert neutral.is_neutral_letter(language, "e")
+        assert neutral.neutral_letters(language) == frozenset("e")
+
+    def test_neutral_letter_of_l2(self):
+        language = Language.from_regex("e*(a|c)e*(a|d)e*")
+        assert neutral.neutral_letters(language) == frozenset("e")
+
+    def test_no_neutral_letter(self):
+        assert neutral.neutral_letters(Language.from_regex("ab|cd")) == frozenset()
+        assert neutral.neutral_letters(Language.from_regex("ax*b")) == frozenset()
+
+    def test_non_neutral_because_of_deletion(self):
+        # e can be inserted freely in e+ but deleting the only e changes membership.
+        language = Language.from_regex("ee*")
+        assert not neutral.is_neutral_letter(language, "e")
+
+
+class TestLemma58:
+    def test_case_four_legged(self):
+        # IF(L1) = b e* c | d e* f is four-legged (Section 5.2).
+        language = Language.from_regex("e*be*ce*|e*de*fe*")
+        analysis = neutral.lemma_5_8_analysis(language)
+        assert analysis.neutral_letter == "e"
+        assert not analysis.infix_free_is_local
+        assert analysis.four_legged_witness is not None
+
+    def test_case_square_letter(self):
+        # IF(L2) = (a|c) e* (a|d) contains aa but is not four-legged.
+        language = Language.from_regex("e*(a|c)e*(a|d)e*")
+        analysis = neutral.lemma_5_8_analysis(language)
+        assert analysis.square_letter == "a"
+        assert analysis.four_legged_witness is None
+
+    def test_local_case(self):
+        # a e* b with neutral letter e: IF is local, resilience is tractable.
+        language = Language.from_regex("e*ae*be*|e*ae*")
+        analysis = neutral.lemma_5_8_analysis(language)
+        assert analysis.infix_free_is_local
+
+
+class TestProposition57Dichotomy:
+    def test_tractable_side(self):
+        from repro.classify import classify
+
+        result = classify(Language.from_regex("e*ae*be*|e*ae*"))
+        assert result.complexity == "PTIME"
+
+    def test_hard_side_four_legged(self):
+        from repro.classify import classify
+
+        result = classify(Language.from_regex("e*be*ce*|e*de*fe*"))
+        assert result.complexity == "NP-hard"
+
+    def test_hard_side_square(self):
+        from repro.classify import classify
+
+        result = classify(Language.from_regex("e*(a|c)e*(a|d)e*"))
+        assert result.complexity == "NP-hard"

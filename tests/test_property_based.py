@@ -1,0 +1,134 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.graphdb import Fact, GraphDatabase
+from repro.languages import Language
+from repro.languages.infix import infix_free_words
+from repro.languages.words import has_repeated_letter, mirror
+from repro.resilience import resilience, resilience_exact, verify_contingency_set
+from repro.rpq import RPQ
+
+SETTINGS = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+letters = st.sampled_from("ab")
+small_words = st.text(alphabet="abc", min_size=1, max_size=4)
+word_sets = st.sets(small_words, min_size=1, max_size=4)
+
+
+def databases(alphabet="ab", max_nodes=4, max_edges=8):
+    nodes = st.integers(min_value=0, max_value=max_nodes - 1)
+    edge = st.tuples(nodes, st.sampled_from(alphabet), nodes)
+    return st.lists(edge, min_size=0, max_size=max_edges).map(GraphDatabase.from_edges)
+
+
+class TestWordInvariants:
+    @SETTINGS
+    @given(small_words)
+    def test_mirror_is_involutive(self, word):
+        assert mirror(mirror(word)) == word
+
+    @SETTINGS
+    @given(small_words)
+    def test_repeated_letter_iff_fewer_distinct(self, word):
+        assert has_repeated_letter(word) == (len(set(word)) < len(word))
+
+    @SETTINGS
+    @given(word_sets)
+    def test_infix_free_is_idempotent_and_shrinking(self, words):
+        reduced = infix_free_words(words)
+        assert reduced <= words
+        assert infix_free_words(reduced) == reduced
+
+    @SETTINGS
+    @given(word_sets)
+    def test_infix_free_preserves_query(self, words):
+        # Q_L and Q_IF(L) agree on every database: check on the word-walk database.
+        language = Language.from_words(words)
+        reduced = language.infix_free()
+        from repro.graphdb import generators
+
+        database = generators.word_chain(sorted(words))
+        assert RPQ(language).holds(database) == RPQ(reduced).holds(database)
+
+
+class TestLanguageInvariants:
+    @SETTINGS
+    @given(word_sets)
+    def test_finite_language_round_trip(self, words):
+        language = Language.from_words(words)
+        assert language.words() == frozenset(words)
+
+    @SETTINGS
+    @given(word_sets)
+    def test_mirror_of_mirror_is_identity(self, words):
+        language = Language.from_words(words)
+        assert language.mirror().mirror().equivalent_to(language)
+
+    @SETTINGS
+    @given(word_sets)
+    def test_local_languages_are_letter_cartesian(self, words):
+        from repro.languages import local
+
+        language = Language.from_words(words)
+        assert local.is_local(language) == local.is_letter_cartesian_finite(language)
+
+
+class TestResilienceInvariants:
+    @SETTINGS
+    @given(databases())
+    def test_resilience_bounded_by_database_size(self, database):
+        result = resilience_exact(Language.from_regex("ab"), database)
+        assert 0 <= result.value <= len(database)
+
+    @SETTINGS
+    @given(databases())
+    def test_contingency_set_is_valid(self, database):
+        language = Language.from_regex("ab|ba")
+        result = resilience_exact(language, database)
+        assert verify_contingency_set(language, database, result)
+
+    @SETTINGS
+    @given(databases())
+    def test_resilience_zero_iff_query_false(self, database):
+        language = Language.from_regex("aa")
+        result = resilience_exact(language, database)
+        assert (result.value == 0) == (not RPQ(language).holds(database))
+
+    @SETTINGS
+    @given(databases(alphabet="axb", max_nodes=4, max_edges=8))
+    def test_local_flow_agrees_with_exact(self, database):
+        language = Language.from_regex("ax*b")
+        assert resilience(language, database).value == resilience_exact(language, database).value
+
+    @SETTINGS
+    @given(databases(alphabet="abc", max_nodes=4, max_edges=8))
+    def test_bcl_flow_agrees_with_exact(self, database):
+        language = Language.from_regex("ab|bc")
+        assert resilience(language, database).value == resilience_exact(language, database).value
+
+    @SETTINGS
+    @given(databases(alphabet="abce", max_nodes=4, max_edges=8))
+    def test_one_dangling_agrees_with_exact(self, database):
+        language = Language.from_regex("abc|be")
+        assert resilience(language, database).value == resilience_exact(language, database).value
+
+    @SETTINGS
+    @given(databases(alphabet="ab", max_nodes=4, max_edges=7))
+    def test_removing_facts_never_increases_resilience(self, database):
+        language = Language.from_regex("ab")
+        full = resilience_exact(language, database).value
+        if database.facts:
+            fact = sorted(database.facts, key=repr)[0]
+            smaller = resilience_exact(language, database.remove([fact])).value
+            assert smaller <= full
+
+    @SETTINGS
+    @given(databases(alphabet="ab", max_nodes=4, max_edges=7))
+    def test_mirror_invariance_of_resilience(self, database):
+        language = Language.from_regex("ab|ba|aa")
+        direct = resilience_exact(language, database).value
+        mirrored = resilience_exact(language.mirror(), database.reverse()).value
+        assert direct == mirrored

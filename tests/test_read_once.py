@@ -1,0 +1,82 @@
+"""Tests for read-once epsilon-NFAs (Definition 3.15, Lemma 3.17, Appendix A.2)."""
+
+import pytest
+
+from repro.exceptions import NotLocalError
+from repro.languages import Language, read_once
+from repro.languages.automata import EpsilonNFA
+
+
+class TestConversions:
+    def test_local_dfa_to_read_once_preserves_language(self):
+        language = Language.from_regex("ab|ad|cd")
+        local_dfa = language.local_overapproximation()
+        ro = read_once.local_dfa_to_read_once(local_dfa)
+        assert ro.is_read_once()
+        for word in ["ab", "ad", "cd", "cb", "a", ""]:
+            assert local_dfa.accepts(word) == ro.accepts(word)
+
+    def test_read_once_to_local_dfa(self):
+        language = Language.from_regex("ax*b")
+        ro = read_once.read_once_automaton(language)
+        back = read_once.read_once_to_local_dfa(ro)
+        assert back.is_dfa()
+        for word in ["ab", "axb", "axxb", "a", "b"]:
+            assert ro.accepts(word) == back.accepts(word)
+
+    def test_rejects_non_local_dfa(self):
+        non_local = EpsilonNFA.build(
+            ["q0", "q1", "q2"], ["q0"], ["q2"], [("q0", "a", "q1"), ("q1", "a", "q2")]
+        )
+        with pytest.raises(NotLocalError):
+            read_once.local_dfa_to_read_once(non_local)
+
+    def test_rejects_non_read_once(self):
+        non_ro = EpsilonNFA.build(
+            ["q0", "q1", "q2"], ["q0"], ["q2"], [("q0", "a", "q1"), ("q1", "a", "q2")]
+        )
+        with pytest.raises(NotLocalError):
+            read_once.read_once_to_local_dfa(non_ro)
+
+
+class TestReadOnceAutomaton:
+    @pytest.mark.parametrize("expression", ["ax*b", "ab|ad|cd", "abc|abd", "a|b"])
+    def test_lemma_3_17_round_trip(self, expression):
+        language = Language.from_regex(expression)
+        ro = read_once.read_once_automaton(language)
+        assert ro.is_read_once()
+        assert Language.from_automaton(ro).equivalent_to(language)
+
+    def test_raises_for_non_local_language(self):
+        with pytest.raises(NotLocalError):
+            read_once.read_once_automaton(Language.from_regex("aa"))
+
+    def test_unchecked_returns_overapproximation(self):
+        # For a non-local language the unchecked variant recognizes the local
+        # overapproximation, which is a superset.
+        language = Language.from_regex("aa")
+        ro = read_once.read_once_automaton_unchecked(language)
+        assert ro.is_read_once()
+        assert ro.accepts("aa")
+        assert ro.accepts("aaa")
+
+
+class TestLemmaA1:
+    def test_no_read_once_dfa_for_ab_ad_cd(self):
+        # Lemma A.1: epsilon transitions are essential -- any read-once automaton
+        # without epsilon transitions accepting ab, ad, cd also accepts cb.
+        language = Language.from_regex("ab|ad|cd")
+        ro = read_once.read_once_automaton(language)
+        assert ro.epsilon_transitions, "the RO automaton for ab|ad|cd must use epsilon transitions"
+
+    def test_read_once_dfa_would_accept_cb(self):
+        # Build the only possible read-once letter-transition skeleton and check
+        # it accepts cb, reproducing the argument of Lemma A.1.
+        skeleton = EpsilonNFA.build(
+            ["s", "m", "f"],
+            ["s"],
+            ["f"],
+            [("s", "a", "m"), ("m", "b", "f"), ("m", "d", "f"), ("s", "c", "m")],
+        )
+        assert skeleton.is_read_once()
+        assert skeleton.accepts("cb")

@@ -1,0 +1,56 @@
+"""End-to-end validation of the vertex-cover reduction (Proposition 4.11)."""
+
+import pytest
+
+from repro.graphdb import generators
+from repro.hardness import build_reduction, check_reduction
+from repro.hardness.library import gadget_for_aa, gadget_for_ab_bc_ca, gadget_for_aab
+from repro.languages import Language
+from repro.resilience import resilience_exact
+
+
+class TestReductionPredictions:
+    def test_aa_on_triangle(self):
+        # Proposition 4.1 on the triangle: vc = 2, 3 edges, path length 5.
+        instance = build_reduction(Language.from_regex("aa"), gadget_for_aa(), generators.cycle_graph(3))
+        assert instance.vertex_cover_number == 2
+        assert instance.subdivision_length == 5
+        assert instance.predicted_resilience == 2 + 3 * 2
+        assert check_reduction(instance)
+
+    def test_aa_on_single_edge(self):
+        instance = build_reduction(Language.from_regex("aa"), gadget_for_aa(), [(0, 1)])
+        assert instance.predicted_resilience == 1 + 2
+        assert check_reduction(instance)
+
+    def test_aa_on_random_graphs(self):
+        for seed in range(3):
+            edges = generators.random_undirected_graph(4, 0.5, seed=seed)
+            if not edges:
+                continue
+            instance = build_reduction(Language.from_regex("aa"), gadget_for_aa(), edges)
+            assert check_reduction(instance), seed
+
+    def test_ab_bc_ca_on_path_graph(self):
+        instance = build_reduction(
+            Language.from_regex("ab|bc|ca"), gadget_for_ab_bc_ca(), [(0, 1), (1, 2)]
+        )
+        assert instance.subdivision_length == 7
+        assert instance.vertex_cover_number == 1
+        assert check_reduction(instance)
+
+    def test_aab_on_triangle(self):
+        instance = build_reduction(Language.from_regex("aab"), gadget_for_aab(), generators.cycle_graph(3))
+        assert instance.subdivision_length == 3
+        assert check_reduction(instance)
+
+    def test_resilience_grows_with_vertex_cover(self):
+        # Bigger graphs have bigger encodings and bigger resilience.
+        small = build_reduction(Language.from_regex("aa"), gadget_for_aa(), [(0, 1)])
+        large = build_reduction(Language.from_regex("aa"), gadget_for_aa(), generators.cycle_graph(4))
+        assert large.predicted_resilience > small.predicted_resilience
+
+    def test_encoding_database_is_reused_directly(self):
+        instance = build_reduction(Language.from_regex("aa"), gadget_for_aa(), [(0, 1), (1, 2)])
+        result = resilience_exact(Language.from_regex("aa"), instance.encoding, semantics="set")
+        assert result.value == instance.predicted_resilience

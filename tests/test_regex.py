@@ -1,0 +1,72 @@
+"""Unit tests for the regular-expression parser."""
+
+import pytest
+
+from repro.exceptions import RegexSyntaxError
+from repro.languages.regex import node_to_string, parse_regex, regex_to_automaton
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "expression, accepted, rejected",
+        [
+            ("ab", ["ab"], ["a", "b", "abc", ""]),
+            ("ab|ad|cd", ["ab", "ad", "cd"], ["cb", "a", ""]),
+            ("ax*b", ["ab", "axb", "axxxb"], ["a", "xb", "axa"]),
+            ("a(b|c)d", ["abd", "acd"], ["ad", "abcd"]),
+            ("b(aa)*d", ["bd", "baad", "baaaad"], ["bad", "baaad"]),
+            ("(ab)*", ["", "ab", "abab"], ["a", "aba"]),
+            ("ε|a", ["", "a"], ["aa"]),
+            ("_|a", ["", "a"], ["aa"]),
+            ("ab*d|ac*d|bc", ["ad", "abd", "abbd", "acd", "bc"], ["abc", "abcd"]),
+        ],
+    )
+    def test_membership(self, expression, accepted, rejected):
+        automaton = regex_to_automaton(expression)
+        for word in accepted:
+            assert automaton.accepts(word), (expression, word)
+        for word in rejected:
+            assert not automaton.accepts(word), (expression, word)
+
+    def test_nested_parentheses(self):
+        automaton = regex_to_automaton("((a|b)c)*d")
+        assert automaton.accepts("d")
+        assert automaton.accepts("acd")
+        assert automaton.accepts("acbcd")
+        assert not automaton.accepts("abd")
+
+    def test_star_binds_tighter_than_concatenation(self):
+        automaton = regex_to_automaton("ab*")
+        assert automaton.accepts("a")
+        assert automaton.accepts("abbb")
+        assert not automaton.accepts("abab")
+
+    def test_union_is_lowest_precedence(self):
+        automaton = regex_to_automaton("ab|cd*")
+        assert automaton.accepts("ab")
+        assert automaton.accepts("c")
+        assert automaton.accepts("cddd")
+        assert not automaton.accepts("abdd")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("expression", ["(ab", "ab)", "*a", "a**b(", "a b"])
+    def test_syntax_errors(self, expression):
+        with pytest.raises(RegexSyntaxError):
+            regex_to_automaton(expression)
+
+    def test_empty_expression_is_epsilon(self):
+        automaton = regex_to_automaton("")
+        assert automaton.accepts("")
+        assert not automaton.accepts("a")
+
+
+class TestRendering:
+    @pytest.mark.parametrize("expression", ["ab|cd", "ax*b", "a(b|c)d", "(ab)*"])
+    def test_round_trip_language(self, expression):
+        ast = parse_regex(expression)
+        rendered = node_to_string(ast)
+        original = regex_to_automaton(expression)
+        round_tripped = regex_to_automaton(rendered)
+        for word in ["", "a", "ab", "cd", "axb", "abd", "acd", "abab"]:
+            assert original.accepts(word) == round_tripped.accepts(word)

@@ -1,0 +1,75 @@
+"""Tests for the Proposition 7.6 reduction (bipartite chain languages)."""
+
+import pytest
+
+from repro.exceptions import NotApplicableError
+from repro.graphdb import GraphDatabase, generators
+from repro.languages import Language
+from repro.resilience import resilience_bcl, resilience_exact, verify_contingency_set
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("expression", ["ab|bc", "axb|byc", "axyb|bztc|cd|dea"])
+    def test_agrees_with_exact_on_random_set_databases(self, expression):
+        language = Language.from_regex(expression)
+        alphabet = "".join(sorted(language.alphabet))
+        for seed in range(5):
+            database = generators.random_labelled_graph(5, 10, alphabet, seed=seed)
+            bcl_result = resilience_bcl(language, database)
+            exact_result = resilience_exact(language, database)
+            assert bcl_result.value == exact_result.value, (expression, seed)
+            assert verify_contingency_set(language, database, bcl_result), (expression, seed)
+
+    def test_agrees_with_exact_on_bag_databases(self):
+        language = Language.from_regex("ab|bc")
+        for seed in range(5):
+            bag = generators.random_bag_database(5, 12, "abc", seed=seed, max_multiplicity=5)
+            bcl_result = resilience_bcl(language, bag)
+            exact_result = resilience_exact(language, bag)
+            assert bcl_result.value == exact_result.value, seed
+
+    def test_rejects_non_bcl(self):
+        database = GraphDatabase.from_edges([("u", "a", "v")])
+        with pytest.raises(NotApplicableError):
+            resilience_bcl(Language.from_regex("ab|bc|ca"), database)
+        with pytest.raises(NotApplicableError):
+            resilience_bcl(Language.from_regex("aa"), database)
+
+    def test_one_letter_words_force_removals(self):
+        # Words of length one force removing every fact with that label.
+        language = Language.from_words(["ab", "c"])
+        database = GraphDatabase.from_edges(
+            [("u", "c", "v"), ("w", "c", "z"), ("u", "a", "x")]
+        )
+        result = resilience_bcl(language, database)
+        assert result.value == 2
+        assert verify_contingency_set(Language.from_words(["ab", "c"]), database, result)
+
+    def test_query_false_gives_zero(self):
+        database = GraphDatabase.from_edges([("u", "a", "v"), ("w", "c", "z")])
+        result = resilience_bcl(Language.from_regex("ab|bc"), database)
+        assert result.value == 0
+
+    def test_word_walk_chain(self):
+        # A chain a->b->c creates one ab-walk and one bc-walk sharing the b-fact.
+        database = GraphDatabase.from_edges(
+            [("1", "a", "2"), ("2", "b", "3"), ("3", "c", "4")]
+        )
+        result = resilience_bcl(Language.from_regex("ab|bc"), database)
+        assert result.value == 1
+        assert verify_contingency_set("ab|bc", database, result)
+
+    def test_reversed_word_orientation(self):
+        # axb|byc with shared b: witnesses overlap only on b-facts.
+        database = GraphDatabase.from_edges(
+            [
+                ("1", "a", "2"),
+                ("2", "x", "3"),
+                ("3", "b", "4"),
+                ("4", "y", "5"),
+                ("5", "c", "6"),
+            ]
+        )
+        result = resilience_bcl(Language.from_regex("axb|byc"), database)
+        exact = resilience_exact(Language.from_regex("axb|byc"), database)
+        assert result.value == exact.value == 1

@@ -1,0 +1,73 @@
+"""Tests for the resilience dispatcher."""
+
+import pytest
+
+from repro.graphdb import GraphDatabase, generators
+from repro.languages import Language
+from repro.resilience import choose_method, resilience, resilience_exact, verify_contingency_set
+from repro.rpq import RPQ
+
+
+class TestMethodSelection:
+    @pytest.mark.parametrize(
+        "expression, expected",
+        [
+            ("ax*b", "local-flow"),
+            ("ab|ad|cd", "local-flow"),
+            ("a|aa", "local-flow"),
+            ("ab|bc", "bcl-flow"),
+            ("axb|byc", "bcl-flow"),
+            ("abc|be", "one-dangling-flow"),
+            ("ax*b|xd", "one-dangling-flow"),
+            ("aa", "exact"),
+            ("axb|cxd", "exact"),
+            ("abc|bcd", "exact"),
+            ("ε|a", "trivial-epsilon"),
+        ],
+    )
+    def test_choose_method(self, expression, expected):
+        assert choose_method(Language.from_regex(expression)) == expected
+
+
+class TestDispatch:
+    def test_accepts_string_language_and_rpq(self):
+        database = GraphDatabase.from_edges([("s", "a", "u"), ("u", "b", "t")])
+        for query in ["ab", Language.from_regex("ab"), RPQ.from_regex("ab")]:
+            assert resilience(query, database).value == 1
+
+    def test_flow_methods_match_exact_on_mixed_suite(self):
+        suite = ["ax*b", "ab|bc", "abc|be", "ab|ad|cd"]
+        for expression in suite:
+            language = Language.from_regex(expression)
+            alphabet = "".join(sorted(language.alphabet))
+            for seed in range(3):
+                database = generators.random_labelled_graph(5, 10, alphabet, seed=seed)
+                result = resilience(language, database)
+                exact = resilience_exact(language, database)
+                assert result.value == exact.value, (expression, seed)
+                assert result.method != "exact", expression
+                assert verify_contingency_set(language, database, result)
+
+    def test_method_override(self):
+        database = GraphDatabase.from_edges([("s", "a", "u"), ("u", "b", "t")])
+        forced = resilience("ab", database, method="exact")
+        assert forced.method == "exact"
+        assert forced.value == 1
+
+    def test_hard_language_falls_back_to_exact(self):
+        database = generators.random_labelled_graph(4, 8, "a", seed=0)
+        result = resilience("aa", database)
+        assert result.method == "exact"
+        assert verify_contingency_set("aa", database, result)
+
+    def test_epsilon_query(self):
+        database = GraphDatabase.from_edges([("s", "a", "u")])
+        result = resilience("ε|a", database)
+        assert result.is_infinite
+        assert result.method == "trivial-epsilon"
+
+    def test_semantics_reporting(self):
+        database = GraphDatabase.from_edges([("s", "a", "u"), ("u", "b", "t")])
+        assert resilience("ab", database).semantics == "set"
+        assert resilience("ab", database.to_bag(3)).semantics == "bag"
+        assert resilience("ab", database.to_bag(3)).value == 3

@@ -1,0 +1,102 @@
+"""Tests for RPQ evaluation, witness walks and match enumeration."""
+
+import pytest
+
+from repro.exceptions import NotApplicableError
+from repro.graphdb import Fact, GraphDatabase
+from repro.languages import Language
+from repro.rpq import RPQ, enumerate_matches, minimal_matches
+from repro.rpq.evaluation import walk_label, is_walk
+
+
+@pytest.fixture
+def flow_db() -> GraphDatabase:
+    return GraphDatabase.from_edges(
+        [
+            ("s", "a", "u"),
+            ("u", "x", "v"),
+            ("v", "x", "w"),
+            ("w", "b", "t"),
+            ("u", "b", "t"),
+        ]
+    )
+
+
+class TestEvaluation:
+    def test_holds_on_walk(self, flow_db):
+        assert RPQ.from_regex("ax*b").holds(flow_db)
+        assert RPQ.from_regex("axxb").holds(flow_db)
+        assert not RPQ.from_regex("axxxb").holds(flow_db)
+        assert not RPQ.from_regex("ba").holds(flow_db)
+
+    def test_epsilon_always_holds(self, flow_db):
+        assert RPQ.from_regex("ε|zz").holds(flow_db)
+        assert RPQ.from_regex("ε").holds(GraphDatabase())
+
+    def test_empty_database(self):
+        assert not RPQ.from_regex("a").holds(GraphDatabase())
+
+    def test_bag_database_evaluation(self, flow_db):
+        assert RPQ.from_regex("ax*b").holds(flow_db.to_bag(5))
+
+    def test_witness_walk_is_shortest(self, flow_db):
+        walk = RPQ.from_regex("ax*b").witness_walk(flow_db)
+        assert walk is not None
+        assert is_walk(walk)
+        assert walk_label(walk) == "ab"  # the shortest witness uses u -> t directly
+
+    def test_witness_walk_none(self, flow_db):
+        assert RPQ.from_regex("bb").witness_walk(flow_db) is None
+
+    def test_walk_semantics_allows_repeated_edges(self):
+        # A single x-loop suffices for arbitrarily many x's (walk semantics).
+        database = GraphDatabase.from_edges([("s", "a", "u"), ("u", "x", "u"), ("u", "b", "t")])
+        assert RPQ.from_regex("axxxxxb").holds(database)
+
+    def test_is_contingency_set(self, flow_db):
+        query = RPQ.from_regex("ax*b")
+        assert query.is_contingency_set(flow_db, {Fact("s", "a", "u")})
+        assert not query.is_contingency_set(flow_db, {Fact("u", "b", "t")})
+
+
+class TestMatchEnumeration:
+    def test_matches_of_aa(self):
+        database = GraphDatabase.from_edges([("u", "a", "v"), ("v", "a", "w"), ("w", "a", "z")])
+        matches = enumerate_matches(Language.from_regex("aa"), database)
+        assert matches == {
+            frozenset({Fact("u", "a", "v"), Fact("v", "a", "w")}),
+            frozenset({Fact("v", "a", "w"), Fact("w", "a", "z")}),
+        }
+
+    def test_match_on_self_loop_is_singleton_set(self):
+        database = GraphDatabase.from_edges([("u", "a", "u")])
+        matches = enumerate_matches(Language.from_regex("aa"), database)
+        assert matches == {frozenset({Fact("u", "a", "u")})}
+
+    def test_epsilon_match(self):
+        database = GraphDatabase.from_edges([("u", "a", "v")])
+        matches = enumerate_matches(Language.from_regex("ε|b"), database)
+        assert frozenset() in matches
+
+    def test_infinite_language_on_dag(self):
+        database = GraphDatabase.from_edges(
+            [("s", "a", "u"), ("u", "x", "v"), ("v", "b", "t")]
+        )
+        matches = enumerate_matches(Language.from_regex("ax*b"), database)
+        assert len(matches) == 1
+
+    def test_infinite_language_on_cyclic_database_requires_bound(self):
+        database = GraphDatabase.from_edges([("s", "a", "u"), ("u", "x", "u"), ("u", "b", "t")])
+        with pytest.raises(NotApplicableError):
+            enumerate_matches(Language.from_regex("ax*b"), database)
+        bounded = enumerate_matches(Language.from_regex("ax*b"), database, max_walk_length=4)
+        assert len(bounded) >= 2
+
+    def test_rpq_matches_method(self):
+        database = GraphDatabase.from_edges([("u", "a", "v"), ("v", "b", "w")])
+        assert len(RPQ.from_regex("ab").matches(database)) == 1
+
+    def test_minimal_matches(self):
+        small = frozenset({Fact("u", "a", "v")})
+        large = frozenset({Fact("u", "a", "v"), Fact("v", "b", "w")})
+        assert minimal_matches({small, large}) == {small}

@@ -1,0 +1,57 @@
+"""Tests for star-free / aperiodic languages (Section 5.2)."""
+
+import pytest
+
+from repro.languages import Language, star_free
+
+
+class TestIsStarFree:
+    @pytest.mark.parametrize(
+        "expression", ["ab|cd", "ax*b", "a*b", "abc|abd", "(a|b)*c", "aa", "abca|cab"]
+    )
+    def test_star_free_languages(self, expression):
+        assert star_free.is_star_free(Language.from_regex(expression)), expression
+
+    @pytest.mark.parametrize("expression", ["b(aa)*d", "(aa)*", "a(bb)*c|d", "e(aaa)*f"])
+    def test_non_star_free_languages(self, expression):
+        # Languages counting modulo 2 are not aperiodic.
+        assert not star_free.is_star_free(Language.from_regex(expression)), expression
+
+    def test_empty_language(self):
+        assert star_free.is_star_free(Language.from_words([]))
+
+
+class TestCounterexamples:
+    def test_no_counterexample_for_star_free(self):
+        assert star_free.non_star_free_witness(Language.from_regex("ax*b")) is None
+
+    @pytest.mark.parametrize("expression", ["b(aa)*d", "(aa)*", "a(bb)*c"])
+    def test_counterexample_is_genuine(self, expression):
+        language = Language.from_regex(expression)
+        counterexample = star_free.non_star_free_witness(language)
+        assert counterexample is not None
+        in_k = language.contains(counterexample.word_k())
+        in_m = language.contains(counterexample.word_m())
+        assert in_k != in_m
+        assert counterexample.exponent_k > counterexample.num_states
+        assert counterexample.exponent_m >= counterexample.exponent_k
+
+    def test_counterexample_sigma_nonempty(self):
+        counterexample = star_free.non_star_free_witness(Language.from_regex("b(aa)*d"))
+        assert counterexample is not None
+        assert counterexample.sigma
+
+
+class TestTransitionMonoid:
+    def test_monoid_of_single_word_language(self):
+        elements, _ = star_free.transition_monoid(Language.from_regex("ab"))
+        # The monoid contains the identity plus transformations of a, b, ab, and
+        # the zero transformation (everything to the sink).
+        assert tuple(range(len(next(iter(elements))))) in elements
+        assert len(elements) >= 4
+
+    def test_monoid_size_cap(self):
+        from repro.exceptions import LanguageError
+
+        with pytest.raises(LanguageError):
+            star_free.transition_monoid(Language.from_regex("b(aa)*d"), max_monoid_size=1)

@@ -1,0 +1,94 @@
+"""Unit tests for word-level utilities (Section 2 notions)."""
+
+import pytest
+
+from repro.languages import words
+
+
+class TestInfixes:
+    def test_is_infix(self):
+        assert words.is_infix("bc", "abcd")
+        assert words.is_infix("", "abcd")
+        assert words.is_infix("abcd", "abcd")
+        assert not words.is_infix("ca", "abcd")
+
+    def test_strict_infix_excludes_word_itself(self):
+        assert not words.is_strict_infix("abcd", "abcd")
+        assert words.is_strict_infix("abc", "abcd")
+        assert words.is_strict_infix("", "a")
+
+    def test_infixes_of_word(self):
+        assert words.infixes("ab") == {"", "a", "b", "ab"}
+
+    def test_strict_infixes(self):
+        assert words.strict_infixes("ab") == {"", "a", "b"}
+
+    def test_infixes_count_of_distinct_letter_word(self):
+        # A word with all-distinct letters of length n has n(n+1)/2 + 1 infixes.
+        word = "abcde"
+        assert len(words.infixes(word)) == 5 * 6 // 2 + 1
+
+    def test_prefixes_and_suffixes(self):
+        assert words.prefixes("abc") == ["", "a", "ab", "abc"]
+        assert words.suffixes("abc") == ["abc", "bc", "c", ""]
+        assert words.is_strict_prefix("ab", "abc")
+        assert not words.is_strict_prefix("abc", "abc")
+        assert words.is_strict_suffix("bc", "abc")
+        assert not words.is_strict_suffix("abc", "abc")
+
+
+class TestMirror:
+    def test_mirror_word(self):
+        assert words.mirror("abc") == "cba"
+        assert words.mirror("") == ""
+
+    def test_mirror_involution(self):
+        assert words.mirror(words.mirror("abca")) == "abca"
+
+    def test_mirror_language(self):
+        assert words.mirror_language({"ab", "cd"}) == {"ba", "dc"}
+
+
+class TestRepeatedLetters:
+    def test_has_repeated_letter(self):
+        assert words.has_repeated_letter("aa")
+        assert words.has_repeated_letter("abca")
+        assert not words.has_repeated_letter("abc")
+        assert not words.has_repeated_letter("")
+
+    def test_decompositions_of_aa(self):
+        decompositions = list(words.repeated_letter_decompositions("aa"))
+        assert decompositions == [("", "a", "", "")]
+
+    def test_decompositions_of_abca(self):
+        decompositions = set(words.repeated_letter_decompositions("abca"))
+        assert ("", "a", "bc", "") in decompositions
+        assert len(decompositions) == 1
+
+    def test_maximal_gap_prefers_larger_gap(self):
+        # Definition 6.4: the gap is maximised first.
+        best = words.maximal_gap_words({"aa", "abca"})
+        assert all(len(gamma) == 2 for _, _, _, gamma, _ in best)
+        assert {entry[0] for entry in best} == {"abca"}
+
+    def test_maximal_gap_breaks_ties_by_length(self):
+        best = words.maximal_gap_words({"axa", "bxbc"})
+        # Both have gap 1; bxbc is longer so it wins.
+        assert {entry[0] for entry in best} == {"bxbc"}
+
+    def test_maximal_gap_empty_when_no_repetition(self):
+        assert words.maximal_gap_words({"abc", "de"}) == []
+
+
+class TestAlphabetHelpers:
+    def test_alphabet_of(self):
+        assert words.alphabet_of(["ab", "bc"]) == frozenset("abc")
+
+    def test_concatenate_languages(self):
+        assert words.concatenate_languages({"a", "b"}, {"c"}) == {"ac", "bc"}
+
+    def test_words_up_to_length(self):
+        generated = list(words.words_up_to_length("ab", 2))
+        assert set(generated) == {"", "a", "b", "aa", "ab", "ba", "bb"}
+        # epsilon first, then length 1, then length 2
+        assert generated[0] == ""

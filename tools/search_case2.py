@@ -1,0 +1,133 @@
+"""Dev tool: search for a generic case-2 four-legged gadget wiring (Figure 6).
+
+A wiring spec describes heads (receiving alpha'- and/or gamma'-paths, with
+x-edges into V nodes) and V nodes (with beta'- and/or delta'-exits).  The
+in/out blocks are heads whose first path letter comes from the completion.
+
+We search for a wiring that verifies for several case-2 witnesses.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import sys
+
+from repro.languages import Language
+from repro.languages.four_legged import FourLeggedWitness
+from repro.hardness.gadgets import GadgetBuilder, PreGadget
+from repro.hardness.verification import verify_gadget
+
+
+def build_from_wiring(witness: FourLeggedWitness, wiring: dict) -> PreGadget | None:
+    """Build a pre-gadget from a wiring spec; returns None if label constraint fails."""
+    body = witness.body
+    alpha_p, beta_p, gamma_p, delta_p = witness.alpha, witness.beta, witness.gamma, witness.delta
+    in_type = wiring["in"][0]
+    out_type = wiring["out"][0]
+    label_in = alpha_p[0] if in_type == "A" else gamma_p[0]
+    label_out = alpha_p[0] if out_type == "A" else gamma_p[0]
+    if label_in != label_out:
+        return None
+    builder = GadgetBuilder()
+
+    def v_node(i):
+        return f"V{i}"
+
+    # V exits
+    for i, (has_beta, has_delta) in enumerate(wiring["vs"]):
+        if has_beta:
+            builder.add_word_path(v_node(i), beta_p, builder.fresh_node("b"))
+        if has_delta:
+            builder.add_word_path(v_node(i), delta_p, builder.fresh_node("d"))
+
+    # heads
+    for j, (recv_alpha, recv_gamma, targets) in enumerate(wiring["heads"]):
+        head = f"H{j}"
+        if recv_alpha:
+            builder.add_word_path(builder.fresh_node("pa"), alpha_p, head)
+        if recv_gamma:
+            builder.add_word_path(builder.fresh_node("pg"), gamma_p, head)
+        for t in targets:
+            builder.add_edge(head, body, v_node(t))
+
+    # in block
+    in_word = alpha_p if in_type == "A" else gamma_p
+    builder.add_word_path("t_in", in_word[1:], "HIN")
+    for t in wiring["in"][1]:
+        builder.add_edge("HIN", body, v_node(t))
+    out_word = alpha_p if out_type == "A" else gamma_p
+    builder.add_word_path("t_out", out_word[1:], "HOUT")
+    for t in wiring["out"][1]:
+        builder.add_edge("HOUT", body, v_node(t))
+
+    return builder.build("t_in", "t_out", label_in, name="search")
+
+
+WITNESSES = [
+    # axb | cxd | cxb  (distinct letters)
+    (Language.from_regex("axb|cxd|cxb"), FourLeggedWitness("x", "a", "b", "c", "d")),
+    # aaaa (all letters equal)
+    (Language.from_regex("aaaa"), FourLeggedWitness("a", "a", "aa", "aa", "a")),
+    # a slightly longer-legs case-2 language: ayxb | cxd | cxb ... need valid stable case-2 witness
+]
+
+
+def check_wiring(wiring: dict, verbose: bool = False):
+    results = []
+    for language, witness in WITNESSES:
+        gadget = build_from_wiring(witness, wiring)
+        if gadget is None:
+            return None
+        v = verify_gadget(language, gadget)
+        results.append(v)
+        if verbose:
+            print(f"  {language}: valid={v.valid} len={v.path_length} ({v.reason})")
+        if not v.valid:
+            return results
+    return results
+
+
+def random_wiring(rng: random.Random) -> dict:
+    num_vs = rng.randint(3, 6)
+    num_heads = rng.randint(2, 5)
+    vs = []
+    for _ in range(num_vs):
+        vs.append((rng.random() < 0.6, rng.random() < 0.6))
+    heads = []
+    for _ in range(num_heads):
+        recv_alpha = rng.random() < 0.6
+        recv_gamma = rng.random() < 0.6
+        if not recv_alpha and not recv_gamma:
+            recv_gamma = True
+        k = rng.randint(1, 2)
+        targets = rng.sample(range(num_vs), min(k, num_vs))
+        heads.append((recv_alpha, recv_gamma, targets))
+    in_type = rng.choice(["A", "G"])
+    out_type = in_type
+    in_targets = rng.sample(range(num_vs), 1)
+    out_targets = rng.sample(range(num_vs), 1)
+    return {"vs": vs, "heads": heads, "in": (in_type, in_targets), "out": (out_type, out_targets)}
+
+
+def main():
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 0
+    tries = int(sys.argv[2]) if len(sys.argv) > 2 else 20000
+    rng = random.Random(seed)
+    found = []
+    for attempt in range(tries):
+        wiring = random_wiring(rng)
+        results = check_wiring(wiring)
+        if results and all(r.valid for r in results):
+            print("FOUND", wiring)
+            for r in results:
+                print("   path_len", r.path_length, "matches", r.num_matches)
+            found.append(wiring)
+            if len(found) >= 5:
+                break
+    if not found:
+        print("no wiring found in", tries, "tries")
+
+
+if __name__ == "__main__":
+    main()

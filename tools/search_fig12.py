@@ -1,0 +1,106 @@
+"""Dev tool: search for a working Figure-12-style gadget (Claim 6.13).
+
+We explore a parametrized family: in-chain into a loop block, a number of plain
+units, and different ways of attaching the out-chain.
+"""
+
+from __future__ import annotations
+
+import itertools
+import sys
+
+from repro.languages import Language
+from repro.hardness.gadgets import GadgetBuilder
+from repro.hardness.verification import verify_gadget
+
+CASES = [
+    ("axya|yax", "a", "x", "y", ""),
+    ("axxa|xax", "a", "x", "x", ""),
+    ("axbya|yax", "a", "x", "y", "b"),
+    ("axaya|yax", "a", "x", "y", "a"),
+    ("axbcya|yax", "a", "x", "y", "bc"),
+]
+
+
+def build(letter, x_letter, y_letter, eta, *, units, out_mode, loop_forward, extra_x_at_end):
+    builder = GadgetBuilder()
+
+    def xey(start, end):
+        m1 = builder.fresh_node("e")
+        m2 = builder.fresh_node("f")
+        builder.add_edge(start, x_letter, m1)
+        builder.add_word_path(m1, eta, m2)
+        builder.add_edge(m2, y_letter, end)
+
+    # in chain
+    xey("t_in", "in_y")
+    builder.add_edge("in_y", letter, "N")
+    # loop block
+    xey("N", "loop_y")
+    builder.add_edge("loop_y", letter, "N")
+    prev_y = "loop_y"
+    if loop_forward:
+        builder.add_edge("loop_y", letter, "u0")
+        prev = "u0"
+        prev_y = None
+    # plain units
+    for i in range(units):
+        if prev_y is not None:
+            builder.add_edge(prev_y, letter, f"u{i}")
+            prev = f"u{i}"
+            prev_y = None
+        xey(prev, f"y{i}")
+        prev_y = f"y{i}"
+        prev = None
+    # final a edge after last unit (to a sink), if there were units or loop_forward
+    if prev_y is not None:
+        builder.add_edge(prev_y, letter, "end")
+        last_y = prev_y
+    else:
+        # no units and no forward: attach out to loop structures directly
+        last_y = "loop_y"
+    if extra_x_at_end:
+        builder.add_edge("end", x_letter, builder.fresh_node("sx"))
+
+    # out chain
+    builder.add_edge("t_out", x_letter, "o1")
+    builder.add_word_path("o1", eta, "o2")
+    if out_mode == "share_y":
+        # out y-edge enters the last unit's y node (sharing its final a-fact)
+        builder.add_edge("o2", y_letter, last_y)
+    elif out_mode == "second_a":
+        # out chain gets its own y node and a second a-edge into the last unit start
+        builder.add_edge("o2", y_letter, "w_out")
+        builder.add_edge("w_out", letter, prev if prev is not None else "end")
+    return builder.build("t_in", "t_out", letter, name="fig12-candidate")
+
+
+def main():
+    results = {}
+    for units, out_mode, loop_forward, extra_x in itertools.product(
+        [0, 1, 2, 3], ["share_y", "second_a"], [True, False], [False, True]
+    ):
+        key = (units, out_mode, loop_forward, extra_x)
+        ok = True
+        lengths = []
+        for regex, a, x, y, eta in CASES:
+            try:
+                g = build(a, x, y, eta, units=units, out_mode=out_mode,
+                          loop_forward=loop_forward, extra_x_at_end=extra_x)
+                v = verify_gadget(Language.from_regex(regex), g)
+            except Exception as exc:
+                ok = False
+                lengths.append(f"ERR:{type(exc).__name__}")
+                break
+            lengths.append(v.path_length)
+            if not v.valid:
+                ok = False
+                break
+        results[key] = (ok, lengths)
+        print(key, ok, lengths)
+    good = [k for k, (ok, _) in results.items() if ok]
+    print("GOOD:", good)
+
+
+if __name__ == "__main__":
+    main()

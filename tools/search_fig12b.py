@@ -1,0 +1,102 @@
+"""Dev tool, round 2: chains of loop blocks for the Figure-12 gadget."""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.languages import Language
+from repro.hardness.gadgets import GadgetBuilder
+from repro.hardness.verification import verify_gadget
+
+CASES = [
+    ("axya|yax", "a", "x", "y", ""),
+    ("axxa|xax", "a", "x", "x", ""),
+    ("axbya|yax", "a", "x", "y", "b"),
+    ("axaya|yax", "a", "x", "y", "a"),
+    ("axbcya|yax", "a", "x", "y", "bc"),
+]
+
+
+def build(letter, x_letter, y_letter, eta, *, blocks, last_forward, out_mode, tail_units):
+    builder = GadgetBuilder()
+
+    def xey(start, end):
+        m1 = builder.fresh_node("e")
+        m2 = builder.fresh_node("f")
+        builder.add_edge(start, x_letter, m1)
+        builder.add_word_path(m1, eta, m2)
+        builder.add_edge(m2, y_letter, end)
+
+    # in chain into N1
+    xey("t_in", "in_y")
+    builder.add_edge("in_y", letter, "N1")
+
+    last_y = None
+    for i in range(1, blocks + 1):
+        xey(f"N{i}", f"L{i}")
+        builder.add_edge(f"L{i}", letter, f"N{i}")  # back edge
+        if i < blocks:
+            builder.add_edge(f"L{i}", letter, f"N{i+1}")  # forward into next block
+        last_y = f"L{i}"
+
+    prev_y = last_y
+    if last_forward:
+        # forward a-edge out of the last block into a tail
+        builder.add_edge(last_y, letter, "T0")
+        prev = "T0"
+        prev_y = None
+        for j in range(tail_units):
+            xey(prev, f"TY{j}")
+            prev_y = f"TY{j}"
+            builder.add_edge(prev_y, letter, f"T{j+1}")
+            prev = f"T{j+1}"
+
+    # out chain
+    builder.add_edge("t_out", x_letter, "o1")
+    builder.add_word_path("o1", eta, "o2")
+    if out_mode == "share_last_y":
+        target = prev_y if prev_y is not None else last_y
+        builder.add_edge("o2", y_letter, target)
+    elif out_mode == "second_a_into_last_N":
+        builder.add_edge("o2", y_letter, "w_out")
+        builder.add_edge("w_out", letter, f"N{blocks}")
+    elif out_mode == "second_a_into_tail":
+        builder.add_edge("o2", y_letter, "w_out")
+        builder.add_edge("w_out", letter, "T0" if last_forward else f"N{blocks}")
+    return builder.build("t_in", "t_out", letter, name="fig12-candidate-b")
+
+
+def main():
+    good = []
+    for blocks, last_forward, out_mode, tail_units in itertools.product(
+        [1, 2, 3],
+        [True, False],
+        ["share_last_y", "second_a_into_last_N", "second_a_into_tail"],
+        [0, 1],
+    ):
+        if not last_forward and tail_units > 0:
+            continue
+        key = (blocks, last_forward, out_mode, tail_units)
+        ok = True
+        lengths = []
+        for regex, a, x, y, eta in CASES:
+            try:
+                g = build(a, x, y, eta, blocks=blocks, last_forward=last_forward,
+                          out_mode=out_mode, tail_units=tail_units)
+                v = verify_gadget(Language.from_regex(regex), g)
+            except Exception as exc:
+                lengths.append(f"ERR:{type(exc).__name__}:{exc}")
+                ok = False
+                break
+            lengths.append(v.path_length)
+            if not v.valid:
+                ok = False
+                break
+        print(key, ok, lengths)
+        if ok:
+            good.append(key)
+    print("GOOD:", good)
+
+
+if __name__ == "__main__":
+    main()

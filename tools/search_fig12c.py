@@ -1,0 +1,109 @@
+"""Dev tool, round 3: randomized wiring search for the Figure-12 gadget.
+
+A wiring is a set of x-eta-y segments between anchor nodes plus a set of
+a-edges between anchor nodes; the in/out chains are x-eta-y segments starting
+at t_in / t_out (the completion provides their leading ``a``).
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+from repro.languages import Language
+from repro.hardness.gadgets import GadgetBuilder
+from repro.hardness.verification import verify_gadget
+
+FAST_CASES = [
+    ("axya|yax", "a", "x", "y", ""),
+    ("axxa|xax", "a", "x", "x", ""),
+]
+FULL_CASES = FAST_CASES + [
+    ("axbya|yax", "a", "x", "y", "b"),
+    ("axaya|yax", "a", "x", "y", "a"),
+    ("axbcya|yax", "a", "x", "y", "bc"),
+    ("axxya|yax", "a", "x", "y", "x"),
+    ("abca|cab", "a", "b", "c", ""),
+]
+
+
+def build(letter, x_letter, y_letter, eta, wiring):
+    builder = GadgetBuilder()
+
+    def xey(start, end):
+        m1 = builder.fresh_node("e")
+        m2 = builder.fresh_node("f")
+        builder.add_edge(start, x_letter, m1)
+        builder.add_word_path(m1, eta, m2)
+        builder.add_edge(m2, y_letter, end)
+
+    segments, a_edges, in_anchor, out_anchor = wiring
+    xey("t_in", in_anchor)
+    xey("t_out", out_anchor)
+    for source, target in segments:
+        xey(f"A{source}", f"A{target}")
+    for source, target in a_edges:
+        builder.add_edge(f"A{source}" if not str(source).startswith("IO") else source,
+                         letter,
+                         f"A{target}")
+    return builder.build("t_in", "t_out", letter, name="fig12-random")
+
+
+def random_wiring(rng, num_anchors):
+    num_segments = rng.randint(2, 5)
+    num_a = rng.randint(2, 6)
+    segments = []
+    for _ in range(num_segments):
+        segments.append((rng.randrange(num_anchors), rng.randrange(num_anchors)))
+    a_edges = set()
+    for _ in range(num_a):
+        a_edges.add((rng.randrange(num_anchors), rng.randrange(num_anchors)))
+    # in/out chains end at anchor nodes ("IOxx" names are the y-targets of those chains)
+    in_anchor = f"A{rng.randrange(num_anchors)}"
+    out_anchor = f"A{rng.randrange(num_anchors)}"
+    # the y-targets of the in/out chains must have at least one outgoing a-edge
+    # to produce a W1 match containing the completion fact; we let the anchors
+    # double as those targets.
+    return (segments, sorted(a_edges), in_anchor, out_anchor)
+
+
+def main():
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 0
+    tries = int(sys.argv[2]) if len(sys.argv) > 2 else 3000
+    num_anchors = int(sys.argv[3]) if len(sys.argv) > 3 else 5
+    rng = random.Random(seed)
+    found = 0
+    for attempt in range(tries):
+        wiring = random_wiring(rng, num_anchors)
+        ok = True
+        for regex, a, x, y, eta in FAST_CASES:
+            g = build(a, x, y, eta, wiring)
+            try:
+                v = verify_gadget(Language.from_regex(regex), g, max_walk_length=12)
+            except Exception:
+                ok = False
+                break
+            if not v.valid:
+                ok = False
+                break
+        if not ok:
+            continue
+        lengths = []
+        for regex, a, x, y, eta in FULL_CASES:
+            g = build(a, x, y, eta, wiring)
+            v = verify_gadget(Language.from_regex(regex), g, max_walk_length=14)
+            if not v.valid:
+                ok = False
+                break
+            lengths.append(v.path_length)
+        if ok:
+            found += 1
+            print("FOUND", wiring, lengths)
+            if found >= 3:
+                break
+    if not found:
+        print("none found in", tries)
+
+
+if __name__ == "__main__":
+    main()
