@@ -2,14 +2,22 @@
 
 The paper's thesis is that flow reductions suffice for every known tractable
 case; this ablation measures how much the dedicated algorithms gain over the
-exact baseline as instances grow, and checks they never disagree.
+exact baseline as instances grow, and checks they never disagree.  It also
+ablates the exact baseline itself: the compiled/overlay search vs the seed's
+materializing implementation (``resilience_exact_reference``), which must
+explore exactly the same branch-and-bound tree.
 """
 
 import pytest
 
 from repro.graphdb import generators
 from repro.languages import Language
-from repro.resilience import choose_method, resilience, resilience_exact
+from repro.resilience import (
+    choose_method,
+    resilience,
+    resilience_exact,
+    resilience_exact_reference,
+)
 
 SUITE = {
     "ax*b": "local-flow",
@@ -48,3 +56,35 @@ def test_exact_baseline_speed_on_small_instance(benchmark):
     database = generators.random_labelled_graph(6, 12, "axb", seed=23)
     result = benchmark(lambda: resilience_exact(language, database))
     assert result.value >= 0
+
+
+EXACT_WORKLOAD = [("aa", "a", 8, 20, 3), ("ab|ba", "ab", 7, 16, 5)]
+
+
+@pytest.mark.parametrize("expression, alphabet, nodes, edges, seed", EXACT_WORKLOAD)
+def test_exact_overlay_speed(benchmark, expression, alphabet, nodes, edges, seed):
+    language = Language.from_regex(expression)
+    database = generators.random_labelled_graph(nodes, edges, alphabet, seed=seed)
+    result = benchmark(lambda: resilience_exact(language, database))
+    assert result.value >= 0
+
+
+@pytest.mark.parametrize("expression, alphabet, nodes, edges, seed", EXACT_WORKLOAD)
+def test_exact_reference_speed(benchmark, expression, alphabet, nodes, edges, seed):
+    language = Language.from_regex(expression)
+    database = generators.random_labelled_graph(nodes, edges, alphabet, seed=seed)
+    result = benchmark(lambda: resilience_exact_reference(language, database))
+    assert result.value >= 0
+
+
+@pytest.mark.parametrize("expression, alphabet, nodes, edges, seed", EXACT_WORKLOAD)
+def test_exact_overlay_matches_reference_tree(expression, alphabet, nodes, edges, seed):
+    # The overlay search must be a pure performance change: identical values,
+    # identical contingency sets, identical branch-and-bound node counts.
+    language = Language.from_regex(expression)
+    database = generators.random_labelled_graph(nodes, edges, alphabet, seed=seed)
+    fast = resilience_exact(language, database)
+    reference = resilience_exact_reference(language, database)
+    assert fast.value == reference.value
+    assert fast.contingency_set == reference.contingency_set
+    assert fast.details["nodes_explored"] == reference.details["nodes_explored"]

@@ -36,7 +36,7 @@ from .exceptions import (
 )
 from .graphdb import BagGraphDatabase, Fact, GraphDatabase
 from .languages import EpsilonNFA, Language
-from .resilience import ResilienceResult, resilience
+from .resilience import ResilienceResult, resilience, resilience_many
 from .rpq import RPQ
 
 __version__ = "1.0.0"
@@ -59,5 +59,6 @@ __all__ = [
     "ReproError",
     "ResilienceResult",
     "resilience",
+    "resilience_many",
     "__version__",
 ]

@@ -4,6 +4,13 @@ The implementation supports ``+infinity`` capacities exactly: an augmenting path
 whose bottleneck is infinite proves that no finite cut exists, in which case the
 minimum cut value is ``math.inf`` and no cut edge set is returned.
 
+When every finite capacity is integral (the resilience reductions only produce
+integer multiplicities), capacities are converted to Python ints so the whole
+computation runs in exact integer arithmetic and the resulting value is snapped
+to a float of that integer.  Networks with genuinely fractional capacities are
+returned as-is: no ``isclose``-style rounding is applied, since it could snap a
+genuinely fractional optimum to a nearby integer on large networks.
+
 The min-cut *edges* are recovered from the residual graph after computing a
 maximum flow: they are the edges leaving the set of nodes still reachable from
 the source, and their keys let callers map the cut back to database facts.
@@ -64,7 +71,7 @@ class _Dinic:
 
     def add_edge(self, source: int, target: int, capacity: float, edge: FlowEdge | None) -> None:
         forward = _Arc(target, capacity, len(self.graph[target]), edge)
-        backward = _Arc(source, 0.0, len(self.graph[source]), None)
+        backward = _Arc(source, 0, len(self.graph[source]), None)
         self.graph[source].append(forward)
         self.graph[target].append(backward)
 
@@ -110,7 +117,7 @@ class _Dinic:
                 continue
             # Dead end: retreat one step (and make sure we do not retry this arc).
             if not path:
-                return 0.0
+                return 0
             dead = node
             levels[dead] = -1
             arc = path.pop()
@@ -118,7 +125,8 @@ class _Dinic:
             iters[node] += 1
 
     def max_flow(self, source: int, target: int) -> float:
-        total = 0.0
+        # ``total`` stays an exact int when every capacity is an int.
+        total = 0
         while True:
             levels = self._bfs_levels(source, target)
             if levels is None:
@@ -154,10 +162,23 @@ def min_cut(network: FlowNetwork) -> MinCutResult:
     nodes = sorted(network.nodes, key=repr)
     index_of = {node: index for index, node in enumerate(nodes)}
     solver = _Dinic(len(nodes))
+    # When every finite capacity is integral, run the whole computation in
+    # exact integer arithmetic; the resulting flow value is then an exact
+    # integer and snapping is lossless.  Mixed or fractional capacities go
+    # through float arithmetic and are reported unsnapped: rounding with
+    # ``math.isclose`` can mis-round a genuinely fractional optimum.
+    integral = all(
+        edge.capacity == INFINITY or float(edge.capacity).is_integer()
+        for edge in network.edges
+        if edge.capacity > 0
+    )
     for edge in network.edges:
         if edge.capacity <= 0:
             continue
-        solver.add_edge(index_of[edge.source], index_of[edge.target], edge.capacity, edge)
+        capacity = edge.capacity
+        if integral and capacity != INFINITY:
+            capacity = int(capacity)
+        solver.add_edge(index_of[edge.source], index_of[edge.target], capacity, edge)
     source = index_of[network.source]
     target = index_of[network.target]
     if source == target:
@@ -172,8 +193,8 @@ def min_cut(network: FlowNetwork) -> MinCutResult:
         for edge in network.edges
         if edge.capacity > 0 and edge.source in reachable and edge.target not in reachable
     )
-    if math.isclose(value, round(value)):
-        value = float(round(value))
+    if integral:
+        value = float(value)
     return MinCutResult(value, cut_edges, reachable, value)
 
 

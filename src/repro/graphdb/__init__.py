@@ -1,5 +1,7 @@
-"""Graph-database substrate: set and bag graph databases plus workload generators."""
+"""Graph-database substrate: set and bag graph databases, cached fact indexes,
+and workload generators."""
 
 from .database import BagGraphDatabase, Fact, GraphDatabase, as_bag, as_set
+from .index import DatabaseIndex
 
-__all__ = ["BagGraphDatabase", "Fact", "GraphDatabase", "as_bag", "as_set"]
+__all__ = ["BagGraphDatabase", "DatabaseIndex", "Fact", "GraphDatabase", "as_bag", "as_set"]

@@ -9,12 +9,13 @@ Proposition 7.9 also allows non-positive multiplicities.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from collections.abc import Iterable, Iterator, Mapping
 from dataclasses import dataclass
+from types import MappingProxyType
 from typing import Hashable
 
 from ..exceptions import ReproError
+from .index import DatabaseIndex
 
 Node = Hashable
 
@@ -39,10 +40,18 @@ def _as_fact(edge: Fact | tuple[Node, str, Node]) -> Fact:
 
 
 class GraphDatabase:
-    """A set-semantics graph database: a finite set of :class:`Fact` objects."""
+    """A set-semantics graph database: a finite set of :class:`Fact` objects.
+
+    Databases are immutable, so the derived node set, adjacency maps and the
+    :class:`~repro.graphdb.index.DatabaseIndex` are computed lazily once and
+    cached on the instance.
+    """
 
     def __init__(self, facts: Iterable[Fact | tuple[Node, str, Node]] = ()) -> None:
         self._facts: frozenset[Fact] = frozenset(_as_fact(edge) for edge in facts)
+        self._index: DatabaseIndex | None = None
+        self._outgoing: dict[Node, tuple[Fact, ...]] | None = None
+        self._incoming: dict[Node, tuple[Fact, ...]] | None = None
 
     # ------------------------------------------------------------------ constructors
 
@@ -60,11 +69,13 @@ class GraphDatabase:
     @property
     def nodes(self) -> frozenset[Node]:
         """The active domain ``Adom(D)``: every node occurring in some fact."""
-        result: set[Node] = set()
-        for fact in self._facts:
-            result.add(fact.source)
-            result.add(fact.target)
-        return frozenset(result)
+        return frozenset(self.index().nodes)
+
+    def index(self) -> DatabaseIndex:
+        """Return the cached :class:`DatabaseIndex` of the database."""
+        if self._index is None:
+            self._index = DatabaseIndex(self._facts)
+        return self._index
 
     @property
     def alphabet(self) -> frozenset[str]:
@@ -92,19 +103,25 @@ class GraphDatabase:
 
     # ------------------------------------------------------------------ adjacency
 
-    def outgoing(self) -> Mapping[Node, list[Fact]]:
-        """Return a mapping from node to the facts leaving it."""
-        result: dict[Node, list[Fact]] = defaultdict(list)
-        for fact in self._facts:
-            result[fact.source].append(fact)
-        return result
+    def outgoing(self) -> Mapping[Node, tuple[Fact, ...]]:
+        """Return a (cached, read-only) mapping from node to the facts leaving it."""
+        if self._outgoing is None:
+            index = self.index()
+            self._outgoing = {
+                node: tuple(index.facts[i] for i in ids)
+                for node, ids in index.outgoing_ids.items()
+            }
+        return self._outgoing
 
-    def incoming(self) -> Mapping[Node, list[Fact]]:
-        """Return a mapping from node to the facts entering it."""
-        result: dict[Node, list[Fact]] = defaultdict(list)
-        for fact in self._facts:
-            result[fact.target].append(fact)
-        return result
+    def incoming(self) -> Mapping[Node, tuple[Fact, ...]]:
+        """Return a (cached, read-only) mapping from node to the facts entering it."""
+        if self._incoming is None:
+            index = self.index()
+            self._incoming = {
+                node: tuple(index.facts[i] for i in ids)
+                for node, ids in index.incoming_ids.items()
+            }
+        return self._incoming
 
     def facts_with_label(self, label: str) -> frozenset[Fact]:
         return frozenset(fact for fact in self._facts if fact.label == label)
@@ -196,6 +213,8 @@ class BagGraphDatabase:
             cleaned[fact] = multiplicity
         self._multiplicities = cleaned
         self.allow_non_positive = allow_non_positive
+        self._database: GraphDatabase | None = None
+        self._index: DatabaseIndex | None = None
 
     # ------------------------------------------------------------------ constructors
 
@@ -217,8 +236,16 @@ class BagGraphDatabase:
 
     @property
     def database(self) -> GraphDatabase:
-        """The underlying set database (facts only, multiplicities dropped)."""
-        return GraphDatabase(self._multiplicities)
+        """The (cached) underlying set database (facts only, multiplicities dropped)."""
+        if self._database is None:
+            self._database = GraphDatabase(self._multiplicities)
+        return self._database
+
+    def index(self) -> DatabaseIndex:
+        """Return the cached :class:`DatabaseIndex` of the bag (with multiplicities)."""
+        if self._index is None:
+            self._index = DatabaseIndex(self._multiplicities, self._multiplicities)
+        return self._index
 
     @property
     def facts(self) -> frozenset[Fact]:
@@ -237,6 +264,10 @@ class BagGraphDatabase:
 
     def multiplicities(self) -> dict[Fact, int]:
         return dict(self._multiplicities)
+
+    def multiplicity_map(self) -> Mapping[Fact, int]:
+        """Return a read-only, copy-free view of the multiplicity mapping."""
+        return MappingProxyType(self._multiplicities)
 
     def total_cost(self, facts: Iterable[Fact | tuple[Node, str, Node]]) -> int:
         """Return the sum of multiplicities of the given facts."""

@@ -82,12 +82,18 @@ def _dedupe(edges: Sequence[tuple[object, object]]) -> list[frozenset]:
     return result
 
 
-def check_reduction(instance: ReductionInstance, *, max_nodes: int | None = 2_000_000) -> bool:
+def check_reduction(instance: ReductionInstance, *, max_nodes: int | None = 10_000_000) -> bool:
     """Cross-check the predicted resilience of an encoding against the exact algorithm.
 
     This is the numerical validation that the reduction of Proposition 4.11 is
     correct on a concrete graph; it is feasible for small graphs only (the exact
     algorithm is exponential -- which is the point of the reduction).
+
+    ``max_nodes`` is a wall-clock guard, not a correctness bound.  The compiled
+    overlay search explores branch-and-bound nodes roughly five times faster
+    than the seed implementation and its (now deterministic) witness-walk
+    tie-breaking can produce a differently-shaped search tree, so the default
+    budget is scaled up to keep the effective time limit comparable.
     """
     result = resilience_exact(instance.language, instance.encoding, semantics="set", max_nodes=max_nodes)
     return result.value == instance.predicted_resilience

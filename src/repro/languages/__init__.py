@@ -3,15 +3,17 @@ language classes studied in the paper (local, star-free, four-legged, chain,
 bipartite chain, one-dangling, languages with neutral letters).
 """
 
-from .automata import EpsilonNFA
+from .automata import CompiledAutomaton, EpsilonNFA, compile_automaton
 from .core import Language
 from .regex import parse_regex, regex_to_automaton
 from .words import EPSILON, has_repeated_letter, mirror
 
 __all__ = [
     "EPSILON",
+    "CompiledAutomaton",
     "EpsilonNFA",
     "Language",
+    "compile_automaton",
     "has_repeated_letter",
     "mirror",
     "parse_regex",

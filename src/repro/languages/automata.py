@@ -7,6 +7,16 @@ epsilon label is represented by ``None``.
 
 States can be arbitrary hashable objects; :meth:`EpsilonNFA.relabel` renames
 them to consecutive integers when canonical names are convenient.
+
+Evaluation-heavy callers (the product-construction RPQ evaluator and the exact
+resilience search) should not work on a raw :class:`EpsilonNFA`: every query on
+an automaton would re-trim it and re-derive epsilon closures and transition
+indexes.  :class:`CompiledAutomaton` performs that work once — trim, memoized
+epsilon closures, letter transitions indexed by ``(state, label)`` — and
+:func:`compile_automaton` caches compiled plans so equal automata share one
+plan.  All compiled indexes use a deterministic sorted order, making plan-based
+evaluation reproducible across processes (plain frozenset iteration is only
+reproducible within one process).
 """
 
 from __future__ import annotations
@@ -14,6 +24,7 @@ from __future__ import annotations
 from collections import defaultdict, deque
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Any, Hashable
 
 from ..exceptions import LanguageError
@@ -410,6 +421,91 @@ def dfa_run(automaton: EpsilonNFA, word: str) -> list[State] | None:
         state = nxt
         run.append(state)
     return run
+
+
+class CompiledAutomaton:
+    """A query plan compiled once from an :class:`EpsilonNFA`.
+
+    The plan contains everything the product-construction evaluator needs, in
+    deterministic (sorted-by-repr) order:
+
+    * ``trimmed``: the trimmed automaton (useful states only, Definition C.3);
+    * ``closures``: the epsilon closure of every trimmed state, memoized;
+    * ``steps``: for every ``(state, label)`` pair, the tuple of epsilon-closed
+      target states reachable by reading ``label`` in ``state`` (deduplicated,
+      first occurrence wins);
+    * ``transitions_by_label``: the letter transitions of the *original*
+      automaton grouped by label (used by the flow-network constructions, which
+      must see transitions that trimming would discard).
+
+    Instances are immutable after construction; obtain them through
+    :func:`compile_automaton` so that equal automata share one plan.
+    """
+
+    __slots__ = (
+        "automaton",
+        "trimmed",
+        "closures",
+        "initial_closure",
+        "final",
+        "steps",
+        "transitions_by_label",
+        "is_empty",
+        "accepts_empty",
+    )
+
+    def __init__(self, automaton: EpsilonNFA) -> None:
+        self.automaton = automaton
+        trimmed = automaton.trim()
+        self.trimmed = trimmed
+        self.closures: dict[State, tuple[State, ...]] = {
+            state: tuple(sorted(trimmed.epsilon_closure([state]), key=repr))
+            for state in trimmed.states
+        }
+        self.initial_closure: tuple[State, ...] = tuple(
+            sorted(trimmed.epsilon_closure(trimmed.initial), key=repr)
+        )
+        self.final: frozenset[State] = trimmed.final
+        self.is_empty = not trimmed.final
+        self.accepts_empty = bool(set(self.initial_closure) & trimmed.final)
+
+        # (state, label) -> epsilon-closed successor states, deduplicated.
+        steps: dict[tuple[State, str], list[State]] = {}
+        for source, label, target in sorted(trimmed.letter_transitions, key=repr):
+            assert label is not None
+            bucket = steps.setdefault((source, label), [])
+            for closed in self.closures[target]:
+                if closed not in bucket:
+                    bucket.append(closed)
+        self.steps: dict[tuple[State, str], tuple[State, ...]] = {
+            key: tuple(targets) for key, targets in steps.items()
+        }
+
+        by_label: dict[str, list[tuple[State, State]]] = {}
+        for source, label, target in sorted(automaton.letter_transitions, key=repr):
+            assert label is not None
+            by_label.setdefault(label, []).append((source, target))
+        self.transitions_by_label: dict[str, tuple[tuple[State, State], ...]] = {
+            label: tuple(pairs) for label, pairs in by_label.items()
+        }
+
+    def closure(self, state: State) -> tuple[State, ...]:
+        """Return the memoized epsilon closure of a trimmed state."""
+        return self.closures[state]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompiledAutomaton<{self.trimmed.describe()}>"
+
+
+@lru_cache(maxsize=512)
+def compile_automaton(automaton: EpsilonNFA) -> CompiledAutomaton:
+    """Return the (cached) compiled plan of an automaton.
+
+    Automata are frozen dataclasses, so equal automata — for example the ones
+    produced by compiling the same regular expression twice — hash equal and
+    share a single compiled plan.
+    """
+    return CompiledAutomaton(automaton)
 
 
 def make_any_state_hashable(value: Any) -> Hashable:

@@ -2,8 +2,8 @@
 paper (local, bipartite chain, one-dangling), and the dispatching engine."""
 
 from .bcl_flow import resilience_bcl
-from .engine import choose_method, resilience, verify_contingency_set
-from .exact import resilience_brute_force, resilience_exact
+from .engine import choose_method, resilience, resilience_many, verify_contingency_set
+from .exact import resilience_brute_force, resilience_exact, resilience_exact_reference
 from .local_flow import build_product_network, resilience_local
 from .one_dangling import resilience_one_dangling
 from .result import INFINITE, ResilienceResult
@@ -17,7 +17,9 @@ __all__ = [
     "resilience_bcl",
     "resilience_brute_force",
     "resilience_exact",
+    "resilience_exact_reference",
     "resilience_local",
+    "resilience_many",
     "resilience_one_dangling",
     "verify_contingency_set",
 ]

@@ -31,7 +31,7 @@ _TARGET = "__target__"
 def build_bcl_network(structure: chain.BclStructure, database: BagGraphDatabase) -> FlowNetwork:
     """Build the Proposition 7.6 flow network for a BCL structure and a bag database."""
     network = FlowNetwork(source=_SOURCE, target=_TARGET)
-    multiplicities = database.multiplicities()
+    index = database.index()
 
     def start_vertex(fact: Fact) -> tuple:
         return ("start", fact)
@@ -40,36 +40,40 @@ def build_bcl_network(structure: chain.BclStructure, database: BagGraphDatabase)
         return ("end", fact)
 
     # One finite-capacity edge per fact.
-    for fact, multiplicity in multiplicities.items():
-        network.add_edge(start_vertex(fact), end_vertex(fact), float(multiplicity), key=fact)
+    assert index.multiplicities is not None
+    for fact_id, fact in enumerate(index.facts):
+        network.add_edge(
+            start_vertex(fact), end_vertex(fact), float(index.multiplicities[fact_id]), key=fact
+        )
 
-    facts_by_label: dict[str, list[Fact]] = {}
-    for fact in multiplicities:
-        facts_by_label.setdefault(fact.label, []).append(fact)
-    outgoing_by_label: dict[tuple[object, str], list[Fact]] = {}
-    for fact in multiplicities:
-        outgoing_by_label.setdefault((fact.source, fact.label), []).append(fact)
+    # The per-label and per-(node, label) adjacency comes straight from the
+    # database's cached index (shared with every other query on this database).
+    def facts_with_label(label: str) -> list[Fact]:
+        return index.facts_of_ids(index.facts_by_label.get(label, ()))
+
+    def outgoing_with_label(node: object, label: str) -> list[Fact]:
+        return index.facts_of_ids(index.outgoing_by_label.get((node, label), ()))
 
     # Infinite edges between consecutive letters of each word.
     for word in structure.forward_words:
         for position in range(len(word) - 1):
             first, second = word[position], word[position + 1]
-            for fact in facts_by_label.get(first, ()):
-                for next_fact in outgoing_by_label.get((fact.target, second), ()):
+            for fact in facts_with_label(first):
+                for next_fact in outgoing_with_label(fact.target, second):
                     network.add_edge(end_vertex(fact), start_vertex(next_fact), INFINITE)
     for word in structure.reversed_words:
         for position in range(len(word) - 1):
             first, second = word[position], word[position + 1]
-            for fact in facts_by_label.get(first, ()):
-                for next_fact in outgoing_by_label.get((fact.target, second), ()):
+            for fact in facts_with_label(first):
+                for next_fact in outgoing_with_label(fact.target, second):
                     network.add_edge(end_vertex(next_fact), start_vertex(fact), INFINITE)
 
     # Source / target attachments on endpoint letters.
     for letter in structure.source_letters:
-        for fact in facts_by_label.get(letter, ()):
+        for fact in facts_with_label(letter):
             network.add_edge(_SOURCE, start_vertex(fact), INFINITE)
     for letter in structure.target_letters:
-        for fact in facts_by_label.get(letter, ()):
+        for fact in facts_with_label(letter):
             network.add_edge(end_vertex(fact), _TARGET, INFINITE)
     return network
 
@@ -98,13 +102,13 @@ def resilience_bcl(
     structure = chain.bcl_structure(language)
 
     # Preprocessing: facts labelled by a one-letter word must always be removed.
+    index = bag.index()
     forced: set[Fact] = set()
     base_cost = 0
     for letter in structure.single_letter_words:
-        for fact in bag.facts:
-            if fact.label == letter:
-                forced.add(fact)
-                base_cost += bag.multiplicity(fact)
+        for fact in index.facts_of_ids(index.facts_by_label.get(letter, ())):
+            forced.add(fact)
+            base_cost += bag.multiplicity(fact)
     remaining = bag.remove(forced)
 
     network = build_bcl_network(structure, remaining)

@@ -6,11 +6,29 @@ tries the local-language MinCut reduction (Theorem 3.13), the bipartite-chain
 reduction (Proposition 7.6) and the one-dangling reduction (Proposition 7.9), and
 finally falls back to the exact branch-and-bound baseline (which is correct for
 every language but may take exponential time).
+
+Forced-method semantics: passing ``method=`` to :func:`resilience` normally
+*validates* that the forced algorithm is applicable to the (infix-free) query
+language and raises :class:`~repro.exceptions.ReproError` when it is not —
+running, say, the local-flow reduction on a non-local language silently returns
+a wrong value, so this is an error, not a fallback.  Callers that knowingly
+want the unchecked behaviour (e.g. the combined-complexity experiments, which
+run a reduction on the local *overapproximation*) pass ``unsafe=True``.
+
+Batched serving: :func:`resilience_many` evaluates a fleet of queries against
+one database.  The database's fact index is built once and shared by every
+query, and compiled query plans are cached by automaton equality, so repeated
+or equivalent queries compile once (see
+:func:`~repro.languages.automata.compile_automaton`).
 """
 
 from __future__ import annotations
 
-from ..graphdb.database import BagGraphDatabase, GraphDatabase
+from collections.abc import Iterable, Sequence
+from dataclasses import replace
+
+from ..exceptions import ReproError
+from ..graphdb.database import BagGraphDatabase, GraphDatabase, as_set
 from ..languages import chain, dangling, local
 from ..languages.core import Language
 from ..rpq.query import RPQ
@@ -21,15 +39,18 @@ from .one_dangling import resilience_one_dangling
 from .result import INFINITE, ResilienceResult
 
 
-def choose_method(language: Language) -> str:
+def choose_method(language: Language, *, infix_free: Language | None = None) -> str:
     """Return the name of the algorithm the dispatcher would use for a language.
 
     One of ``"trivial-epsilon"``, ``"local-flow"``, ``"bcl-flow"``,
-    ``"one-dangling-flow"`` or ``"exact"``.
+    ``"one-dangling-flow"`` or ``"exact"``.  Callers that already computed the
+    infix-free sublanguage (an expensive operation) can pass it through
+    ``infix_free`` to avoid recomputing it.
     """
     if language.contains(""):
         return "trivial-epsilon"
-    infix_free = language.infix_free()
+    if infix_free is None:
+        infix_free = language.infix_free()
     if local.is_local(infix_free):
         return "local-flow"
     if chain.is_bipartite_chain_language(infix_free):
@@ -39,11 +60,41 @@ def choose_method(language: Language) -> str:
     return "exact"
 
 
+_FORCED_METHOD_PRECONDITIONS = {
+    "local-flow": local.is_local,
+    "bcl-flow": chain.is_bipartite_chain_language,
+    "one-dangling-flow": dangling.is_one_dangling,
+    "exact": lambda language: True,
+    "trivial-epsilon": lambda language: language.contains(""),
+}
+
+
+def _check_forced_method(method: str, infix_free: Language, unsafe: bool) -> None:
+    precondition = _FORCED_METHOD_PRECONDITIONS.get(method)
+    if precondition is None:
+        raise ValueError(f"unknown resilience method: {method}")
+    if unsafe or precondition(infix_free):
+        return
+    raise ReproError(
+        f"method {method!r} is not applicable to this language; its result would be "
+        f"meaningless (pass unsafe=True to bypass the check)"
+    )
+
+
+def _as_language(query: Language | RPQ | str) -> Language:
+    if isinstance(query, str):
+        return Language.from_regex(query)
+    if isinstance(query, RPQ):
+        return query.language
+    return query
+
+
 def resilience(
     query: Language | RPQ | str,
     database: GraphDatabase | BagGraphDatabase,
     *,
     method: str | None = None,
+    unsafe: bool = False,
     semantics: str | None = None,
     exact_max_nodes: int | None = None,
 ) -> ResilienceResult:
@@ -55,7 +106,11 @@ def resilience(
         database: a set or bag graph database.
         method: force a specific algorithm (``"local-flow"``, ``"bcl-flow"``,
             ``"one-dangling-flow"``, ``"exact"``); by default the dispatcher picks
-            the fastest sound algorithm based on the language class.
+            the fastest sound algorithm based on the language class.  A forced
+            method whose applicability precondition fails raises
+            :class:`ReproError`.
+        unsafe: skip the applicability check of a forced ``method`` (the result
+            is then only meaningful if the caller guarantees the precondition).
         semantics: force reporting as ``"set"`` or ``"bag"``; inferred from the
             database type otherwise.
         exact_max_nodes: search-node cap forwarded to the exact baseline.
@@ -64,33 +119,77 @@ def resilience(
         a :class:`ResilienceResult` with the resilience value, a witnessing
         contingency set (when available) and the algorithm used.
     """
-    if isinstance(query, str):
-        language = Language.from_regex(query)
-    elif isinstance(query, RPQ):
-        language = query.language
-    else:
-        language = query
+    language = _as_language(query)
 
     if semantics is None:
         semantics = "bag" if isinstance(database, BagGraphDatabase) else "set"
 
-    if language.contains(""):
-        return ResilienceResult(INFINITE, None, semantics, "trivial-epsilon", language.name or "")
+    if method is not None and method not in _FORCED_METHOD_PRECONDITIONS:
+        raise ValueError(f"unknown resilience method: {method}")
 
-    chosen = method if method is not None else choose_method(language)
+    display_name = language.name or ""
+    # The empty word makes resilience infinite whatever algorithm is forced, so
+    # the epsilon short-circuit only needs the method *name* validated above.
+    if language.contains(""):
+        return ResilienceResult(INFINITE, None, semantics, "trivial-epsilon", display_name)
+
+    # The infix-free sublanguage is expensive to compute; do it exactly once and
+    # thread it through both method selection and the chosen algorithm.
     infix_free = language.infix_free()
-    # Preserve the original name for reporting.
-    infix_free.name = language.name
+    if method is None:
+        chosen = choose_method(language, infix_free=infix_free)
+    else:
+        chosen = method
+        _check_forced_method(chosen, infix_free, unsafe)
 
     if chosen == "local-flow":
-        return resilience_local(infix_free, database, semantics=semantics)
-    if chosen == "bcl-flow":
-        return resilience_bcl(infix_free, database, semantics=semantics)
-    if chosen == "one-dangling-flow":
-        return resilience_one_dangling(infix_free, database, semantics=semantics)
-    if chosen in ("exact", "trivial-epsilon"):
-        return resilience_exact(infix_free, database, semantics=semantics, max_nodes=exact_max_nodes)
-    raise ValueError(f"unknown resilience method: {chosen}")
+        result = resilience_local(infix_free, database, semantics=semantics, check_local=not unsafe)
+    elif chosen == "bcl-flow":
+        result = resilience_bcl(infix_free, database, semantics=semantics)
+    elif chosen == "one-dangling-flow":
+        result = resilience_one_dangling(infix_free, database, semantics=semantics)
+    elif chosen in ("exact", "trivial-epsilon"):
+        result = resilience_exact(infix_free, database, semantics=semantics, max_nodes=exact_max_nodes)
+    else:  # pragma: no cover - _check_forced_method rejects unknown methods
+        raise ValueError(f"unknown resilience method: {chosen}")
+    # Report under the original query name without mutating the infix-free
+    # language (the seed used to overwrite ``infix_free.name`` in place).
+    return replace(result, query=display_name)
+
+
+def resilience_many(
+    queries: Iterable[Language | RPQ | str],
+    database: GraphDatabase | BagGraphDatabase,
+    *,
+    method: str | None = None,
+    unsafe: bool = False,
+    semantics: str | None = None,
+    exact_max_nodes: int | None = None,
+) -> list[ResilienceResult]:
+    """Compute the resilience of many queries against one shared database.
+
+    The database index is compiled once up front and reused by every query
+    (indexes are cached on the database instance, so the flow reductions and
+    the exact overlay search all hit the same shared adjacency structures), and
+    compiled automaton plans are shared between equal queries.  Results are
+    returned in query order.
+    """
+    query_list: Sequence[Language | RPQ | str] = list(queries)
+    # Warm the shared structures before fanning out over the query fleet.
+    as_set(database).index()
+    if isinstance(database, BagGraphDatabase):
+        database.index()
+    return [
+        resilience(
+            query,
+            database,
+            method=method,
+            unsafe=unsafe,
+            semantics=semantics,
+            exact_max_nodes=exact_max_nodes,
+        )
+        for query in query_list
+    ]
 
 
 def verify_contingency_set(

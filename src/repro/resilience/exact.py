@@ -5,6 +5,18 @@ benchmarks: it is correct for *every* language (the NP upper bound of Section 2)
 but takes exponential time in the worst case.  The algorithm repeatedly finds a
 shortest witnessing walk in the remaining database and branches on which of its
 facts to remove, pruning with the best solution found so far.
+
+The production implementation (:func:`resilience_exact`) is a *copy-free
+overlay search*: the query automaton is compiled once
+(:class:`~repro.languages.automata.CompiledAutomaton`), the database is indexed
+once (:class:`~repro.graphdb.index.DatabaseIndex`), and each branch-and-bound
+node is represented by a mutable removed-fact mask over the shared index
+instead of a freshly materialized sub-database.  The branching rule is
+unchanged from the seed implementation, and walk selection is deterministic, so
+the search explores exactly the same tree (same values, same ``nodes_explored``)
+as the materializing reference implementation
+:func:`resilience_exact_reference`, which is retained for benchmarking and
+cross-validation.
 """
 
 from __future__ import annotations
@@ -13,8 +25,9 @@ import math
 from dataclasses import dataclass
 
 from ..graphdb.database import BagGraphDatabase, Fact, GraphDatabase, as_bag, as_set
+from ..languages.automata import compile_automaton
 from ..languages.core import Language
-from ..rpq.evaluation import find_l_walk
+from ..rpq.evaluation import find_l_walk, find_l_walk_ids
 from .result import INFINITE, ResilienceResult
 
 
@@ -53,6 +66,91 @@ def resilience_exact(
     if language.contains(""):
         return ResilienceResult(INFINITE, None, semantics, "exact", language.name or "")
 
+    plan = compile_automaton(language.automaton)
+    index = set_database.index()
+    multiplicity_map = bag.multiplicity_map()
+    multiplicity = [multiplicity_map[fact] for fact in index.facts]
+
+    num_facts = len(index.facts)
+    removed = bytearray(num_facts)
+    forbidden = bytearray(num_facts)
+    removal_stack: list[int] = []
+
+    state = _SearchState(best_value=math.inf, best_set=None)
+
+    def branch(cost: float) -> None:
+        state.nodes_explored += 1
+        if max_nodes is not None and state.nodes_explored > max_nodes:
+            raise RuntimeError(f"exact resilience exceeded {max_nodes} search nodes")
+        if cost >= state.best_value:
+            return
+        walk = find_l_walk_ids(plan, index, removed)
+        if walk is None:
+            state.best_value = cost
+            state.best_set = frozenset(index.facts[fact_id] for fact_id in removal_stack)
+            return
+        # Branch on the distinct facts of the witness walk, cheapest first.  The
+        # i-th branch additionally forbids removing the facts of the earlier
+        # branches (a standard hitting-set decomposition of the solution space);
+        # a witness made entirely of forbidden facts can never be hit, so the
+        # branch is pruned.  Fact ids are assigned in repr order, so sorting by
+        # (multiplicity, id) matches the reference's (multiplicity, repr) order.
+        branch_ids = sorted(set(walk), key=lambda fact_id: (multiplicity[fact_id], fact_id))
+        if all(forbidden[fact_id] for fact_id in branch_ids):
+            return
+        locally_forbidden: list[int] = []
+        for fact_id in branch_ids:
+            if forbidden[fact_id]:
+                continue
+            removed[fact_id] = 1
+            removal_stack.append(fact_id)
+            branch(cost + multiplicity[fact_id])
+            removal_stack.pop()
+            removed[fact_id] = 0
+            forbidden[fact_id] = 1
+            locally_forbidden.append(fact_id)
+        for fact_id in locally_forbidden:
+            forbidden[fact_id] = 0
+
+    branch(0.0)
+
+    value = state.best_value
+    if value == math.inf:  # pragma: no cover - only when epsilon in L, handled above
+        return ResilienceResult(INFINITE, None, semantics, "exact", language.name or "")
+    return ResilienceResult(
+        float(int(value)) if float(value).is_integer() else value,
+        state.best_set,
+        semantics,
+        "exact",
+        language.name or "",
+        details={"nodes_explored": state.nodes_explored},
+    )
+
+
+def resilience_exact_reference(
+    language: Language,
+    database: GraphDatabase | BagGraphDatabase,
+    *,
+    semantics: str | None = None,
+    max_nodes: int | None = None,
+) -> ResilienceResult:
+    """The seed branch-and-bound implementation, kept as a reference baseline.
+
+    This variant materializes a fresh :class:`GraphDatabase` at every
+    branch-and-bound node (``current.remove([fact])``) and re-evaluates the
+    query on it.  It explores exactly the same search tree as
+    :func:`resilience_exact` — the ablation benchmark and the regression tests
+    assert identical values *and* identical ``nodes_explored`` — but pays a
+    full copy and re-index per node, which is what the overlay search removes.
+    """
+    bag = as_bag(database)
+    set_database = as_set(database)
+    if semantics is None:
+        semantics = "bag" if isinstance(database, BagGraphDatabase) else "set"
+
+    if language.contains(""):
+        return ResilienceResult(INFINITE, None, semantics, "exact-reference", language.name or "")
+
     automaton = language.automaton
     multiplicities = bag.multiplicities()
 
@@ -71,11 +169,6 @@ def resilience_exact(
             state.best_value = cost
             state.best_set = removed
             return
-        # Branch on the distinct facts of the witness walk, cheapest first.  The
-        # i-th branch additionally forbids removing the facts of the earlier
-        # branches (a standard hitting-set decomposition of the solution space);
-        # a witness made entirely of forbidden facts can never be hit, so the
-        # branch is pruned.
         facts = sorted(set(walk), key=lambda fact: (multiplicities[fact], repr(fact)))
         if all(fact in forbidden for fact in facts):
             return
@@ -96,12 +189,12 @@ def resilience_exact(
 
     value = state.best_value
     if value == math.inf:  # pragma: no cover - only when epsilon in L, handled above
-        return ResilienceResult(INFINITE, None, semantics, "exact", language.name or "")
+        return ResilienceResult(INFINITE, None, semantics, "exact-reference", language.name or "")
     return ResilienceResult(
         float(int(value)) if float(value).is_integer() else value,
         state.best_set,
         semantics,
-        "exact",
+        "exact-reference",
         language.name or "",
         details={"nodes_explored": state.nodes_explored},
     )
@@ -126,20 +219,26 @@ def resilience_brute_force(
         semantics = "bag" if isinstance(database, BagGraphDatabase) else "set"
     if language.contains(""):
         return ResilienceResult(INFINITE, None, semantics, "brute-force", language.name or "")
-    automaton = language.automaton
-    facts = sorted(set_database.facts, key=repr)
-    multiplicities = bag.multiplicities()
+    plan = compile_automaton(language.automaton)
+    index = set_database.index()
+    facts = list(index.facts)
+    multiplicity_map = bag.multiplicity_map()
 
     best_value: float = math.inf
     best_set: frozenset[Fact] | None = None
+    removed = bytearray(len(facts))
     for size in range(len(facts) + 1):
-        for subset in combinations(facts, size):
-            cost = sum(multiplicities[fact] for fact in subset)
+        for subset in combinations(range(len(facts)), size):
+            cost = sum(multiplicity_map[facts[fact_id]] for fact_id in subset)
             if cost >= best_value:
                 continue
-            if find_l_walk(automaton, set_database.remove(subset)) is None:
+            for fact_id in subset:
+                removed[fact_id] = 1
+            if find_l_walk_ids(plan, index, removed) is None:
                 best_value = cost
-                best_set = frozenset(subset)
+                best_set = frozenset(facts[fact_id] for fact_id in subset)
+            for fact_id in subset:
+                removed[fact_id] = 0
         # In set semantics the first size with a contingency set is optimal.
         if semantics == "set" and best_set is not None:
             break

@@ -23,7 +23,7 @@ from ..exceptions import NotLocalError
 from ..flow.mincut import MinCutResult, min_cut
 from ..flow.network import FlowNetwork
 from ..graphdb.database import BagGraphDatabase, Fact, GraphDatabase, as_bag
-from ..languages.automata import EpsilonNFA
+from ..languages.automata import EpsilonNFA, compile_automaton
 from ..languages.core import Language
 from ..languages import local as local_module
 from ..languages import read_once
@@ -45,12 +45,14 @@ def build_product_network(read_once_automaton: EpsilonNFA, database: BagGraphDat
     automaton = read_once_automaton
     nodes = database.nodes
 
-    transition_of_letter: dict[str, tuple] = {}
-    for source, label, target in automaton.letter_transitions:
-        assert label is not None
-        transition_of_letter[label] = (source, target)
+    # The compiled plan indexes the letter transitions of the *untrimmed*
+    # automaton by label; read-once automata have exactly one per label.
+    plan = compile_automaton(automaton)
+    transition_of_letter: dict[str, tuple] = {
+        label: pairs[0] for label, pairs in plan.transitions_by_label.items()
+    }
 
-    multiplicities = database.multiplicities()
+    multiplicities = database.multiplicity_map()
     for fact, multiplicity in multiplicities.items():
         transition = transition_of_letter.get(fact.label)
         if transition is None:

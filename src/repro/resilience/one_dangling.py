@@ -70,7 +70,7 @@ def _rewrite_database(
     bag: BagGraphDatabase, x_letter: str, y_letter: str, z_letter: str
 ) -> _RewriteResult:
     """Apply the database rewriting of Proposition 7.9 (see module docstring)."""
-    multiplicities = bag.multiplicities()
+    multiplicities = bag.multiplicity_map()
     incoming_x: dict[object, list[Fact]] = {}
     outgoing_y: dict[object, list[Fact]] = {}
     for fact in multiplicities:
@@ -173,11 +173,12 @@ def _solve_forward(
 
     # Extended bag semantics: facts with non-positive multiplicity can always be
     # put in the contingency set, so they are removed up front at their cost.
+    rewritten_multiplicities = rewrite.rewritten.multiplicity_map()
     non_positive = {
-        fact: mult for fact, mult in rewrite.rewritten.multiplicities().items() if mult <= 0
+        fact: mult for fact, mult in rewritten_multiplicities.items() if mult <= 0
     }
     positive_part = BagGraphDatabase(
-        {fact: mult for fact, mult in rewrite.rewritten.multiplicities().items() if mult > 0}
+        {fact: mult for fact, mult in rewritten_multiplicities.items() if mult > 0}
     )
     base_cost = sum(non_positive.values())
 

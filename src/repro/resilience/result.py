@@ -50,10 +50,17 @@ class ResilienceResult:
 
 
 def finite_value(value: float) -> float | int:
-    """Normalize a finite float value to an integer when it is integral."""
+    """Normalize a finite value to an integer when it is exactly integral.
+
+    No ``isclose``-style rounding: :func:`repro.flow.mincut.min_cut` already
+    runs integral networks in exact integer arithmetic, so an integral result
+    arrives here as an exact float and a genuinely fractional one must be
+    passed through unchanged.
+    """
     if value == INFINITE:
         return INFINITE
-    rounded = round(value)
-    if math.isclose(value, rounded):
-        return int(rounded)
+    if isinstance(value, int):
+        return value
+    if float(value).is_integer():
+        return int(value)
     return value

@@ -4,87 +4,127 @@
 Evaluation builds the product of the database (viewed as an automaton whose
 states are nodes and whose transitions are facts) with an epsilon-NFA for ``L``
 and checks reachability; a witness walk can be extracted from the BFS tree.
+
+The evaluator runs on *compiled query plans*: the automaton is trimmed and its
+epsilon closures and ``(state, label)`` transition indexes are computed once
+(:class:`~repro.languages.automata.CompiledAutomaton`), and the database's node
+set and adjacency lists come from its cached
+:class:`~repro.graphdb.index.DatabaseIndex`.  Callers that evaluate many
+sub-databases of one database (the exact resilience search) use
+:func:`find_l_walk_ids` with a removed-fact mask, which avoids materializing
+sub-databases entirely.  All orders are deterministic (sorted by ``repr``), so
+the returned walk — and anything derived from it, such as branch-and-bound
+node counts — is reproducible across runs.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Sequence
 
 from ..graphdb.database import Fact, GraphDatabase, Node
-from ..languages.automata import EpsilonNFA, State
+from ..graphdb.index import DatabaseIndex
+from ..languages.automata import CompiledAutomaton, EpsilonNFA, State, compile_automaton
 
 
-def has_l_walk(automaton: EpsilonNFA, database: GraphDatabase) -> bool:
+def has_l_walk(automaton: EpsilonNFA | CompiledAutomaton, database: GraphDatabase) -> bool:
     """Return whether the database contains an ``L``-walk for ``L = L(automaton)``."""
     return find_l_walk(automaton, database) is not None
 
 
-def find_l_walk(automaton: EpsilonNFA, database: GraphDatabase) -> list[Fact] | None:
+def find_l_walk(
+    automaton: EpsilonNFA | CompiledAutomaton, database: GraphDatabase
+) -> list[Fact] | None:
     """Return a shortest ``L``-walk of the database as a list of facts, or ``None``.
 
     The empty walk (when the empty word belongs to ``L``) is returned as ``[]``.
     The walk is shortest in number of edges, which makes it a convenient
-    branching witness for the exact resilience algorithm.
+    branching witness for the exact resilience algorithm.  Accepts either a raw
+    :class:`EpsilonNFA` (compiled through the shared plan cache) or an already
+    compiled plan.
     """
-    trimmed = automaton.trim()
-    if not trimmed.final:
+    plan = automaton if isinstance(automaton, CompiledAutomaton) else compile_automaton(automaton)
+    index = database.index()
+    ids = find_l_walk_ids(plan, index)
+    if ids is None:
         return None
-    initial_closure = trimmed.epsilon_closure(trimmed.initial)
-    if initial_closure & trimmed.final:
+    return index.facts_of_ids(ids)
+
+
+def find_l_walk_ids(
+    plan: CompiledAutomaton,
+    index: DatabaseIndex,
+    removed: Sequence[int] | None = None,
+) -> list[int] | None:
+    """Product-BFS for a shortest ``L``-walk over an indexed (sub-)database.
+
+    Args:
+        plan: the compiled query plan.
+        index: the shared database index.
+        removed: optional removed-fact mask — any sequence indexed by fact id
+            whose truthy entries mark facts excluded from the sub-database
+            (typically a ``bytearray``).  ``None`` evaluates the full database.
+
+    Returns:
+        the fact ids of a shortest walk (``[]`` for the empty walk), or ``None``
+        when no ``L``-walk exists.
+    """
+    if plan.is_empty:
+        return None
+    if plan.accepts_empty:
         return []
-    if not database.facts:
+    if not index.facts:
         return None
 
-    # Transitions of the query automaton indexed by label.
-    by_label: dict[str, list[tuple[State, State]]] = {}
-    for source, label, target in trimmed.letter_transitions:
-        assert label is not None
-        by_label.setdefault(label, []).append((source, target))
-
-    outgoing = database.outgoing()
+    facts = index.facts
+    outgoing = index.outgoing_ids
+    steps = plan.steps
+    final_states = plan.final
 
     # Product BFS over pairs (database node, automaton state); automaton states
-    # are always taken epsilon-closed.
-    start_pairs = [
-        (node, state) for node in database.nodes for state in initial_closure
-    ]
-    parents: dict[tuple[Node, State], tuple[tuple[Node, State], Fact] | None] = {
-        pair: None for pair in start_pairs
-    }
-    queue: deque[tuple[Node, State]] = deque(start_pairs)
-    final_states = trimmed.final
-
-    def closure_pairs(node: Node, state: State) -> list[tuple[Node, State]]:
-        return [(node, closed) for closed in trimmed.epsilon_closure([state])]
+    # are always taken epsilon-closed.  Nodes whose facts are all removed only
+    # contribute dead start pairs, which cost nothing to skip.
+    parents: dict[tuple[Node, State], tuple[tuple[Node, State], int] | None] = {}
+    queue: deque[tuple[Node, State]] = deque()
+    for node in index.nodes:
+        for state in plan.initial_closure:
+            pair = (node, state)
+            parents[pair] = None
+            queue.append(pair)
 
     while queue:
-        node, state = queue.popleft()
-        for fact in outgoing.get(node, ()):
-            for q_source, q_target in by_label.get(fact.label, ()):
-                if q_source != state:
+        pair = queue.popleft()
+        node, state = pair
+        for fact_id in outgoing.get(node, ()):
+            if removed is not None and removed[fact_id]:
+                continue
+            fact = facts[fact_id]
+            targets = steps.get((state, fact.label))
+            if not targets:
+                continue
+            for closed in targets:
+                next_pair = (fact.target, closed)
+                if next_pair in parents:
                     continue
-                for pair in closure_pairs(fact.target, q_target):
-                    if pair in parents:
-                        continue
-                    parents[pair] = ((node, state), fact)
-                    if pair[1] in final_states:
-                        return _reconstruct_walk(parents, pair)
-                    queue.append(pair)
+                parents[next_pair] = (pair, fact_id)
+                if closed in final_states:
+                    return _reconstruct_walk_ids(parents, next_pair)
+                queue.append(next_pair)
     return None
 
 
-def _reconstruct_walk(
-    parents: dict[tuple[Node, State], tuple[tuple[Node, State], Fact] | None],
+def _reconstruct_walk_ids(
+    parents: dict[tuple[Node, State], tuple[tuple[Node, State], int] | None],
     end: tuple[Node, State],
-) -> list[Fact]:
-    walk: list[Fact] = []
+) -> list[int]:
+    walk: list[int] = []
     current = end
     while True:
         entry = parents[current]
         if entry is None:
             break
-        previous, fact = entry
-        walk.append(fact)
+        previous, fact_id = entry
+        walk.append(fact_id)
         current = previous
     walk.reverse()
     return walk

@@ -65,6 +65,36 @@ class TestMinCutValues:
         assert min_cut_value(network) == 5
 
 
+class TestCapacityArithmetic:
+    def test_integral_capacities_stay_exact(self):
+        # Integral networks run in exact int arithmetic and snap to a float int.
+        network = diamond_network()
+        value = min_cut_value(network)
+        assert value == 5
+        assert isinstance(value, float)
+
+    def test_fractional_optimum_is_not_misrounded(self):
+        # Regression: the seed snapped with math.isclose(value, round(value)),
+        # which collapses a genuinely fractional optimum such as 3 + 1e-10 to 3.
+        network = FlowNetwork(source="s", target="t")
+        network.add_edge("s", "t", 3 + 1e-10)
+        value = min_cut_value(network)
+        assert value == 3 + 1e-10
+        assert value != 3
+
+    def test_fractional_capacities_supported(self):
+        network = FlowNetwork(source="s", target="t")
+        network.add_edge("s", "m", 2.5)
+        network.add_edge("m", "t", 0.75)
+        assert min_cut_value(network) == 0.75
+
+    def test_mixed_integral_and_infinite_capacities_snap(self):
+        network = FlowNetwork(source="s", target="t")
+        network.add_edge("s", "m", INFINITY)
+        network.add_edge("m", "t", 4.0)
+        assert min_cut_value(network) == 4.0
+
+
 class TestCutEdges:
     def test_cut_edges_form_a_cut(self):
         network = diamond_network()

@@ -2,9 +2,16 @@
 
 import pytest
 
+from repro.exceptions import ReproError
 from repro.graphdb import GraphDatabase, generators
 from repro.languages import Language
-from repro.resilience import choose_method, resilience, resilience_exact, verify_contingency_set
+from repro.resilience import (
+    choose_method,
+    resilience,
+    resilience_exact,
+    resilience_many,
+    verify_contingency_set,
+)
 from repro.rpq import RPQ
 
 
@@ -71,3 +78,104 @@ class TestDispatch:
         assert resilience("ab", database).semantics == "set"
         assert resilience("ab", database.to_bag(3)).semantics == "bag"
         assert resilience("ab", database.to_bag(3)).value == 3
+
+    def test_infix_free_computed_exactly_once(self):
+        # Regression: the seed computed language.infix_free() twice per call
+        # (once in choose_method, once in resilience).
+        database = GraphDatabase.from_edges([("s", "a", "u"), ("u", "b", "t")])
+        language = Language.from_regex("ab|bc")
+        calls = []
+        original = Language.infix_free
+
+        def counting_infix_free(self):
+            calls.append(self)
+            return original(self)
+
+        Language.infix_free = counting_infix_free
+        try:
+            result = resilience(language, database)
+        finally:
+            Language.infix_free = original
+        assert result.value == 1
+        assert len(calls) == 1
+
+    def test_query_name_preserved_without_mutation(self):
+        # Regression: the seed renamed the infix-free language in place; the
+        # engine must report under the original name without any mutation.
+        database = GraphDatabase.from_edges([("s", "a", "u"), ("u", "b", "t")])
+        language = Language.from_regex("ab|bc")
+        infix_free = language.infix_free()
+        original_name = infix_free.name
+        result = resilience(language, database)
+        assert result.query == "ab|bc"
+        assert language.infix_free().name == original_name
+
+
+class TestForcedMethodValidation:
+    def test_forced_inapplicable_method_raises(self):
+        database = generators.random_labelled_graph(4, 8, "a", seed=0)
+        with pytest.raises(ReproError):
+            resilience("aa", database, method="local-flow")
+
+    def test_forced_inapplicable_bcl_raises(self):
+        database = generators.random_labelled_graph(4, 8, "a", seed=0)
+        with pytest.raises(ReproError):
+            resilience("aa", database, method="bcl-flow")
+
+    def test_unknown_method_raises_value_error(self):
+        database = GraphDatabase.from_edges([("s", "a", "u")])
+        with pytest.raises(ValueError):
+            resilience("ab", database, method="no-such-method")
+
+    def test_unknown_method_rejected_even_for_epsilon_languages(self):
+        # Regression: the epsilon short-circuit must not swallow a method typo.
+        database = GraphDatabase.from_edges([("s", "a", "u")])
+        with pytest.raises(ValueError):
+            resilience("a*", database, method="no-such-method")
+
+    def test_forced_method_on_epsilon_language_reports_infinite(self):
+        # A known forced method on an epsilon language short-circuits to the
+        # (correct whatever the algorithm) infinite result.
+        database = GraphDatabase.from_edges([("s", "a", "u")])
+        result = resilience("a*", database, method="exact")
+        assert result.is_infinite
+        assert result.method == "trivial-epsilon"
+
+    def test_unsafe_escape_hatch_runs_unchecked(self):
+        # "aa" is not local; unsafe=True runs the reduction on the local
+        # overapproximation anyway (combined-complexity semantics) instead of
+        # raising.  The returned value is an underapproximation-of-soundness
+        # trade the caller explicitly opted into.
+        database = generators.random_labelled_graph(4, 8, "a", seed=0)
+        result = resilience("aa", database, method="local-flow", unsafe=True)
+        assert result.method == "local-flow"
+        assert result.value >= 0
+
+    def test_forced_applicable_method_still_works(self):
+        database = GraphDatabase.from_edges([("s", "a", "u"), ("u", "b", "t")])
+        forced = resilience("ab", database, method="local-flow")
+        assert forced.method == "local-flow"
+        assert forced.value == 1
+
+
+class TestResilienceMany:
+    def test_matches_individual_calls(self):
+        database = generators.random_labelled_graph(5, 10, "abcex", seed=1)
+        queries = ["ax*b", "ab|bc", "abc|be", "aa", "ab"]
+        batched = resilience_many(queries, database)
+        assert len(batched) == len(queries)
+        for query, result in zip(queries, batched):
+            single = resilience(query, database)
+            assert result.value == single.value, query
+            assert result.method == single.method, query
+            assert result.query == query
+
+    def test_shares_one_database_index(self):
+        database = generators.random_labelled_graph(5, 10, "ab", seed=2)
+        resilience_many(["ab", "aa"], database)
+        # The index was built once and cached on the database instance.
+        assert database.index() is database.index()
+
+    def test_empty_query_list(self):
+        database = GraphDatabase.from_edges([("s", "a", "u")])
+        assert resilience_many([], database) == []

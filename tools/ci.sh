@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Single CI entry point: tier-1 tests plus the benchmark smoke pass.
+#
+#   tools/ci.sh            # run everything
+#   tools/ci.sh -k mincut  # extra args are forwarded to bench_smoke.py
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="$PWD/src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "ci: tier-1 test suite"
+python -m pytest -x -q
+
+echo "ci: benchmark smoke pass"
+python tools/bench_smoke.py "$@"
+
+echo "ci: all green"
