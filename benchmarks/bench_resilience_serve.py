@@ -1,0 +1,96 @@
+"""E-SERVE: the parallel resilience serving layer (:mod:`repro.service`).
+
+Exercises the serving subsystem end to end:
+
+* correctness in smoke mode: the process-pool path must return outcomes
+  identical to the serial path on a mixed workload, and a query that blows its
+  node budget must surface as a structured ``"budget-exceeded"`` outcome while
+  the rest of the fleet completes;
+* the session language cache: a workload dominated by duplicate queries plans
+  (parse + infix-free + classification) each distinct query once;
+* wall-clock: multi-core speedup of the process pool on an exact-heavy
+  workload.  The >1.5x acceptance assertion only fires on machines with at
+  least 4 CPUs and outside the CI smoke pass (``REPRO_BENCH_SMOKE=1``, set by
+  ``tools/bench_smoke.py`` — a loaded CI runner's timing must not turn CI
+  red); on fewer cores or in smoke mode the benchmark reports the measured
+  ratio without failing.
+"""
+
+import os
+import time
+
+from repro.graphdb import generators
+from repro.service import (
+    BUDGET_EXCEEDED,
+    OK,
+    LanguageCache,
+    QuerySpec,
+    Workload,
+    plan_workload,
+    resilience_serve,
+)
+
+MIXED_QUERIES = ["ax*b", "ab|bc", "abc|be", "aa", "ab", "ε|a", "ab|ad|cd", "axb|byc"]
+
+
+def mixed_workload(size):
+    return Workload.coerce([MIXED_QUERIES[i % len(MIXED_QUERIES)] for i in range(size)])
+
+
+def test_parallel_outcomes_identical_to_serial():
+    database = generators.random_labelled_graph(6, 18, "abcdexy", seed=9)
+    workload = mixed_workload(24)
+    serial = resilience_serve(workload, database, parallel=False)
+    parallel = resilience_serve(workload, database, max_workers=2)
+    assert serial == parallel
+    assert all(outcome.ok for outcome in serial)
+
+
+def test_budget_overrun_does_not_kill_the_fleet():
+    database = generators.random_labelled_graph(5, 14, "axb", seed=0)
+    workload = Workload.coerce(["ax*b", QuerySpec("aa", max_nodes=1), "ab"])
+    outcomes = resilience_serve(workload, database, max_workers=2)
+    assert [outcome.status for outcome in outcomes] == [OK, BUDGET_EXCEEDED, OK]
+    assert outcomes[1].nodes_explored is not None
+
+
+def test_duplicate_heavy_workload_plans_each_distinct_query_once(benchmark):
+    database = generators.random_labelled_graph(6, 18, "abcdexy", seed=9)
+    workload = mixed_workload(200)  # 200 queries, 8 distinct
+
+    def serve_with_fresh_cache():
+        cache = LanguageCache()
+        scheduled, failed = plan_workload(workload, cache)
+        assert not failed
+        assert len(cache) == len(MIXED_QUERIES)
+        return resilience_serve(workload, database, parallel=False, cache=cache)
+
+    outcomes = benchmark(serve_with_fresh_cache)
+    assert len(outcomes) == 200
+
+
+def test_parallel_speedup_on_exact_heavy_workload():
+    # The acceptance bar for the serving subsystem: >1.5x wall-clock on 4
+    # workers for an exact-heavy workload, asserted where 4 cores exist.
+    database = generators.random_labelled_graph(11, 38, "a", seed=2)
+    workload = Workload.from_queries(["aa"] * 8)
+
+    start = time.perf_counter()
+    serial = resilience_serve(workload, database, parallel=False)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = resilience_serve(workload, database, max_workers=4)
+    parallel_seconds = time.perf_counter() - start
+
+    assert serial == parallel
+    assert all(outcome.ok for outcome in serial)
+    speedup = serial_seconds / max(parallel_seconds, 1e-9)
+    print(
+        f"\nresilience_serve exact-heavy: serial {serial_seconds:.2f}s, "
+        f"4 workers {parallel_seconds:.2f}s, speedup {speedup:.2f}x "
+        f"({os.cpu_count()} cpus)"
+    )
+    strict = (os.cpu_count() or 1) >= 4 and not os.environ.get("REPRO_BENCH_SMOKE")
+    if strict:
+        assert speedup > 1.5, f"parallel serve only {speedup:.2f}x faster on 4 workers"

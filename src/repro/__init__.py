@@ -33,11 +33,13 @@ from .exceptions import (
     NotLocalError,
     RegexSyntaxError,
     ReproError,
+    SearchBudgetExceeded,
 )
 from .graphdb import BagGraphDatabase, Fact, GraphDatabase
 from .languages import EpsilonNFA, Language
 from .resilience import ResilienceResult, resilience, resilience_many
 from .rpq import RPQ
+from .service import QueryOutcome, QuerySpec, Workload, resilience_serve
 
 __version__ = "1.0.0"
 
@@ -54,11 +56,16 @@ __all__ = [
     "NotApplicableError",
     "NotFiniteError",
     "NotLocalError",
+    "QueryOutcome",
+    "QuerySpec",
     "RPQ",
     "RegexSyntaxError",
     "ReproError",
     "ResilienceResult",
+    "SearchBudgetExceeded",
+    "Workload",
     "resilience",
     "resilience_many",
+    "resilience_serve",
     "__version__",
 ]

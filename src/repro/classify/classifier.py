@@ -63,14 +63,18 @@ def classify(language: Language, *, build_certificate: bool = False) -> Classifi
         build_certificate: when True and the language is NP-hard, also build and
             machine-verify a hardness gadget (slower; used by the benchmarks).
     """
-    infix_free = language.infix_free()
-    infix_free.name = language.name
-
+    # Epsilon short-circuit first, mirroring the engine's dispatch order: a
+    # trivial language must not pay for the (expensive) infix-free computation.
     if language.contains(""):
         return Classification(
             language, PTIME, "epsilon is in the language, resilience is trivially infinite",
             "trivial", algorithm="trivial-epsilon",
         )
+
+    # ``infix_free()`` is memoized on the language instance and shared with the
+    # dispatcher, so re-label through a copy — the seed assigned
+    # ``infix_free.name`` in place, which would corrupt the shared cache.
+    infix_free = language.infix_free().relabelled(language.name)
 
     # ---------------- tractable classes ----------------
     if local.is_local(infix_free):

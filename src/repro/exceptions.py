@@ -26,6 +26,40 @@ class NotApplicableError(ReproError):
     """Raised when an algorithm's preconditions are not met for the given input."""
 
 
+class SearchBudgetExceeded(ReproError, RuntimeError):
+    """Raised when the exact branch-and-bound search exhausts its budget.
+
+    Carries the budget diagnostics as structured data so callers (the hardness
+    reduction checker, the serving layer) can catch *exactly* budget overruns
+    without swallowing unrelated errors.  Also inherits :class:`RuntimeError`
+    because the seed raised a bare ``RuntimeError`` here and downstream code may
+    still catch that.
+
+    The keyword arguments have defaults so the default ``BaseException``
+    pickling protocol (reconstruct from ``args``, then restore ``__dict__``)
+    round-trips the exception across the process boundaries the serving layer
+    introduces.
+
+    Attributes:
+        nodes_explored: search nodes expanded when the budget tripped.
+        max_nodes: the node budget that was exceeded, if any.
+        max_seconds: the time budget that was exceeded, if any.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        nodes_explored: int = 0,
+        max_nodes: int | None = None,
+        max_seconds: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.nodes_explored = nodes_explored
+        self.max_nodes = max_nodes
+        self.max_seconds = max_seconds
+
+
 class GadgetError(ReproError):
     """Raised when a hardness gadget is malformed or fails verification."""
 

@@ -156,6 +156,18 @@ class GraphDatabase:
                 return False
         return True
 
+    # ------------------------------------------------------------------ pickling
+
+    def __getstate__(self) -> dict:
+        # The index and adjacency maps are derived caches: shipping them (e.g.
+        # to the serving layer's worker processes) more than doubles the pickle
+        # for nothing, because the receiver rebuilds them lazily anyway.
+        state = self.__dict__.copy()
+        state["_index"] = None
+        state["_outgoing"] = None
+        state["_incoming"] = None
+        return state
+
     # ------------------------------------------------------------------ modifications (functional)
 
     def remove(self, facts: Iterable[Fact | tuple[Node, str, Node]]) -> "GraphDatabase":
@@ -284,6 +296,15 @@ class BagGraphDatabase:
 
     def __repr__(self) -> str:
         return f"BagGraphDatabase({len(self._multiplicities)} facts)"
+
+    # ------------------------------------------------------------------ pickling
+
+    def __getstate__(self) -> dict:
+        # Same as GraphDatabase: derived caches are rebuilt lazily, don't ship.
+        state = self.__dict__.copy()
+        state["_database"] = None
+        state["_index"] = None
+        return state
 
     # ------------------------------------------------------------------ modifications
 

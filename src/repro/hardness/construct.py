@@ -659,8 +659,9 @@ def hardness_gadget(language: Language) -> HardnessCertificate:
     """
     from .library import NAMED_GADGETS
 
-    infix_free = language.infix_free()
-    infix_free.name = language.name
+    # Re-label through a copy: infix_free() is memoized on the language
+    # instance, so assigning its name in place would corrupt the shared cache.
+    infix_free = language.infix_free().relabelled(language.name)
 
     if infix_free.is_finite():
         words = "|".join(sorted(infix_free.words()))

@@ -28,6 +28,7 @@ class Language:
     def __init__(self, automaton: EpsilonNFA, name: str | None = None) -> None:
         self._automaton = automaton
         self.name = name
+        self._infix_free: "Language | None" = None
 
     # ------------------------------------------------------------------ constructors
 
@@ -141,10 +142,32 @@ class Language:
         return f"mirror({self.name})"
 
     def infix_free(self) -> "Language":
-        """Return the infix-free sublanguage ``IF(L)`` (Section 2)."""
-        from . import infix
+        """Return the infix-free sublanguage ``IF(L)`` (Section 2).
 
-        return infix.infix_free_sublanguage(self)
+        The result is memoized on the instance: ``IF(L)`` is by far the most
+        expensive per-query derivation (it determinizes padded automata for
+        infinite languages), and the dispatcher, the classifier and the serving
+        layer all need it.  The returned object is shared — callers must not
+        mutate it (use :meth:`relabelled` to change its display name).
+        """
+        if self._infix_free is None:
+            from . import infix
+
+            self._infix_free = infix.infix_free_sublanguage(self)
+        return self._infix_free
+
+    def relabelled(self, name: str | None) -> "Language":
+        """Return a copy of this language under a different display name.
+
+        The copy shares the automaton and every cached analysis (finiteness,
+        word set, memoized infix-free sublanguage, ...) with the original; only
+        the name differs.  This is the mutation-free replacement for assigning
+        ``language.name`` on a shared (e.g. memoized) instance.
+        """
+        clone = Language(self._automaton)
+        clone.__dict__.update(self.__dict__)
+        clone.name = name
+        return clone
 
     def is_infix_free(self) -> bool:
         """Return whether the language equals its infix-free sublanguage."""

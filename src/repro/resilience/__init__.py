@@ -2,7 +2,13 @@
 paper (local, bipartite chain, one-dangling), and the dispatching engine."""
 
 from .bcl_flow import resilience_bcl
-from .engine import choose_method, resilience, resilience_many, verify_contingency_set
+from .engine import (
+    LanguageCache,
+    choose_method,
+    resilience,
+    resilience_many,
+    verify_contingency_set,
+)
 from .exact import resilience_brute_force, resilience_exact, resilience_exact_reference
 from .local_flow import build_product_network, resilience_local
 from .one_dangling import resilience_one_dangling
@@ -10,6 +16,7 @@ from .result import INFINITE, ResilienceResult
 
 __all__ = [
     "INFINITE",
+    "LanguageCache",
     "ResilienceResult",
     "build_product_network",
     "choose_method",

@@ -17,15 +17,16 @@ run a reduction on the local *overapproximation*) pass ``unsafe=True``.
 
 Batched serving: :func:`resilience_many` evaluates a fleet of queries against
 one database.  The database's fact index is built once and shared by every
-query, and compiled query plans are cached by automaton equality, so repeated
-or equivalent queries compile once (see
-:func:`~repro.languages.automata.compile_automaton`).
+query, duplicate queries resolve to one shared language (whose infix-free
+sublanguage is memoized on the instance), and compiled query plans are cached
+by automaton equality, so repeated or equivalent queries compile once (see
+:func:`~repro.languages.automata.compile_automaton`).  For parallel serving
+with per-query budgets and structured outcomes, see :mod:`repro.service`.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
-from dataclasses import replace
+from collections.abc import Callable, Iterable, Sequence
 
 from ..exceptions import ReproError
 from ..graphdb.database import BagGraphDatabase, GraphDatabase, as_set
@@ -89,6 +90,97 @@ def _as_language(query: Language | RPQ | str) -> Language:
     return query
 
 
+def warm_database(database: GraphDatabase | BagGraphDatabase) -> None:
+    """Build the database's shared fact index (and the bag view's) exactly once.
+
+    Called before fanning out over a query fleet so every query hits the same
+    cached adjacency structures (batched serving here, per-worker warm-up in
+    :mod:`repro.service.serve`).
+    """
+    as_set(database).index()
+    if isinstance(database, BagGraphDatabase):
+        database.index()
+
+
+def reforce_planned_method(
+    method: str | None, unsafe: bool, plan: "Callable[[], str]"
+) -> tuple[str, bool]:
+    """Resolve the ``(method, unsafe)`` pair to pass to :func:`resilience`.
+
+    A caller-forced ``method`` keeps the caller's ``unsafe`` flag so the usual
+    applicability validation still runs; otherwise the ``plan`` callable
+    supplies the dispatcher's own choice, which is re-forced with
+    ``unsafe=True`` — re-deriving its precondition per duplicate query would
+    be pure waste.  ``plan`` is only consulted when no method is forced, so
+    callers can hand in a (possibly uncached) classification lazily.  Shared
+    by :func:`resilience_many` and the serving layer's executor.
+    """
+    if method is not None:
+        return method, unsafe
+    return plan(), True
+
+
+class LanguageCache:
+    """Session-level cache resolving queries to shared language analyses.
+
+    Equal queries dominate real workloads, and almost all of the per-query
+    cost is language analysis, not database work: parsing the regex, computing
+    the infix-free sublanguage ``IF(L)`` (which determinizes padded automata),
+    and classifying ``IF(L)`` to pick an algorithm.  The cache makes each of
+    those a once-per-distinct-query cost:
+
+    * string queries are parsed once per distinct expression and map to one
+      shared :class:`~repro.languages.core.Language` instance;
+    * ``Language.infix_free()`` is memoized on the instance itself, so sharing
+      the instance shares the infix-free sublanguage;
+    * the dispatcher's method choice is memoized here per instance;
+    * compiled automaton plans are already shared process-wide by
+      :func:`~repro.languages.automata.compile_automaton` (keyed by automaton
+      equality), so even two distinct-but-equal languages share one plan.
+
+    The cache holds strong references to the languages it has seen; it is
+    scoped to a serving session (or one :func:`resilience_many` batch), not to
+    the process.  Re-exported as :class:`repro.service.LanguageCache`.
+    """
+
+    def __init__(self) -> None:
+        self._by_expression: dict[str, Language] = {}
+        # Keyed by id(); the tuple keeps the language alive so ids stay valid
+        # (Language equality is semantic, so an equality-keyed dict would pay
+        # an automaton-equivalence check per lookup).
+        self._methods: dict[int, tuple[Language, str]] = {}
+
+    def language(self, query: Language | RPQ | str) -> Language:
+        """Return the (shared) :class:`Language` for a query.
+
+        Strings are parsed once per distinct expression; languages and RPQs
+        resolve to their own (already shared) instance.
+        """
+        if isinstance(query, str):
+            cached = self._by_expression.get(query)
+            if cached is None:
+                cached = Language.from_regex(query)
+                self._by_expression[query] = cached
+            return cached
+        return _as_language(query)
+
+    def method(self, language: Language) -> str:
+        """Return the dispatcher's method choice for a language, memoized.
+
+        Mirrors :func:`choose_method` (epsilon short-circuit first, then
+        classification of the memoized infix-free sublanguage).
+        """
+        key = id(language)
+        cached = self._methods.get(key)
+        if cached is None:
+            cached = (language, choose_method(language))
+            self._methods[key] = cached
+        return cached[1]
+
+    def __len__(self) -> int:
+        return len(self._by_expression)
+
+
 def resilience(
     query: Language | RPQ | str,
     database: GraphDatabase | BagGraphDatabase,
@@ -97,6 +189,7 @@ def resilience(
     unsafe: bool = False,
     semantics: str | None = None,
     exact_max_nodes: int | None = None,
+    exact_max_seconds: float | None = None,
 ) -> ResilienceResult:
     """Compute the resilience of an RPQ on a database.
 
@@ -114,6 +207,12 @@ def resilience(
         semantics: force reporting as ``"set"`` or ``"bag"``; inferred from the
             database type otherwise.
         exact_max_nodes: search-node cap forwarded to the exact baseline.
+        exact_max_seconds: wall-clock budget forwarded to the exact baseline.
+
+    Raises:
+        SearchBudgetExceeded: when the exact baseline runs and exceeds one of
+            its budgets (the serving layer catches this and reports it as a
+            structured outcome).
 
     Returns:
         a :class:`ResilienceResult` with the resilience value, a witnessing
@@ -149,12 +248,18 @@ def resilience(
     elif chosen == "one-dangling-flow":
         result = resilience_one_dangling(infix_free, database, semantics=semantics)
     elif chosen in ("exact", "trivial-epsilon"):
-        result = resilience_exact(infix_free, database, semantics=semantics, max_nodes=exact_max_nodes)
+        result = resilience_exact(
+            infix_free,
+            database,
+            semantics=semantics,
+            max_nodes=exact_max_nodes,
+            max_seconds=exact_max_seconds,
+        )
     else:  # pragma: no cover - _check_forced_method rejects unknown methods
         raise ValueError(f"unknown resilience method: {chosen}")
     # Report under the original query name without mutating the infix-free
     # language (the seed used to overwrite ``infix_free.name`` in place).
-    return replace(result, query=display_name)
+    return result.with_query(display_name)
 
 
 def resilience_many(
@@ -165,31 +270,45 @@ def resilience_many(
     unsafe: bool = False,
     semantics: str | None = None,
     exact_max_nodes: int | None = None,
+    exact_max_seconds: float | None = None,
+    cache: "LanguageCache | None" = None,
 ) -> list[ResilienceResult]:
     """Compute the resilience of many queries against one shared database.
 
     The database index is compiled once up front and reused by every query
     (indexes are cached on the database instance, so the flow reductions and
     the exact overlay search all hit the same shared adjacency structures), and
-    compiled automaton plans are shared between equal queries.  Results are
-    returned in query order.
+    compiled automaton plans are shared between equal queries.  Queries are
+    resolved through a session-level :class:`LanguageCache`, so duplicate
+    queries share one :class:`Language` instance and therefore one memoized
+    infix-free sublanguage — the single most expensive per-query derivation is
+    paid once per *distinct* query, not once per submission.  Pass ``cache=``
+    to share that cache across several batches of the same session.  Results
+    are returned in query order.
     """
+    if cache is None:
+        cache = LanguageCache()
     query_list: Sequence[Language | RPQ | str] = list(queries)
     # Warm the shared structures before fanning out over the query fleet.
-    as_set(database).index()
-    if isinstance(database, BagGraphDatabase):
-        database.index()
-    return [
-        resilience(
-            query,
-            database,
-            method=method,
-            unsafe=unsafe,
-            semantics=semantics,
-            exact_max_nodes=exact_max_nodes,
+    warm_database(database)
+    results: list[ResilienceResult] = []
+    for query in query_list:
+        language = cache.language(query)
+        run_method, run_unsafe = reforce_planned_method(
+            method, unsafe, lambda: cache.method(language)
         )
-        for query in query_list
-    ]
+        results.append(
+            resilience(
+                language,
+                database,
+                method=run_method,
+                unsafe=run_unsafe,
+                semantics=semantics,
+                exact_max_nodes=exact_max_nodes,
+                exact_max_seconds=exact_max_seconds,
+            )
+        )
+    return results
 
 
 def verify_contingency_set(
@@ -207,6 +326,11 @@ def verify_contingency_set(
         rpq = query
     if result.contingency_set is None:
         return result.is_infinite
+    # A contingency set must consist of facts of the database: a foreign fact
+    # can never be removed, so such a set is invalid in both semantics (the seed
+    # crashed with KeyError on the bag-semantics cost lookup instead).
+    if any(fact not in database for fact in result.contingency_set):
+        return False
     if not rpq.is_contingency_set(database, result.contingency_set):
         return False
     if isinstance(database, BagGraphDatabase):

@@ -23,7 +23,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from time import perf_counter
 
+from ..exceptions import SearchBudgetExceeded
 from ..graphdb.database import BagGraphDatabase, Fact, GraphDatabase, as_bag, as_set
 from ..languages.automata import compile_automaton
 from ..languages.core import Language
@@ -44,6 +46,7 @@ def resilience_exact(
     *,
     semantics: str | None = None,
     max_nodes: int | None = None,
+    max_seconds: float | None = None,
 ) -> ResilienceResult:
     """Compute the exact resilience of ``Q_L`` on a database.
 
@@ -55,8 +58,14 @@ def resilience_exact(
         semantics: force ``"set"`` or ``"bag"`` reporting; inferred from the
             database type when omitted.
         max_nodes: optional cap on the number of branch-and-bound nodes; the
-            search raises ``RuntimeError`` if exceeded (protection for callers
-            that use the exact baseline on large instances by mistake).
+            search raises :class:`~repro.exceptions.SearchBudgetExceeded` if
+            exceeded (protection for callers that use the exact baseline on
+            large instances by mistake).
+        max_seconds: optional wall-clock budget for the search, enforced at
+            every branch-and-bound node; raises
+            :class:`~repro.exceptions.SearchBudgetExceeded` when exceeded.
+            Unlike ``max_nodes``, a time budget is machine-dependent, so it
+            makes results reproducible only in the success case.
     """
     bag = as_bag(database)
     set_database = as_set(database)
@@ -77,11 +86,22 @@ def resilience_exact(
     removal_stack: list[int] = []
 
     state = _SearchState(best_value=math.inf, best_set=None)
+    deadline = None if max_seconds is None else perf_counter() + max_seconds
 
     def branch(cost: float) -> None:
         state.nodes_explored += 1
         if max_nodes is not None and state.nodes_explored > max_nodes:
-            raise RuntimeError(f"exact resilience exceeded {max_nodes} search nodes")
+            raise SearchBudgetExceeded(
+                f"exact resilience exceeded {max_nodes} search nodes",
+                nodes_explored=state.nodes_explored,
+                max_nodes=max_nodes,
+            )
+        if deadline is not None and perf_counter() > deadline:
+            raise SearchBudgetExceeded(
+                f"exact resilience exceeded its {max_seconds:g}s time budget",
+                nodes_explored=state.nodes_explored,
+                max_seconds=max_seconds,
+            )
         if cost >= state.best_value:
             return
         walk = find_l_walk_ids(plan, index, removed)
@@ -161,7 +181,11 @@ def resilience_exact_reference(
     ) -> None:
         state.nodes_explored += 1
         if max_nodes is not None and state.nodes_explored > max_nodes:
-            raise RuntimeError(f"exact resilience exceeded {max_nodes} search nodes")
+            raise SearchBudgetExceeded(
+                f"exact resilience exceeded {max_nodes} search nodes",
+                nodes_explored=state.nodes_explored,
+                max_nodes=max_nodes,
+            )
         if cost >= state.best_value:
             return
         walk = find_l_walk(automaton, current)

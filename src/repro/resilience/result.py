@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..graphdb.database import Fact
 
@@ -37,6 +37,15 @@ class ResilienceResult:
     @property
     def is_infinite(self) -> bool:
         return self.value == INFINITE
+
+    def with_query(self, query: str) -> "ResilienceResult":
+        """Return a copy reported under a different query name.
+
+        Results are frozen, so re-labelling (the engine and the serving layer
+        report under the original query name, not the infix-free sublanguage's)
+        always goes through a copy instead of mutating shared state.
+        """
+        return replace(self, query=query)
 
     def as_int(self) -> int:
         """Return the value as an integer (raises for infinite resilience)."""

@@ -1,0 +1,80 @@
+"""Parallel resilience serving with shared language caches.
+
+This package turns the single-query dispatcher of :mod:`repro.resilience` into
+a serving subsystem for query fleets:
+
+* **Workload model** (:mod:`~repro.service.workload`): a
+  :class:`~repro.service.workload.Workload` is an ordered fleet of
+  :class:`~repro.service.workload.QuerySpec` items — query plus optional
+  forced method, forced semantics, and per-query ``max_nodes`` /
+  ``max_seconds`` budgets for the exact fallback.
+* **Session language cache** (:mod:`~repro.service.cache`): duplicate queries
+  resolve to one shared :class:`~repro.languages.core.Language`, whose
+  infix-free sublanguage is memoized on the instance, and whose dispatch
+  method is classified once; compiled automaton plans are shared process-wide.
+* **Scheduler** (:mod:`~repro.service.scheduler`): every query is classified
+  first and flow-tractable queries run before exact fallbacks.
+* **Serving** (:mod:`~repro.service.serve`):
+  :func:`~repro.service.serve.resilience_serve` executes the planned workload
+  serially or over a process pool and returns structured
+  :class:`~repro.service.outcome.QueryOutcome` objects in workload order.
+
+Budget semantics
+----------------
+
+Budgets apply to the exact branch-and-bound fallback only — the flow
+reductions are polynomial and never consult them.  ``max_nodes`` caps
+branch-and-bound nodes and is fully deterministic: the same query, database
+and budget either succeed identically or trip at the same node count on every
+machine.  ``max_seconds`` is a wall-clock cap checked at every search node; it
+is machine-dependent, so use it as an operational guard, not in reproducible
+experiments.  A tripped budget never raises out of the serve: it yields an
+outcome with ``status == "budget-exceeded"`` carrying ``nodes_explored``,
+and the rest of the fleet completes.  Any other per-query failure (malformed
+regex, inapplicable forced method, ...) yields ``status == "error"`` with the
+exception type and message preserved; genuinely unexpected errors are thereby
+never mislabelled as budget overruns.
+
+Parallel equivalence
+--------------------
+
+For workloads whose specs use no ``max_seconds`` budget,
+``resilience_serve(..., parallel=False)`` and any ``max_workers`` produce
+identical outcome lists: both paths run the same per-query function on
+deterministic compiled plans and outcomes carry no timing.  The process pool
+is an execution strategy, never a semantic.  A ``max_seconds`` budget is the
+one escape from this guarantee — it consults the wall clock, so a query near
+its deadline may succeed serially yet trip under pool contention (or vice
+versa); keep time budgets out of reproducibility pipelines.
+
+Quickstart::
+
+    from repro.service import QuerySpec, Workload, resilience_serve
+
+    workload = Workload.coerce([
+        "ax*b",                                 # flow-tractable, default policy
+        QuerySpec("aa", max_nodes=10_000),      # exact, node-budgeted
+    ])
+    outcomes = resilience_serve(workload, database, max_workers=4)
+    for outcome in outcomes:
+        print(outcome.query, outcome.status, outcome.result)
+"""
+
+from .cache import LanguageCache
+from .outcome import BUDGET_EXCEEDED, ERROR, OK, QueryOutcome
+from .scheduler import ScheduledQuery, plan_workload
+from .serve import resilience_serve
+from .workload import QuerySpec, Workload
+
+__all__ = [
+    "BUDGET_EXCEEDED",
+    "ERROR",
+    "OK",
+    "LanguageCache",
+    "QueryOutcome",
+    "QuerySpec",
+    "ScheduledQuery",
+    "Workload",
+    "plan_workload",
+    "resilience_serve",
+]

@@ -1,0 +1,14 @@
+"""Session-level language cache shared across queries of a serving session.
+
+The implementation lives in :class:`repro.resilience.engine.LanguageCache`,
+next to the dispatcher whose analyses it memoizes — the core engine uses it
+for :func:`~repro.resilience.engine.resilience_many`, so it cannot depend on
+this higher-level package.  This module re-exports it as part of the service
+API; see the class docstring for what is cached and why.
+"""
+
+from __future__ import annotations
+
+from ..resilience.engine import LanguageCache
+
+__all__ = ["LanguageCache"]

@@ -1,0 +1,107 @@
+"""Workload scheduling: classify first, run cheap flow queries before exact.
+
+Planning a workload resolves every query through the session
+:class:`~repro.service.cache.LanguageCache` (one parse + one infix-free
+computation + one classification per *distinct* query) and orders execution so
+that all flow-tractable queries run before any exact fallback.  Exact queries
+have unbounded worst-case cost, so flow-first guarantees a pathological exact
+query can never head-block the polynomial ones: every tractable query is
+dispatched (and, serially, answered) before the first potentially-exponential
+search starts.  The trade-off is makespan under a pool — a longest-job-first
+order could overlap the exact stragglers with the flow batch — but predictable
+latency for the tractable majority is the serving priority, and streaming
+outcomes as they complete (ROADMAP) is what would surface the early answers to
+callers.
+
+Queries that fail planning itself (e.g. a malformed regex) become
+``"error"`` outcomes immediately and are excluded from execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..languages.core import Language
+from .cache import LanguageCache
+from .outcome import ERROR, QueryOutcome
+from .workload import QuerySpec, Workload
+
+#: Dispatch methods in scheduling order: cheap flow algorithms first, the
+#: (potentially exponential) exact fallback last.
+_METHOD_PRIORITY = {
+    "trivial-epsilon": 0,
+    "local-flow": 1,
+    "bcl-flow": 2,
+    "one-dangling-flow": 3,
+    "exact": 4,
+}
+
+
+def runs_exact_class(method: str) -> bool:
+    """Whether a planned method sorts with the (potentially exponential) exact
+    fallback.  Unknown methods do too: they fail validation at execution, so
+    they belong with the unbounded tail, not the cheap flow prefix.  Single
+    source of truth for the scheduler's ordering and the pool's batching split.
+    """
+    return _METHOD_PRIORITY.get(method, len(_METHOD_PRIORITY)) >= _METHOD_PRIORITY["exact"]
+
+
+@dataclass(frozen=True)
+class ScheduledQuery:
+    """One planned query: its workload position, resolved language and method.
+
+    The ``language`` carries its memoized infix-free sublanguage, so shipping a
+    scheduled query to a worker process ships the expensive derivation with it.
+    """
+
+    index: int
+    spec: QuerySpec
+    language: Language
+    planned_method: str
+
+
+def plan_workload(
+    workload: Workload, cache: LanguageCache | None = None
+) -> tuple[list[ScheduledQuery], list[QueryOutcome]]:
+    """Plan a workload: resolve, classify and order every query.
+
+    Returns the executable queries in scheduling order (flow-tractable first,
+    exact last, stable by workload position within each class) plus the
+    outcomes of queries that already failed during planning.
+    """
+    if cache is None:
+        cache = LanguageCache()
+    scheduled: list[ScheduledQuery] = []
+    failed: list[QueryOutcome] = []
+    for index, spec in enumerate(workload):
+        try:
+            language = cache.language(spec.query)
+            if spec.method is None:
+                planned = cache.method(language)
+            else:
+                planned = spec.method
+                # The dispatcher path computes (and memoizes) the infix-free
+                # sublanguage while classifying; warm it for forced methods too
+                # so workers always receive it precomputed — except for epsilon
+                # languages, whose execution short-circuits before needing it.
+                if not language.contains(""):
+                    language.infix_free()
+        except Exception as error:
+            failed.append(
+                QueryOutcome(
+                    index=index,
+                    query=spec.display_name(),
+                    status=ERROR,
+                    method=spec.method,
+                    error=f"{type(error).__name__}: {error}",
+                )
+            )
+            continue
+        scheduled.append(ScheduledQuery(index, spec, language, planned))
+    scheduled.sort(
+        key=lambda item: (
+            _METHOD_PRIORITY.get(item.planned_method, len(_METHOD_PRIORITY)),
+            item.index,
+        )
+    )
+    return scheduled, failed

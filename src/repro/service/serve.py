@@ -1,0 +1,163 @@
+"""Parallel resilience serving: process-pool fan-out over a planned workload.
+
+:func:`resilience_serve` is the entry point.  It plans the workload
+(:func:`~repro.service.scheduler.plan_workload`), then executes every scheduled
+query either serially in-process (``parallel=False``) or fanned out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`.  Both paths run the exact
+same per-query function on deterministic compiled plans, so they produce
+identical outcomes for any workload without ``max_seconds`` budgets (wall
+clocks are the one nondeterministic input; see the package docstring) — the
+serial mode is the semantics, the pool is purely an execution strategy.
+
+Each worker process receives the database once (through the pool initializer)
+and warms its fact index a single time; individual tasks then only ship the
+scheduled query, whose language carries its memoized infix-free sublanguage —
+workers never recompute the expensive per-query derivations done at planning
+time.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable
+from concurrent.futures import ProcessPoolExecutor
+
+from ..exceptions import SearchBudgetExceeded
+from ..graphdb.database import BagGraphDatabase, GraphDatabase
+from ..resilience.engine import reforce_planned_method, resilience, warm_database
+from .cache import LanguageCache
+from .outcome import BUDGET_EXCEEDED, ERROR, OK, QueryOutcome
+from .scheduler import ScheduledQuery, plan_workload, runs_exact_class
+from .workload import QueryLike, QuerySpec, Workload
+
+AnyDatabase = GraphDatabase | BagGraphDatabase
+
+
+def _execute(item: ScheduledQuery, database: AnyDatabase) -> QueryOutcome:
+    """Run one scheduled query, converting failures into structured outcomes."""
+    spec = item.spec
+    try:
+        run_method, run_unsafe = reforce_planned_method(
+            spec.method, spec.unsafe, lambda: item.planned_method
+        )
+        result = resilience(
+            item.language,
+            database,
+            method=run_method,
+            unsafe=run_unsafe,
+            semantics=spec.semantics,
+            exact_max_nodes=spec.max_nodes,
+            exact_max_seconds=spec.max_seconds,
+        )
+    except SearchBudgetExceeded as error:
+        return QueryOutcome(
+            index=item.index,
+            query=spec.display_name(),
+            status=BUDGET_EXCEEDED,
+            method=item.planned_method,
+            error=f"{type(error).__name__}: {error}",
+            nodes_explored=error.nodes_explored,
+        )
+    except Exception as error:
+        return QueryOutcome(
+            index=item.index,
+            query=spec.display_name(),
+            status=ERROR,
+            method=item.planned_method,
+            error=f"{type(error).__name__}: {error}",
+        )
+    return QueryOutcome(
+        index=item.index,
+        query=spec.display_name(),
+        status=OK,
+        method=result.method,
+        result=result,
+        nodes_explored=result.details.get("nodes_explored"),
+    )
+
+
+# ---------------------------------------------------------------------- workers
+
+_WORKER_DATABASE: AnyDatabase | None = None
+
+
+def _worker_init(database: AnyDatabase) -> None:
+    global _WORKER_DATABASE
+    _WORKER_DATABASE = database
+    warm_database(database)
+
+
+def _worker_run(item: ScheduledQuery) -> QueryOutcome:
+    assert _WORKER_DATABASE is not None, "worker used before initialization"
+    return _execute(item, _WORKER_DATABASE)
+
+
+# ------------------------------------------------------------------ entry point
+
+def resilience_serve(
+    workload: Workload | Iterable[QuerySpec | QueryLike],
+    database: AnyDatabase,
+    *,
+    max_workers: int | None = None,
+    parallel: bool = True,
+    cache: LanguageCache | None = None,
+) -> list[QueryOutcome]:
+    """Serve a resilience workload against one database, optionally in parallel.
+
+    Args:
+        workload: a :class:`Workload`, or any iterable mixing
+            :class:`QuerySpec` items and bare queries (strings, languages,
+            RPQs).
+        database: the shared set or bag database.
+        max_workers: process-pool width; defaults to ``os.cpu_count()``.  A
+            width of 1 runs serially (a single-worker pool would only add IPC
+            overhead for identical results).
+        parallel: ``False`` forces the serial in-process path; its outcomes
+            are identical to the parallel path's by construction (same
+            per-query function, deterministic compiled plans, outcomes carry
+            no timing) for every workload without ``max_seconds`` budgets —
+            time budgets consult the wall clock and may trip differently under
+            pool contention.
+        cache: optional session :class:`LanguageCache` to share planning work
+            across multiple serve calls.
+
+    Returns:
+        one :class:`QueryOutcome` per workload entry, in workload order.
+        Failures never abort the fleet: budget overruns of the exact fallback
+        surface as ``"budget-exceeded"`` outcomes and any other per-query
+        error as an ``"error"`` outcome.
+    """
+    fleet = Workload.coerce(workload)
+    scheduled, outcomes = plan_workload(fleet, cache)
+
+    if max_workers is None:
+        max_workers = os.cpu_count() or 1
+    if max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1 (got {max_workers})")
+
+    if not parallel or max_workers == 1 or len(scheduled) <= 1:
+        warm_database(database)
+        outcomes.extend(_execute(item, database) for item in scheduled)
+    else:
+        workers = min(max_workers, len(scheduled))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(database,),
+        ) as pool:
+            # Batch the cheap flow queries so they don't pay one IPC round-trip
+            # (plus a Language pickle) each, but hand the potentially
+            # exponential exact queries out one at a time — chunking them would
+            # pack the tail of the schedule onto one or two workers.  Both map
+            # calls submit eagerly, and outcomes are re-sorted by index below,
+            # so the split never affects results.
+            flow_items = [item for item in scheduled if not runs_exact_class(item.planned_method)]
+            exact_items = [item for item in scheduled if runs_exact_class(item.planned_method)]
+            chunksize = max(1, len(flow_items) // (workers * 4))
+            flow_results = pool.map(_worker_run, flow_items, chunksize=chunksize)
+            exact_results = pool.map(_worker_run, exact_items)
+            outcomes.extend(flow_results)
+            outcomes.extend(exact_results)
+
+    outcomes.sort(key=lambda outcome: outcome.index)
+    return outcomes

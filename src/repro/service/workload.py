@@ -1,0 +1,117 @@
+"""Workload model for the resilience serving layer.
+
+A workload is an ordered fleet of :class:`QuerySpec` items, each pairing a
+query with optional per-query execution policy: a forced method, forced
+semantics, and a node and/or wall-clock budget for the exact fallback.  Specs
+are plain frozen dataclasses so they pickle cheaply across process boundaries.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from ..languages.core import Language
+from ..rpq.query import RPQ
+
+QueryLike = Language | RPQ | str
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One query of a workload, with its per-query execution policy.
+
+    Attributes:
+        query: the query, as a :class:`Language`, an :class:`RPQ` or a regular
+            expression string (strings are parsed once per distinct expression
+            through the session's :class:`~repro.service.cache.LanguageCache`).
+        method: force a specific algorithm, as in
+            :func:`~repro.resilience.engine.resilience`; ``None`` lets the
+            scheduler pick the fastest sound algorithm.
+        unsafe: skip the applicability check of a forced ``method``.
+        semantics: force ``"set"`` or ``"bag"`` reporting.
+        max_nodes: node budget for the exact fallback; an overrun becomes a
+            ``"budget-exceeded"`` outcome instead of an exception.
+        max_seconds: wall-clock budget for the exact fallback (machine
+            dependent — see the package docstring for the reproducibility
+            caveat).
+    """
+
+    query: QueryLike
+    method: str | None = None
+    unsafe: bool = False
+    semantics: str | None = None
+    max_nodes: int | None = None
+    max_seconds: float | None = None
+
+    def display_name(self) -> str:
+        """A human-readable label for the query (used in outcomes and errors).
+
+        Must never raise: it runs inside the scheduler's error handler, where a
+        crash would replace the original error and abort the fleet — so a
+        query of an unsupported type falls back to its ``repr``.
+        """
+        if isinstance(self.query, str):
+            return self.query
+        if isinstance(self.query, RPQ):
+            return self.query.name
+        if isinstance(self.query, Language):
+            return self.query.name or str(self.query)
+        return repr(self.query)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """An ordered fleet of :class:`QuerySpec` items served against one database."""
+
+    specs: tuple[QuerySpec, ...]
+
+    @classmethod
+    def coerce(cls, workload: "Workload | QueryLike | Iterable[QuerySpec | QueryLike]") -> "Workload":
+        """Normalize user input into a :class:`Workload`.
+
+        Accepts an existing workload, a single bare query, or any iterable
+        mixing ready-made :class:`QuerySpec` items with bare queries (strings,
+        languages, RPQs), which get default policy.  A bare string is one
+        query, never iterated character by character.
+        """
+        if isinstance(workload, Workload):
+            return workload
+        if isinstance(workload, (str, Language, RPQ, QuerySpec)):
+            workload = [workload]
+        specs = tuple(
+            item if isinstance(item, QuerySpec) else QuerySpec(item) for item in workload
+        )
+        return cls(specs)
+
+    @classmethod
+    def from_queries(
+        cls,
+        queries: Iterable[QueryLike],
+        *,
+        method: str | None = None,
+        unsafe: bool = False,
+        semantics: str | None = None,
+        max_nodes: int | None = None,
+        max_seconds: float | None = None,
+    ) -> "Workload":
+        """Build a workload applying the same policy to every query."""
+        return cls(
+            tuple(
+                QuerySpec(
+                    query,
+                    method=method,
+                    unsafe=unsafe,
+                    semantics=semantics,
+                    max_nodes=max_nodes,
+                    max_seconds=max_seconds,
+                )
+                for query in queries
+            )
+        )
+
+    def __iter__(self) -> Iterator[QuerySpec]:
+        return iter(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)

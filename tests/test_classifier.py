@@ -43,6 +43,48 @@ class TestSpecificClassifications:
         for expression in ["abc|bcd", "abc|bef", "ab*c|ba", "ab*d|ac*d|bc"]:
             assert classify_regex(expression).complexity == UNCLASSIFIED, expression
 
+    def test_classify_does_not_mutate_the_memoized_infix_free_language(self):
+        # Regression: classify() used to overwrite infix_free.name in place —
+        # the same defect PR 1 fixed in resilience().  With infix_free()
+        # memoized on the Language instance this corrupted the shared cache.
+        language = Language.from_regex("ab|bc")
+        infix_free = language.infix_free()
+        original_name = infix_free.name
+        classify(language)
+        assert language.infix_free() is infix_free
+        assert infix_free.name == original_name
+
+    def test_hardness_gadget_does_not_mutate_the_memoized_infix_free_language(self):
+        # The same in-place renaming lived in hardness_gadget(); with the
+        # memoized infix_free() it must also go through a copy.
+        from repro.hardness import construct
+
+        language = Language.from_regex("aa")
+        infix_free = language.infix_free()
+        original_name = infix_free.name
+        construct.hardness_gadget(language)
+        assert language.infix_free() is infix_free
+        assert infix_free.name == original_name
+
+    def test_epsilon_language_skips_infix_free_computation(self):
+        # Regression: the epsilon short-circuit is hoisted above the expensive
+        # infix_free() computation, mirroring the engine's dispatch order.
+        language = Language.from_regex("ε|ab")
+        calls = []
+        original = Language.infix_free
+
+        def counting(self):
+            calls.append(self)
+            return original(self)
+
+        Language.infix_free = counting
+        try:
+            result = classify(language)
+        finally:
+            Language.infix_free = original
+        assert result.algorithm == "trivial-epsilon"
+        assert calls == []
+
     def test_reason_mentions_paper_result(self):
         assert "Theorem 3.13" in classify_regex("ax*b").reason
         assert "Proposition 7.6" in classify_regex("ab|bc").reason

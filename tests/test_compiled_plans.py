@@ -185,8 +185,10 @@ class TestOverlayExactSearch:
         assert len(counts) == 1
 
     def test_max_nodes_guard_still_applies(self):
+        from repro.exceptions import SearchBudgetExceeded
+
         database = generators.random_labelled_graph(6, 14, "a", seed=1)
-        with pytest.raises(RuntimeError):
+        with pytest.raises(SearchBudgetExceeded):
             resilience_exact(Language.from_regex("aa"), database, max_nodes=1)
 
 

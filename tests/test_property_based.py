@@ -44,6 +44,21 @@ class TestWordInvariants:
 
     @SETTINGS
     @given(word_sets)
+    def test_memoized_infix_free_equals_fresh_recomputation(self, words):
+        # The serving layer relies on Language.infix_free() being memoized on
+        # the instance; the cached object must be what a fresh computation on
+        # an unmemoized copy of the language produces.
+        from repro.languages.infix import infix_free_sublanguage
+
+        language = Language.from_words(words)
+        memoized = language.infix_free()
+        assert language.infix_free() is memoized
+        fresh = infix_free_sublanguage(Language.from_words(words))
+        assert memoized.equivalent_to(fresh)
+        assert memoized.words() == fresh.words()
+
+    @SETTINGS
+    @given(word_sets)
     def test_infix_free_preserves_query(self, words):
         # Q_L and Q_IF(L) agree on every database: check on the word-walk database.
         language = Language.from_words(words)

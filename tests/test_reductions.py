@@ -54,3 +54,26 @@ class TestReductionPredictions:
         instance = build_reduction(Language.from_regex("aa"), gadget_for_aa(), [(0, 1), (1, 2)])
         result = resilience_exact(Language.from_regex("aa"), instance.encoding, semantics="set")
         assert result.value == instance.predicted_resilience
+
+
+class TestBudgetHandling:
+    def test_budget_overrun_is_inconclusive_not_crash(self):
+        # Regression: the node guard used to surface as a bare RuntimeError out
+        # of check_reduction; now exactly SearchBudgetExceeded is caught and
+        # the check reports "not confirmed", warning with the budget
+        # diagnostics so the failure is distinguishable from a refutation.
+        instance = build_reduction(Language.from_regex("aa"), gadget_for_aa(), generators.cycle_graph(3))
+        with pytest.warns(RuntimeWarning, match="inconclusive"):
+            assert check_reduction(instance, max_nodes=1) is False
+
+    def test_unrelated_errors_still_propagate(self, monkeypatch):
+        from repro.hardness import reductions
+
+        instance = build_reduction(Language.from_regex("aa"), gadget_for_aa(), [(0, 1)])
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("unrelated failure")
+
+        monkeypatch.setattr(reductions, "resilience_exact", boom)
+        with pytest.raises(RuntimeError, match="unrelated failure"):
+            check_reduction(instance)

@@ -111,6 +111,34 @@ class TestDispatch:
         assert language.infix_free().name == original_name
 
 
+class TestVerifyContingencySet:
+    def test_foreign_fact_returns_false_in_set_semantics(self):
+        # Regression: a contingency set containing a fact absent from the
+        # database must be rejected, not crash.
+        from repro.graphdb import Fact
+        from repro.resilience import ResilienceResult
+
+        database = GraphDatabase.from_edges([("s", "a", "u"), ("u", "b", "t")])
+        foreign = frozenset({Fact("nowhere", "a", "else")})
+        result = ResilienceResult(1.0, foreign, "set", "exact", "ab")
+        assert verify_contingency_set("ab", database, result) is False
+
+    def test_foreign_fact_returns_false_in_bag_semantics(self):
+        # Regression: the bag-semantics total_cost lookup raised KeyError here.
+        from repro.graphdb import Fact
+        from repro.resilience import ResilienceResult
+
+        database = GraphDatabase.from_edges([("s", "a", "u"), ("u", "b", "t")]).to_bag(2)
+        foreign = frozenset({Fact("s", "a", "u"), Fact("nowhere", "a", "else")})
+        result = ResilienceResult(2.0, foreign, "bag", "exact", "ab")
+        assert verify_contingency_set("ab", database, result) is False
+
+    def test_genuine_contingency_set_still_verifies(self):
+        database = GraphDatabase.from_edges([("s", "a", "u"), ("u", "b", "t")])
+        result = resilience("ab", database)
+        assert verify_contingency_set("ab", database, result) is True
+
+
 class TestForcedMethodValidation:
     def test_forced_inapplicable_method_raises(self):
         database = generators.random_labelled_graph(4, 8, "a", seed=0)

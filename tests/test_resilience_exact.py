@@ -4,6 +4,7 @@ import math
 
 import pytest
 
+from repro.exceptions import ReproError, SearchBudgetExceeded
 from repro.graphdb import BagGraphDatabase, Fact, GraphDatabase, generators
 from repro.languages import Language
 from repro.resilience import resilience_brute_force, resilience_exact, verify_contingency_set
@@ -57,8 +58,28 @@ class TestSetSemantics:
 
     def test_max_nodes_guard(self):
         database = generators.random_labelled_graph(6, 14, "a", seed=1)
-        with pytest.raises(RuntimeError):
+        with pytest.raises(SearchBudgetExceeded) as excinfo:
             resilience_exact(Language.from_regex("aa"), database, max_nodes=1)
+        # The dedicated exception is a ReproError, stays catchable as the
+        # seed's bare RuntimeError, and carries structured diagnostics.
+        assert isinstance(excinfo.value, ReproError)
+        assert isinstance(excinfo.value, RuntimeError)
+        assert excinfo.value.max_nodes == 1
+        assert excinfo.value.nodes_explored == 2
+
+    def test_max_seconds_guard(self):
+        database = generators.random_labelled_graph(6, 14, "a", seed=1)
+        with pytest.raises(SearchBudgetExceeded) as excinfo:
+            resilience_exact(Language.from_regex("aa"), database, max_seconds=0.0)
+        assert excinfo.value.max_seconds == 0.0
+        assert excinfo.value.max_nodes is None
+
+    def test_reference_raises_same_budget_exception(self):
+        from repro.resilience import resilience_exact_reference
+
+        database = generators.random_labelled_graph(6, 14, "a", seed=1)
+        with pytest.raises(SearchBudgetExceeded):
+            resilience_exact_reference(Language.from_regex("aa"), database, max_nodes=1)
 
 
 class TestBagSemantics:

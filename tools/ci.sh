@@ -11,7 +11,22 @@ export PYTHONPATH="$PWD/src${PYTHONPATH:+:$PYTHONPATH}"
 echo "ci: tier-1 test suite"
 python -m pytest -x -q
 
-echo "ci: benchmark smoke pass"
+echo "ci: parallel serving parity check"
+python - <<'PY'
+from repro.graphdb import generators
+from repro.service import QuerySpec, Workload, resilience_serve
+
+database = generators.random_labelled_graph(5, 14, "abcdexy", seed=3)
+workload = Workload.coerce(
+    ["ax*b", "ab|bc", "abc|be", "aa", "ab", "ε|a", QuerySpec("aa", max_nodes=1)] * 3
+)
+serial = resilience_serve(workload, database, parallel=False)
+parallel = resilience_serve(workload, database, max_workers=2)
+assert serial == parallel, "parallel serve diverged from serial results"
+print(f"ci: resilience_serve parity ok ({len(serial)} outcomes, 2 workers)")
+PY
+
+echo "ci: benchmark smoke pass (includes bench_resilience_serve)"
 python tools/bench_smoke.py "$@"
 
 echo "ci: all green"
