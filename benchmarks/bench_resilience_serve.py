@@ -3,11 +3,16 @@
 Exercises the serving subsystem end to end:
 
 * correctness in smoke mode: the process-pool path must return outcomes
-  identical to the serial path on a mixed workload, and a query that blows its
-  node budget must surface as a structured ``"budget-exceeded"`` outcome while
-  the rest of the fleet completes;
+  identical to the serial path on a mixed workload — and so must the streamed
+  :meth:`~repro.service.server.ResilienceServer.serve_iter` outcomes once
+  re-sorted — and a query that blows its node budget must surface as a
+  structured ``"budget-exceeded"`` outcome while the rest of the fleet
+  completes;
 * the session language cache: a workload dominated by duplicate queries plans
   (parse + infix-free + classification) each distinct query once;
+* the warm pool: repeat serve calls on one
+  :class:`~repro.service.server.ResilienceServer` must reuse the same worker
+  processes (no re-fork) and return the one-shot results;
 * wall-clock: multi-core speedup of the process pool on an exact-heavy
   workload.  The >1.5x acceptance assertion only fires on machines with at
   least 4 CPUs and outside the CI smoke pass (``REPRO_BENCH_SMOKE=1``, set by
@@ -25,6 +30,7 @@ from repro.service import (
     OK,
     LanguageCache,
     QuerySpec,
+    ResilienceServer,
     Workload,
     plan_workload,
     resilience_serve,
@@ -44,6 +50,31 @@ def test_parallel_outcomes_identical_to_serial():
     parallel = resilience_serve(workload, database, max_workers=2)
     assert serial == parallel
     assert all(outcome.ok for outcome in serial)
+
+
+def test_streamed_outcomes_resorted_equal_batch_and_serial():
+    # The streaming path is the same computation delivered incrementally:
+    # re-sorting serve_iter()'s outcomes by index must reproduce both the
+    # warm-pool batch result and the serial reference exactly.
+    database = generators.random_labelled_graph(6, 18, "abcdexy", seed=9)
+    workload = mixed_workload(24)
+    serial = resilience_serve(workload, database, parallel=False)
+    with ResilienceServer(database, max_workers=2) as server:
+        batch = server.serve(workload)
+        streamed = sorted(server.serve_iter(workload), key=lambda outcome: outcome.index)
+    assert streamed == batch == serial
+
+
+def test_warm_pool_reuses_workers_across_serve_calls():
+    database = generators.random_labelled_graph(6, 18, "abcdexy", seed=9)
+    workload = mixed_workload(24)
+    one_shot = resilience_serve(workload, database, max_workers=2)
+    with ResilienceServer(database, max_workers=2) as server:
+        first = server.serve(workload)
+        pids = server.worker_pids()
+        second = server.serve(workload)
+        assert server.worker_pids() == pids, "warm pool must not re-fork"
+    assert first == second == one_shot
 
 
 def test_budget_overrun_does_not_kill_the_fleet():
@@ -67,6 +98,32 @@ def test_duplicate_heavy_workload_plans_each_distinct_query_once(benchmark):
 
     outcomes = benchmark(serve_with_fresh_cache)
     assert len(outcomes) == 200
+
+
+def test_warm_pool_amortizes_fork_and_warmup():
+    # Report-only (timings on shared runners are noise): repeated serve calls
+    # through one warm server vs. a fresh pool per call.
+    database = generators.random_labelled_graph(6, 18, "abcdexy", seed=9)
+    workload = mixed_workload(16)
+    rounds = 3
+
+    start = time.perf_counter()
+    for _ in range(rounds):
+        cold_outcomes = resilience_serve(workload, database, max_workers=2)
+    cold_seconds = time.perf_counter() - start
+
+    with ResilienceServer(database, max_workers=2) as server:
+        start = time.perf_counter()
+        for _ in range(rounds):
+            warm_outcomes = server.serve(workload)
+        warm_seconds = time.perf_counter() - start
+
+    assert warm_outcomes == cold_outcomes
+    print(
+        f"\nresilience serve x{rounds}: fresh pools {cold_seconds:.2f}s, "
+        f"warm server {warm_seconds:.2f}s "
+        f"({cold_seconds / max(warm_seconds, 1e-9):.2f}x)"
+    )
 
 
 def test_parallel_speedup_on_exact_heavy_workload():

@@ -9,6 +9,7 @@ Proposition 7.9 also allows non-positive multiplicities.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Iterable, Iterator, Mapping
 from dataclasses import dataclass
 from types import MappingProxyType
@@ -39,6 +40,16 @@ def _as_fact(edge: Fact | tuple[Node, str, Node]) -> Fact:
     return Fact(source, label, target)
 
 
+def _fingerprint_facts(tag: str, weighted_facts: Iterable[tuple[Fact, int]]) -> str:
+    """SHA-256 digest of a semantics tag plus sorted ``(fact, weight)`` pairs."""
+    digest = hashlib.sha256(tag.encode("utf-8"))
+    for fact, weight in sorted(weighted_facts, key=lambda pair: repr(pair[0])):
+        digest.update(
+            repr((fact.source, fact.label, fact.target, weight)).encode("utf-8")
+        )
+    return digest.hexdigest()
+
+
 class GraphDatabase:
     """A set-semantics graph database: a finite set of :class:`Fact` objects.
 
@@ -52,6 +63,7 @@ class GraphDatabase:
         self._index: DatabaseIndex | None = None
         self._outgoing: dict[Node, tuple[Fact, ...]] | None = None
         self._incoming: dict[Node, tuple[Fact, ...]] | None = None
+        self._content_fingerprint: str | None = None
 
     # ------------------------------------------------------------------ constructors
 
@@ -100,6 +112,21 @@ class GraphDatabase:
 
     def __repr__(self) -> str:
         return f"GraphDatabase({len(self._facts)} facts, {len(self.nodes)} nodes)"
+
+    def content_fingerprint(self) -> str:
+        """Return a content digest of the database, stable across processes.
+
+        Two set databases share a fingerprint iff they hold the same facts
+        (``repr``-identical nodes and labels); the digest is tagged with the
+        semantics so a set database and its unit bag never collide.  Used by
+        the serving layer to guard a warm worker pool against being asked to
+        answer for a different database.
+        """
+        if self._content_fingerprint is None:
+            self._content_fingerprint = _fingerprint_facts(
+                "set", ((fact, 1) for fact in self._facts)
+            )
+        return self._content_fingerprint
 
     # ------------------------------------------------------------------ adjacency
 
@@ -166,6 +193,7 @@ class GraphDatabase:
         state["_index"] = None
         state["_outgoing"] = None
         state["_incoming"] = None
+        state["_content_fingerprint"] = None
         return state
 
     # ------------------------------------------------------------------ modifications (functional)
@@ -227,6 +255,7 @@ class BagGraphDatabase:
         self.allow_non_positive = allow_non_positive
         self._database: GraphDatabase | None = None
         self._index: DatabaseIndex | None = None
+        self._content_fingerprint: str | None = None
 
     # ------------------------------------------------------------------ constructors
 
@@ -297,6 +326,18 @@ class BagGraphDatabase:
     def __repr__(self) -> str:
         return f"BagGraphDatabase({len(self._multiplicities)} facts)"
 
+    def content_fingerprint(self) -> str:
+        """Return a content digest of the bag (facts and multiplicities).
+
+        See :meth:`GraphDatabase.content_fingerprint`; bag fingerprints are
+        tagged with the semantics (and the extended-semantics flag), so no
+        set/bag pair ever collides.
+        """
+        if self._content_fingerprint is None:
+            tag = "bag-extended" if self.allow_non_positive else "bag"
+            self._content_fingerprint = _fingerprint_facts(tag, self._multiplicities.items())
+        return self._content_fingerprint
+
     # ------------------------------------------------------------------ pickling
 
     def __getstate__(self) -> dict:
@@ -304,6 +345,7 @@ class BagGraphDatabase:
         state = self.__dict__.copy()
         state["_database"] = None
         state["_index"] = None
+        state["_content_fingerprint"] = None
         return state
 
     # ------------------------------------------------------------------ modifications

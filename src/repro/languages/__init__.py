@@ -5,6 +5,7 @@ bipartite chain, one-dangling, languages with neutral letters).
 
 from .automata import CompiledAutomaton, EpsilonNFA, compile_automaton
 from .core import Language
+from .operations import canonical_dfa, canonical_fingerprint
 from .regex import parse_regex, regex_to_automaton
 from .words import EPSILON, has_repeated_letter, mirror
 
@@ -13,6 +14,8 @@ __all__ = [
     "CompiledAutomaton",
     "EpsilonNFA",
     "Language",
+    "canonical_dfa",
+    "canonical_fingerprint",
     "compile_automaton",
     "has_repeated_letter",
     "mirror",

@@ -29,6 +29,7 @@ class Language:
         self._automaton = automaton
         self.name = name
         self._infix_free: "Language | None" = None
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------ constructors
 
@@ -113,6 +114,20 @@ class Language:
     def shortest_word(self) -> str | None:
         """Return some shortest word of the language, or ``None`` when empty."""
         return operations.shortest_word(self._automaton)
+
+    def fingerprint(self) -> str:
+        """Return the canonical-DFA fingerprint identifying this language.
+
+        Two languages over the same alphabet share a fingerprint iff they are
+        equivalent (see :func:`~repro.languages.operations.canonical_fingerprint`),
+        whatever syntactic form they were built from — ``(ab)*a`` and
+        ``a(ba)*`` fingerprint identically.  Memoized on the instance (shared
+        by :meth:`relabelled` copies); the first call pays one determinization
+        plus minimization.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = operations.canonical_fingerprint(self._automaton)
+        return self._fingerprint
 
     # ------------------------------------------------------------------ comparisons
 

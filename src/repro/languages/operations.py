@@ -7,10 +7,17 @@ emptiness, finiteness, and enumeration of the words of a finite language.
 
 All functions are pure: they take :class:`~repro.languages.automata.EpsilonNFA`
 instances and return new ones.
+
+The canonicalization helpers at the bottom (:func:`canonical_dfa`,
+:func:`canonical_fingerprint`) turn an automaton into the *unique* minimal
+complete DFA of its language with a deterministic state numbering, which makes
+language equivalence decidable by string comparison of fingerprints — the key
+the cross-instance analysis caches are built on.
 """
 
 from __future__ import annotations
 
+import hashlib
 from collections import deque
 from collections.abc import Iterable
 from itertools import count
@@ -411,6 +418,68 @@ def max_word_length(automaton: EpsilonNFA) -> int:
     """Return the length of the longest word of a finite language (0 for the empty language)."""
     words = enumerate_finite_language(automaton)
     return max((len(word) for word in words), default=0)
+
+
+# --------------------------------------------------------------------------- canonicalization
+
+
+def canonical_dfa(automaton: EpsilonNFA) -> EpsilonNFA:
+    """Return the canonical minimal complete DFA of the language.
+
+    The result is the Myhill–Nerode minimal complete DFA over the automaton's
+    alphabet, with states renamed ``0..n-1`` in BFS order from the initial
+    state, exploring letters in sorted order.  Two automata recognize the same
+    language over the same alphabet *iff* their canonical DFAs are equal as
+    :class:`EpsilonNFA` values — the alphabet matters because the minimal
+    complete DFA of, say, ``a`` over ``{a}`` and over ``{a, b}`` differ by the
+    sink behaviour on ``b``.
+    """
+    dfa = minimize(automaton)
+    table = {(source, label): target for source, label, target in dfa.letter_transitions}
+    (start,) = dfa.initial
+    alphabet = sorted(dfa.alphabet)
+    order: list[State] = [start]
+    seen: set[State] = {start}
+    for state in order:  # ``order`` grows while iterating: BFS without a queue.
+        for letter in alphabet:
+            target = table.get((state, letter))
+            if target is not None and target not in seen:
+                seen.add(target)
+                order.append(target)
+    # Every class of the minimal complete DFA is reachable from the initial
+    # state, so ``order`` covers all states; keep a deterministic fallback
+    # anyway so a malformed input cannot produce an unstable numbering.
+    for state in sorted(dfa.states - seen, key=repr):
+        order.append(state)
+    mapping = {state: index for index, state in enumerate(order)}
+    return EpsilonNFA.build(
+        mapping.values(),
+        [mapping[start]],
+        (mapping[state] for state in dfa.final),
+        ((mapping[s], label, mapping[t]) for s, label, t in dfa.letter_transitions),
+        dfa.alphabet,
+    )
+
+
+def canonical_fingerprint(automaton: EpsilonNFA) -> str:
+    """Return a fingerprint identifying the *language* of the automaton.
+
+    Two automata over the same alphabet have equal fingerprints iff they are
+    language-equivalent (no hashing caveat in practice: a SHA-256 collision
+    would require adversarially constructed inputs).  The fingerprint is stable
+    across processes and interpreter versions, so it can key persistent caches.
+    """
+    dfa = canonical_dfa(automaton)
+    payload = repr(
+        (
+            tuple(sorted(dfa.alphabet)),
+            len(dfa.states),
+            tuple(sorted(dfa.initial)),
+            tuple(sorted(dfa.final)),
+            tuple(sorted(dfa.letter_transitions)),
+        )
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def fresh_letter(alphabet: Iterable[str], *, avoid: Iterable[str] = ()) -> str:

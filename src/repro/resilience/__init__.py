@@ -3,6 +3,7 @@ paper (local, bipartite chain, one-dangling), and the dispatching engine."""
 
 from .bcl_flow import resilience_bcl
 from .engine import (
+    CacheStats,
     LanguageCache,
     choose_method,
     resilience,
@@ -13,13 +14,19 @@ from .exact import resilience_brute_force, resilience_exact, resilience_exact_re
 from .local_flow import build_product_network, resilience_local
 from .one_dangling import resilience_one_dangling
 from .result import INFINITE, ResilienceResult
+from .store import AnalysisStore, StoredAnalysis, StoreStats, code_version_salt
 
 __all__ = [
     "INFINITE",
+    "AnalysisStore",
+    "CacheStats",
     "LanguageCache",
     "ResilienceResult",
+    "StoreStats",
+    "StoredAnalysis",
     "build_product_network",
     "choose_method",
+    "code_version_salt",
     "resilience",
     "resilience_bcl",
     "resilience_brute_force",

@@ -27,6 +27,7 @@ with per-query budgets and structured outcomes, see :mod:`repro.service`.
 from __future__ import annotations
 
 from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
 
 from ..exceptions import ReproError
 from ..graphdb.database import BagGraphDatabase, GraphDatabase, as_set
@@ -38,6 +39,7 @@ from .exact import resilience_exact
 from .local_flow import resilience_local
 from .one_dangling import resilience_one_dangling
 from .result import INFINITE, ResilienceResult
+from .store import AnalysisStore
 
 
 def choose_method(language: Language, *, infix_free: Language | None = None) -> str:
@@ -120,6 +122,24 @@ def reforce_planned_method(
     return plan(), True
 
 
+@dataclass
+class CacheStats:
+    """Observability counters of one :class:`LanguageCache`.
+
+    Attributes:
+        canonical_hits: queries resolved to an already-analysed equivalent
+            language via the canonical-fingerprint layer.
+        canonical_misses: queries that became the representative of a new
+            equivalence class.
+        classifications: how many times :func:`choose_method` actually ran —
+            the acceptance observable: equivalent queries share one run.
+    """
+
+    canonical_hits: int = 0
+    canonical_misses: int = 0
+    classifications: int = 0
+
+
 class LanguageCache:
     """Session-level cache resolving queries to shared language analyses.
 
@@ -127,55 +147,138 @@ class LanguageCache:
     cost is language analysis, not database work: parsing the regex, computing
     the infix-free sublanguage ``IF(L)`` (which determinizes padded automata),
     and classifying ``IF(L)`` to pick an algorithm.  The cache makes each of
-    those a once-per-distinct-query cost:
+    those a once-per-distinct-*language* cost through a hierarchy of layers:
 
     * string queries are parsed once per distinct expression and map to one
       shared :class:`~repro.languages.core.Language` instance;
+    * the canonical layer (on by default) fingerprints every resolved language
+      by its canonical minimal DFA, so *equivalent but syntactically different*
+      queries — ``(ab)*a`` and ``a(ba)*`` — share one representative's memoized
+      analyses (the hit returns a :meth:`~repro.languages.core.Language.relabelled`
+      copy, so each query keeps its own display name);
     * ``Language.infix_free()`` is memoized on the instance itself, so sharing
-      the instance shares the infix-free sublanguage;
-    * the dispatcher's method choice is memoized here per instance;
+      the representative shares the infix-free sublanguage;
+    * the dispatcher's method choice is memoized per fingerprint (per instance
+      when the canonical layer is off);
+    * an optional :class:`~repro.resilience.store.AnalysisStore` adds an
+      on-disk layer below the canonical one: a fingerprint seen by *any*
+      previous process resolves its method and infix-free sublanguage from
+      disk instead of recomputing them;
     * compiled automaton plans are already shared process-wide by
       :func:`~repro.languages.automata.compile_automaton` (keyed by automaton
       equality), so even two distinct-but-equal languages share one plan.
+
+    The contingency set reported for a query is a deterministic function of
+    the equivalence class's *representative* (the first syntactic form seen),
+    which may differ from the — equally valid, equally sized — set the same
+    syntax would yield uncached; values, methods and statuses never differ.
+    Disable the canonical layer (``canonical=False``) to key strictly by
+    expression string.
 
     The cache holds strong references to the languages it has seen; it is
     scoped to a serving session (or one :func:`resilience_many` batch), not to
     the process.  Re-exported as :class:`repro.service.LanguageCache`.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, canonical: bool = True, store: "AnalysisStore | None" = None) -> None:
+        if store is not None and not canonical:
+            raise ValueError("an AnalysisStore requires the canonical layer (canonical=True)")
         self._by_expression: dict[str, Language] = {}
         # Keyed by id(); the tuple keeps the language alive so ids stay valid
         # (Language equality is semantic, so an equality-keyed dict would pay
         # an automaton-equivalence check per lookup).
         self._methods: dict[int, tuple[Language, str]] = {}
+        self._canonical = canonical
+        self._store = store
+        self._representatives: dict[str, Language] = {}
+        self._methods_by_fingerprint: dict[str, str] = {}
+        self.stats = CacheStats()
+
+    @property
+    def store(self) -> "AnalysisStore | None":
+        return self._store
 
     def language(self, query: Language | RPQ | str) -> Language:
         """Return the (shared) :class:`Language` for a query.
 
         Strings are parsed once per distinct expression; languages and RPQs
-        resolve to their own (already shared) instance.
+        resolve through the canonical layer (their own instance on a miss, a
+        relabelled copy of the representative on a hit).
         """
         if isinstance(query, str):
             cached = self._by_expression.get(query)
             if cached is None:
-                cached = Language.from_regex(query)
+                cached = self._resolve_canonical(Language.from_regex(query))
                 self._by_expression[query] = cached
             return cached
-        return _as_language(query)
+        return self._resolve_canonical(_as_language(query))
+
+    def _resolve_canonical(self, language: Language) -> Language:
+        """Intern a language by its canonical-DFA fingerprint.
+
+        The first language of an equivalence class becomes its representative
+        (warmed from the on-disk store when one is configured); later
+        equivalent languages return a relabelled copy of the representative,
+        sharing its automaton and every memoized analysis while keeping their
+        own display name.
+        """
+        if not self._canonical:
+            return language
+        fingerprint = language.fingerprint()
+        representative = self._representatives.get(fingerprint)
+        if representative is None:
+            self._representatives[fingerprint] = language
+            self.stats.canonical_misses += 1
+            if self._store is not None:
+                stored = self._store.get(fingerprint)
+                if stored is not None:
+                    if language._infix_free is None and stored.infix_free is not None:
+                        language._infix_free = stored.infix_free
+                    self._methods_by_fingerprint[fingerprint] = stored.method
+            return language
+        self.stats.canonical_hits += 1
+        if representative is language:
+            return language
+        return representative.relabelled(language.name)
 
     def method(self, language: Language) -> str:
         """Return the dispatcher's method choice for a language, memoized.
 
         Mirrors :func:`choose_method` (epsilon short-circuit first, then
-        classification of the memoized infix-free sublanguage).
+        classification of the memoized infix-free sublanguage).  With the
+        canonical layer on, the classification runs once per *equivalence
+        class* — and not at all when the on-disk store already holds it.
         """
         key = id(language)
         cached = self._methods.get(key)
         if cached is None:
-            cached = (language, choose_method(language))
+            cached = (language, self._classify(language))
             self._methods[key] = cached
         return cached[1]
+
+    def _classify(self, language: Language) -> str:
+        if not self._canonical:
+            self.stats.classifications += 1
+            return choose_method(language)
+        fingerprint = language.fingerprint()
+        method = self._methods_by_fingerprint.get(fingerprint)
+        if method is None:
+            self.stats.classifications += 1
+            # Classify the representative, not a relabelled copy: the
+            # infix-free sublanguage ``choose_method`` memoizes must land on
+            # the instance every later equivalent query will share.
+            representative = self._representatives.get(fingerprint, language)
+            method = choose_method(representative)
+            if language is not representative and language._infix_free is None:
+                language._infix_free = representative._infix_free
+            self._methods_by_fingerprint[fingerprint] = method
+            if self._store is not None:
+                # ``None`` only for epsilon languages, whose execution
+                # short-circuits before ever needing the infix-free language.
+                self._store.put(
+                    fingerprint, method=method, infix_free=representative._infix_free
+                )
+        return method
 
     def __len__(self) -> int:
         return len(self._by_expression)
@@ -272,6 +375,7 @@ def resilience_many(
     exact_max_nodes: int | None = None,
     exact_max_seconds: float | None = None,
     cache: "LanguageCache | None" = None,
+    store: "AnalysisStore | None" = None,
 ) -> list[ResilienceResult]:
     """Compute the resilience of many queries against one shared database.
 
@@ -280,14 +384,18 @@ def resilience_many(
     the exact overlay search all hit the same shared adjacency structures), and
     compiled automaton plans are shared between equal queries.  Queries are
     resolved through a session-level :class:`LanguageCache`, so duplicate
-    queries share one :class:`Language` instance and therefore one memoized
-    infix-free sublanguage — the single most expensive per-query derivation is
-    paid once per *distinct* query, not once per submission.  Pass ``cache=``
-    to share that cache across several batches of the same session.  Results
-    are returned in query order.
+    *and equivalent* queries share one :class:`Language` instance and
+    therefore one memoized infix-free sublanguage — the single most expensive
+    per-query derivation is paid once per distinct language, not once per
+    submission.  Pass ``cache=`` to share that cache across several batches of
+    the same session, or ``store=`` to additionally persist analyses on disk
+    across processes (see :class:`~repro.resilience.store.AnalysisStore`).
+    Results are returned in query order.
     """
     if cache is None:
-        cache = LanguageCache()
+        cache = LanguageCache(store=store)
+    elif store is not None:
+        raise ValueError("pass the store through the cache (LanguageCache(store=...)), not both")
     query_list: Sequence[Language | RPQ | str] = list(queries)
     # Warm the shared structures before fanning out over the query fleet.
     warm_database(database)

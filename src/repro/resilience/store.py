@@ -1,0 +1,210 @@
+"""Persistent on-disk store for per-language analysis results.
+
+The expensive per-query work of the resilience engine — computing the
+infix-free sublanguage ``IF(L)`` and classifying it to pick an algorithm — is a
+pure function of the query *language*.  :class:`AnalysisStore` persists those
+results across processes, keyed by the language's canonical-DFA fingerprint
+(:meth:`~repro.languages.core.Language.fingerprint`), so repeated benchmark or
+serving runs skip the analysis entirely, even for queries written in a
+different but equivalent syntax.
+
+Trust model: entries are only ever *hints*.  Every entry is wrapped in a
+versioned envelope carrying a code-version salt (a digest of the source files
+the cached analyses depend on); an entry whose envelope is unreadable, whose
+format version is unknown, whose salt does not match the running code, or
+whose payload fails its own sanity checks is silently ignored and recomputed —
+a corrupted or stale store can cost time, never correctness.  Entries are
+written atomically (temp file + ``os.replace``), so a crashed writer cannot
+leave a torn entry behind.
+
+The payload uses pickle: infix-free automata have arbitrary hashable states
+(nested tuples, frozensets) that no schema-free text format represents
+faithfully, and byte-identical round-trips are exactly what makes a store hit
+equal to a fresh computation.  The store is a local cache directory, not an
+interchange format — do not point it at untrusted data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+
+from ..languages.core import Language
+
+#: Envelope format version; bump when the entry layout changes.
+STORE_FORMAT_VERSION = 1
+
+
+@lru_cache(maxsize=1)
+def code_version_salt() -> str:
+    """Return a digest of the source files the cached analyses depend on.
+
+    A stored classification is only valid for the code that computed it: if
+    the classifier, the infix-free construction or any part of the language
+    substrate changes, every old entry must be ignored.  The whole
+    :mod:`repro.languages` package is hashed (the classification predicates
+    reach deep into it — ``words.is_strict_infix`` shapes ``IF(L)``, for
+    example — and a hand-picked module list is exactly the kind of dependency
+    audit that rots), plus the classifier and the dispatching engine.
+    Over-invalidating on an unrelated language-module edit costs one warm-up
+    run; under-invalidating would silently serve wrong methods.
+    """
+    from .. import languages
+    from ..classify import classifier
+    from . import engine
+
+    paths = set(Path(languages.__file__).parent.glob("*.py"))
+    paths.add(Path(classifier.__file__))
+    paths.add(Path(engine.__file__))
+    digest = hashlib.sha256()
+    for path in sorted(paths):
+        digest.update(path.name.encode("utf-8"))
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class StoredAnalysis:
+    """One store entry: the classification of a language and its warm analyses.
+
+    Attributes:
+        method: the dispatcher's choice for the language (``"local-flow"``,
+            ``"exact"``, ...).
+        infix_free: the memoized infix-free sublanguage, ready to install on a
+            :class:`~repro.languages.core.Language` instance; ``None`` for
+            epsilon languages, whose execution never needs it.
+        plan_meta: compiled-plan metadata of the infix-free automaton (state
+            and transition counts, emptiness flags) — cheap cross-checks and
+            observability, not inputs to any computation.
+    """
+
+    method: str
+    infix_free: Language | None
+    plan_meta: dict
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Counters of one :class:`AnalysisStore` instance (not persisted)."""
+
+    hits: int
+    misses: int
+    writes: int
+    ignored: int
+
+
+def _plan_meta(infix_free: Language | None) -> dict:
+    if infix_free is None:
+        return {"states": 0, "transitions": 0}
+    automaton = infix_free.automaton
+    return {"states": len(automaton.states), "transitions": len(automaton.transitions)}
+
+
+class AnalysisStore:
+    """A directory of per-fingerprint analysis entries shared across processes.
+
+    One file per language fingerprint; safe to share between concurrent
+    readers and writers of the same code version (writes are atomic renames,
+    and any reader that loses a race simply recomputes).  Use
+    :meth:`stats` to observe hit rates, e.g. to assert that a warm benchmark
+    run actually exercised the store.
+    """
+
+    def __init__(self, directory: str | os.PathLike, *, salt: str | None = None) -> None:
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self._salt = salt if salt is not None else code_version_salt()
+        self._hits = 0
+        self._misses = 0
+        self._writes = 0
+        self._ignored = 0
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    def _path(self, fingerprint: str) -> Path:
+        return self._directory / f"{fingerprint}.analysis"
+
+    def get(self, fingerprint: str) -> StoredAnalysis | None:
+        """Return the stored analysis for a fingerprint, or ``None``.
+
+        Unreadable, stale-version, wrong-salt and internally inconsistent
+        entries all count as ``ignored`` misses — the store never trusts an
+        entry it cannot fully validate.
+        """
+        path = self._path(fingerprint)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self._misses += 1
+            return None
+        try:
+            envelope = pickle.loads(raw)
+            if not isinstance(envelope, dict):
+                raise ValueError("envelope is not a dict")
+            if envelope["format"] != STORE_FORMAT_VERSION:
+                raise ValueError("unknown format version")
+            if envelope["salt"] != self._salt:
+                raise ValueError("stale code-version salt")
+            if envelope["fingerprint"] != fingerprint:
+                raise ValueError("entry does not match its key")
+            method = envelope["method"]
+            infix_free = envelope["infix_free"]
+            plan_meta = envelope["plan_meta"]
+            if not isinstance(method, str):
+                raise ValueError("method is not a string")
+            if infix_free is not None and not isinstance(infix_free, Language):
+                raise ValueError("infix_free is not a Language")
+            if plan_meta != _plan_meta(infix_free):
+                raise ValueError("plan metadata does not match the payload")
+        except Exception:
+            self._ignored += 1
+            self._misses += 1
+            return None
+        self._hits += 1
+        return StoredAnalysis(method=method, infix_free=infix_free, plan_meta=plan_meta)
+
+    def put(self, fingerprint: str, *, method: str, infix_free: Language | None) -> None:
+        """Persist one analysis entry atomically (last writer wins)."""
+        envelope = {
+            "format": STORE_FORMAT_VERSION,
+            "salt": self._salt,
+            "fingerprint": fingerprint,
+            "method": method,
+            "infix_free": infix_free,
+            "plan_meta": _plan_meta(infix_free),
+        }
+        payload = pickle.dumps(envelope)
+        descriptor, temp_name = tempfile.mkstemp(dir=self._directory, suffix=".tmp")
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                handle.write(payload)
+            os.replace(temp_name, self._path(fingerprint))
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        self._writes += 1
+
+    def stats(self) -> StoreStats:
+        """Return this instance's hit/miss/write/ignored counters."""
+        return StoreStats(self._hits, self._misses, self._writes, self._ignored)
+
+    def __len__(self) -> int:
+        """Return the number of entries currently on disk."""
+        return sum(1 for _ in self._directory.glob("*.analysis"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        stats = self.stats()
+        return (
+            f"AnalysisStore({str(self._directory)!r}, {len(self)} entries, "
+            f"hits={stats.hits}, misses={stats.misses})"
+        )

@@ -8,16 +8,24 @@ a serving subsystem for query fleets:
   :class:`~repro.service.workload.QuerySpec` items — query plus optional
   forced method, forced semantics, and per-query ``max_nodes`` /
   ``max_seconds`` budgets for the exact fallback.
-* **Session language cache** (:mod:`~repro.service.cache`): duplicate queries
-  resolve to one shared :class:`~repro.languages.core.Language`, whose
-  infix-free sublanguage is memoized on the instance, and whose dispatch
-  method is classified once; compiled automaton plans are shared process-wide.
+* **Session language cache** (:mod:`~repro.service.cache`): duplicate *and
+  equivalent* queries resolve to one shared
+  :class:`~repro.languages.core.Language` — the canonical layer fingerprints
+  every query by its minimal DFA, so ``(ab)*a`` and ``a(ba)*`` share one
+  memoized infix-free sublanguage and one classification; an optional
+  :class:`~repro.service.cache.AnalysisStore` persists those analyses on disk
+  across processes (see ``src/repro/service/README.md`` for the full cache
+  hierarchy).
 * **Scheduler** (:mod:`~repro.service.scheduler`): every query is classified
   first and flow-tractable queries run before exact fallbacks.
-* **Serving** (:mod:`~repro.service.serve`):
-  :func:`~repro.service.serve.resilience_serve` executes the planned workload
+* **Serving** (:mod:`~repro.service.serve`, :mod:`~repro.service.server`):
+  :func:`~repro.service.serve.resilience_serve` executes one planned workload
   serially or over a process pool and returns structured
-  :class:`~repro.service.outcome.QueryOutcome` objects in workload order.
+  :class:`~repro.service.outcome.QueryOutcome` objects in workload order;
+  :class:`~repro.service.server.ResilienceServer` keeps the pool (and the
+  workers' database copy) warm across calls and adds
+  :meth:`~repro.service.server.ResilienceServer.serve_iter`, which streams
+  outcomes as they complete.
 
 Budget semantics
 ----------------
@@ -60,20 +68,25 @@ Quickstart::
         print(outcome.query, outcome.status, outcome.result)
 """
 
-from .cache import LanguageCache
+from .cache import AnalysisStore, CacheStats, LanguageCache, StoreStats
 from .outcome import BUDGET_EXCEEDED, ERROR, OK, QueryOutcome
 from .scheduler import ScheduledQuery, plan_workload
 from .serve import resilience_serve
+from .server import ResilienceServer
 from .workload import QuerySpec, Workload
 
 __all__ = [
     "BUDGET_EXCEEDED",
     "ERROR",
     "OK",
+    "AnalysisStore",
+    "CacheStats",
     "LanguageCache",
     "QueryOutcome",
     "QuerySpec",
+    "ResilienceServer",
     "ScheduledQuery",
+    "StoreStats",
     "Workload",
     "plan_workload",
     "resilience_serve",

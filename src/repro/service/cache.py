@@ -1,14 +1,26 @@
-"""Session-level language cache shared across queries of a serving session.
+"""Session and cross-process caches of the serving layer.
 
-The implementation lives in :class:`repro.resilience.engine.LanguageCache`,
-next to the dispatcher whose analyses it memoizes — the core engine uses it
-for :func:`~repro.resilience.engine.resilience_many`, so it cannot depend on
-this higher-level package.  This module re-exports it as part of the service
-API; see the class docstring for what is cached and why.
+The implementations live next to the dispatcher whose analyses they memoize —
+:class:`repro.resilience.engine.LanguageCache` (with its
+:class:`~repro.resilience.engine.CacheStats`) and
+:class:`repro.resilience.store.AnalysisStore` — because the core engine uses
+them for :func:`~repro.resilience.engine.resilience_many` and cannot depend on
+this higher-level package.  This module re-exports them as part of the service
+API; see the class docstrings for the full cache hierarchy (instance memo →
+session string cache → canonical cross-instance cache → on-disk store) and
+``src/repro/service/README.md`` for when each layer hits.
 """
 
 from __future__ import annotations
 
-from ..resilience.engine import LanguageCache
+from ..resilience.engine import CacheStats, LanguageCache
+from ..resilience.store import AnalysisStore, StoredAnalysis, StoreStats, code_version_salt
 
-__all__ = ["LanguageCache"]
+__all__ = [
+    "AnalysisStore",
+    "CacheStats",
+    "LanguageCache",
+    "StoreStats",
+    "StoredAnalysis",
+    "code_version_salt",
+]

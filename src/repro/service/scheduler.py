@@ -52,12 +52,28 @@ class ScheduledQuery:
 
     The ``language`` carries its memoized infix-free sublanguage, so shipping a
     scheduled query to a worker process ships the expensive derivation with it.
+    ``intern_key`` identifies the language's equivalence class (its canonical
+    fingerprint when the session cache computed one, else the expression
+    string): worker processes intern languages under this key, so a warm
+    worker serves repeat or equivalent queries from its own memoized instance
+    instead of the freshly unpickled copy.
     """
 
     index: int
     spec: QuerySpec
     language: Language
     planned_method: str
+    intern_key: str | None = None
+
+
+def _intern_key(spec: QuerySpec, language: Language) -> str | None:
+    """The worker-side interning key of a scheduled query (cheap: never
+    *computes* a fingerprint, only reuses one the cache already memoized)."""
+    if language._fingerprint is not None:
+        return f"fp:{language._fingerprint}"
+    if isinstance(spec.query, str):
+        return f"re:{spec.query}"
+    return None
 
 
 def plan_workload(
@@ -97,7 +113,9 @@ def plan_workload(
                 )
             )
             continue
-        scheduled.append(ScheduledQuery(index, spec, language, planned))
+        scheduled.append(
+            ScheduledQuery(index, spec, language, planned, _intern_key(spec, language))
+        )
     scheduled.sort(
         key=lambda item: (
             _METHOD_PRIORITY.get(item.planned_method, len(_METHOD_PRIORITY)),

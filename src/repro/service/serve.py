@@ -1,33 +1,42 @@
 """Parallel resilience serving: process-pool fan-out over a planned workload.
 
-:func:`resilience_serve` is the entry point.  It plans the workload
-(:func:`~repro.service.scheduler.plan_workload`), then executes every scheduled
-query either serially in-process (``parallel=False``) or fanned out over a
-:class:`~concurrent.futures.ProcessPoolExecutor`.  Both paths run the exact
-same per-query function on deterministic compiled plans, so they produce
-identical outcomes for any workload without ``max_seconds`` budgets (wall
-clocks are the one nondeterministic input; see the package docstring) — the
-serial mode is the semantics, the pool is purely an execution strategy.
+:func:`resilience_serve` is the one-shot entry point: it spins up a
+:class:`~repro.service.server.ResilienceServer` for a single workload and
+tears it down again.  Callers serving several workloads against the same
+database should hold a server instead — its process pool stays warm across
+calls, so only the first serve pays fork and database-warmup cost.
+
+Both execution paths run the exact same per-query function
+(:func:`_execute`) on deterministic compiled plans, so serial and parallel
+serving produce identical outcomes for any workload without ``max_seconds``
+budgets (wall clocks are the one nondeterministic input; see the package
+docstring) — the serial mode is the semantics, the pool is purely an
+execution strategy.
 
 Each worker process receives the database once (through the pool initializer)
 and warms its fact index a single time; individual tasks then only ship the
-scheduled query, whose language carries its memoized infix-free sublanguage —
-workers never recompute the expensive per-query derivations done at planning
-time.
+scheduled query, whose language carries its memoized infix-free sublanguage.
+Workers additionally *intern* languages by their scheduled
+:attr:`~repro.service.scheduler.ScheduledQuery.intern_key` (canonical
+fingerprint or expression string): the first task of an equivalence class
+installs its language in the worker's intern table, and every later repeat or
+equivalent query on that worker runs against the installed instance — shared
+memoized analyses instead of a freshly unpickled copy per task.
 """
 
 from __future__ import annotations
 
-import os
 from collections.abc import Iterable
-from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
 
 from ..exceptions import SearchBudgetExceeded
 from ..graphdb.database import BagGraphDatabase, GraphDatabase
+from ..languages.core import Language
 from ..resilience.engine import reforce_planned_method, resilience, warm_database
+from ..resilience.store import AnalysisStore
 from .cache import LanguageCache
 from .outcome import BUDGET_EXCEEDED, ERROR, OK, QueryOutcome
-from .scheduler import ScheduledQuery, plan_workload, runs_exact_class
+from .scheduler import ScheduledQuery
 from .workload import QueryLike, QuerySpec, Workload
 
 AnyDatabase = GraphDatabase | BagGraphDatabase
@@ -79,17 +88,41 @@ def _execute(item: ScheduledQuery, database: AnyDatabase) -> QueryOutcome:
 # ---------------------------------------------------------------------- workers
 
 _WORKER_DATABASE: AnyDatabase | None = None
+_WORKER_LANGUAGES: dict[str, Language] = {}
 
 
 def _worker_init(database: AnyDatabase) -> None:
     global _WORKER_DATABASE
     _WORKER_DATABASE = database
+    _WORKER_LANGUAGES.clear()
     warm_database(database)
+
+
+def _intern_scheduled(item: ScheduledQuery) -> ScheduledQuery:
+    """Resolve a task's language through the worker's intern table.
+
+    The first language of each intern key wins; later tasks with the same key
+    run against the installed instance (relabelled to their own display name
+    when an *equivalent* query spelled the language differently), accumulating
+    memoized analyses per worker instead of per task.
+    """
+    if item.intern_key is None:
+        return item
+    interned = _WORKER_LANGUAGES.setdefault(item.intern_key, item.language)
+    if interned is item.language:
+        return item
+    language = interned if interned.name == item.language.name else interned.relabelled(item.language.name)
+    return replace(item, language=language)
 
 
 def _worker_run(item: ScheduledQuery) -> QueryOutcome:
     assert _WORKER_DATABASE is not None, "worker used before initialization"
-    return _execute(item, _WORKER_DATABASE)
+    return _execute(_intern_scheduled(item), _WORKER_DATABASE)
+
+
+def _worker_run_many(items: list[ScheduledQuery]) -> list[QueryOutcome]:
+    """Run a chunk of scheduled queries in one IPC round-trip."""
+    return [_worker_run(item) for item in items]
 
 
 # ------------------------------------------------------------------ entry point
@@ -101,6 +134,7 @@ def resilience_serve(
     max_workers: int | None = None,
     parallel: bool = True,
     cache: LanguageCache | None = None,
+    store: AnalysisStore | None = None,
 ) -> list[QueryOutcome]:
     """Serve a resilience workload against one database, optionally in parallel.
 
@@ -120,6 +154,10 @@ def resilience_serve(
             pool contention.
         cache: optional session :class:`LanguageCache` to share planning work
             across multiple serve calls.
+        store: optional :class:`~repro.resilience.store.AnalysisStore`
+            persisting classifications and infix-free sublanguages across
+            processes (mutually exclusive with ``cache``; pass the store
+            through ``LanguageCache(store=...)`` to combine them).
 
     Returns:
         one :class:`QueryOutcome` per workload entry, in workload order.
@@ -127,37 +165,13 @@ def resilience_serve(
         surface as ``"budget-exceeded"`` outcomes and any other per-query
         error as an ``"error"`` outcome.
     """
-    fleet = Workload.coerce(workload)
-    scheduled, outcomes = plan_workload(fleet, cache)
+    from .server import ResilienceServer
 
-    if max_workers is None:
-        max_workers = os.cpu_count() or 1
-    if max_workers < 1:
-        raise ValueError(f"max_workers must be >= 1 (got {max_workers})")
-
-    if not parallel or max_workers == 1 or len(scheduled) <= 1:
-        warm_database(database)
-        outcomes.extend(_execute(item, database) for item in scheduled)
-    else:
-        workers = min(max_workers, len(scheduled))
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_worker_init,
-            initargs=(database,),
-        ) as pool:
-            # Batch the cheap flow queries so they don't pay one IPC round-trip
-            # (plus a Language pickle) each, but hand the potentially
-            # exponential exact queries out one at a time — chunking them would
-            # pack the tail of the schedule onto one or two workers.  Both map
-            # calls submit eagerly, and outcomes are re-sorted by index below,
-            # so the split never affects results.
-            flow_items = [item for item in scheduled if not runs_exact_class(item.planned_method)]
-            exact_items = [item for item in scheduled if runs_exact_class(item.planned_method)]
-            chunksize = max(1, len(flow_items) // (workers * 4))
-            flow_results = pool.map(_worker_run, flow_items, chunksize=chunksize)
-            exact_results = pool.map(_worker_run, exact_items)
-            outcomes.extend(flow_results)
-            outcomes.extend(exact_results)
-
-    outcomes.sort(key=lambda outcome: outcome.index)
-    return outcomes
+    with ResilienceServer(
+        database,
+        max_workers=max_workers,
+        parallel=parallel,
+        cache=cache,
+        store=store,
+    ) as server:
+        return server.serve(workload)

@@ -1,0 +1,368 @@
+"""A persistent serving runtime: warm worker pool + streamed outcomes.
+
+:class:`ResilienceServer` owns one database and (lazily) one
+:class:`~concurrent.futures.ProcessPoolExecutor`.  The pool outlives
+individual :meth:`serve` calls: the database is shipped to each worker exactly
+once — through the pool initializer, when the pool is created — and every
+subsequent workload reuses the already-forked, already-warmed workers.  This
+amortizes the dominant fixed costs of :func:`~repro.service.serve.resilience_serve`
+(fork + database pickle + index warm-up) across a session.
+
+Two consumption styles:
+
+* :meth:`serve` returns the full outcome list in workload order — identical
+  to :func:`~repro.service.serve.resilience_serve` for the same inputs;
+* :meth:`serve_iter` yields each :class:`~repro.service.outcome.QueryOutcome`
+  as it completes (planning failures first, then execution results in
+  completion order), so callers see flow-tractable answers while exact
+  stragglers are still searching.  Re-sorting the streamed outcomes by
+  ``index`` reproduces :meth:`serve` exactly — pinned by the conformance
+  suite.
+
+Fault tolerance: a worker process dying (OOM kill, hard crash) breaks a
+:class:`ProcessPoolExecutor` permanently.  The server discards the broken
+pool, transparently re-runs each affected chunk once on a fresh pool, and
+only reports ``"error"`` outcomes for queries that fail a second time — a
+single crash usually costs latency, not answers, and never the server.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable, Iterator
+from concurrent.futures import FIRST_COMPLETED, CancelledError, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+
+from ..exceptions import ReproError
+from ..graphdb.database import BagGraphDatabase, GraphDatabase
+from ..resilience.engine import warm_database
+from ..resilience.store import AnalysisStore
+from .cache import LanguageCache
+from .outcome import ERROR, QueryOutcome
+from .scheduler import ScheduledQuery, plan_workload, runs_exact_class
+from .serve import _execute, _worker_init, _worker_run_many
+from .workload import QueryLike, QuerySpec, Workload
+
+AnyDatabase = GraphDatabase | BagGraphDatabase
+
+
+class ResilienceServer:
+    """Serve resilience workloads against one database with a warm worker pool.
+
+    Args:
+        database: the set or bag database every workload runs against.  One
+            server, one database: the workers' copy is shipped once and kept
+            warm, so serving a different database requires a different server
+            (:meth:`serve` raises on a mismatched explicit ``database=``).
+        max_workers: pool width cap; defaults to ``os.cpu_count()``.  The pool
+            is created on the first parallel call, sized to
+            ``min(max_workers, that call's query count)``.
+        parallel: ``False`` pins the server to the serial in-process path
+            (identical outcomes, no pool) — useful as the reference
+            configuration in differential tests.
+        cache: optional session :class:`LanguageCache` (a fresh canonical
+            cache by default).  The cache lives in the *parent* process:
+            planning dedupes equal and equivalent queries before anything is
+            shipped to a worker.
+        store: optional :class:`~repro.resilience.store.AnalysisStore`
+            persisting analyses across processes; mutually exclusive with
+            ``cache`` (pass ``LanguageCache(store=...)`` to combine).
+
+    Use as a context manager (or call :meth:`close`) to release the pool.
+    """
+
+    def __init__(
+        self,
+        database: AnyDatabase,
+        *,
+        max_workers: int | None = None,
+        parallel: bool = True,
+        cache: LanguageCache | None = None,
+        store: AnalysisStore | None = None,
+    ) -> None:
+        if max_workers is None:
+            max_workers = os.cpu_count() or 1
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1 (got {max_workers})")
+        if cache is not None and store is not None:
+            raise ValueError(
+                "pass the store through the cache (LanguageCache(store=...)), not both"
+            )
+        self._database = database
+        self._max_workers = max_workers
+        self._parallel = parallel
+        self._cache = cache if cache is not None else LanguageCache(store=store)
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_width = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------ accessors
+
+    @property
+    def database(self) -> AnyDatabase:
+        return self._database
+
+    @property
+    def cache(self) -> LanguageCache:
+        """The session language cache shared by every call on this server."""
+        return self._cache
+
+    @property
+    def database_fingerprint(self) -> str:
+        """Content digest of the served database (stable across processes)."""
+        return self._database.content_fingerprint()
+
+    def worker_pids(self) -> frozenset[int]:
+        """PIDs of the live pool workers (empty before the first parallel call).
+
+        Diagnostic surface for tests and operators: unchanged PIDs across
+        :meth:`serve` calls prove the pool stayed warm (no re-fork).
+        """
+        if self._pool is None:
+            return frozenset()
+        return frozenset(self._pool._processes or ())
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent); the server refuses further calls."""
+        self._discard_pool(wait=True)
+        self._closed = True
+
+    def __enter__(self) -> "ResilienceServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _discard_pool(self, *, wait: bool) -> None:
+        pool, self._pool = self._pool, None
+        self._pool_width = 0
+        if pool is not None:
+            pool.shutdown(wait=wait, cancel_futures=True)
+
+    def _ensure_pool(self, task_count: int) -> ProcessPoolExecutor:
+        """Return the warm pool, creating (or replacing) one on demand.
+
+        The pool is replaced when it is known-broken (best-effort check here;
+        a broken pool that slips through is caught by the submit-time retry in
+        :meth:`_stream`) and when a larger workload arrives than the pool was
+        sized for — growth re-forks once, but a small warm-up call must not
+        cap throughput for the rest of the session.  The pool never shrinks.
+
+        Raises :class:`RuntimeError` on a closed server (a generator resumed
+        after :meth:`close` must never fork a pool nothing would shut down;
+        :meth:`_submit` turns the refusal into structured outcomes).
+        """
+        if self._closed:
+            raise RuntimeError("ResilienceServer is closed")
+        width = max(1, min(self._max_workers, task_count))
+        if self._pool is not None and (
+            getattr(self._pool, "_broken", False) or self._pool_width < width
+        ):
+            self._discard_pool(wait=False)
+        if self._pool is None:
+            self._pool_width = width
+            self._pool = ProcessPoolExecutor(
+                max_workers=width,
+                initializer=_worker_init,
+                initargs=(self._database,),
+            )
+        return self._pool
+
+    def _check_serveable(self, database: AnyDatabase | None) -> None:
+        if self._closed:
+            raise ReproError("this ResilienceServer is closed")
+        if database is None or database is self._database:
+            return
+        if database.content_fingerprint() != self._database.content_fingerprint():
+            raise ReproError(
+                "this ResilienceServer's warm workers hold a different database; "
+                "create a new server to serve another database"
+            )
+
+    # ------------------------------------------------------------------ serving
+
+    def serve(
+        self,
+        workload: Workload | Iterable[QuerySpec | QueryLike],
+        *,
+        database: AnyDatabase | None = None,
+    ) -> list[QueryOutcome]:
+        """Serve one workload; outcomes in workload order.
+
+        Outcome-identical to :func:`~repro.service.serve.resilience_serve`
+        with the same arguments — the warm pool changes cost, never results.
+        ``database`` is an optional cross-check: serving is always against the
+        server's own database, and a different one raises instead of silently
+        answering from the warm copy.
+        """
+        outcomes = list(self.serve_iter(workload, database=database))
+        outcomes.sort(key=lambda outcome: outcome.index)
+        return outcomes
+
+    def serve_iter(
+        self,
+        workload: Workload | Iterable[QuerySpec | QueryLike],
+        *,
+        database: AnyDatabase | None = None,
+    ) -> Iterator[QueryOutcome]:
+        """Yield outcomes as they complete (planning failures first).
+
+        The multiset of yielded outcomes is exactly :meth:`serve`'s list;
+        only the order differs, and only on the parallel path (serially,
+        execution order is the scheduler's flow-first order).  Flow-tractable
+        queries are batched several to a task, so their outcomes stream at
+        chunk granularity; exact queries stream one by one.
+        """
+        self._check_serveable(database)
+        fleet = Workload.coerce(workload)
+        scheduled, failed = plan_workload(fleet, self._cache)
+        failed.sort(key=lambda outcome: outcome.index)
+        return self._stream(scheduled, failed)
+
+    def _stream(
+        self, scheduled: list[ScheduledQuery], failed: list[QueryOutcome]
+    ) -> Iterator[QueryOutcome]:
+        yield from failed
+        if not scheduled:
+            return
+        if not self._parallel or self._max_workers == 1 or len(scheduled) == 1:
+            warm_database(self._database)
+            for item in scheduled:
+                yield _execute(item, self._database)
+            return
+
+        if self._closed:
+            # The generator was resumed after close(): never fork a new pool
+            # on a closed server, fail the remaining work structurally.
+            yield from self._crash_outcomes(
+                scheduled, "PoolShutDown: server closed before execution"
+            )
+            return
+        self._ensure_pool(len(scheduled))
+        # Batch the cheap flow queries so they don't pay one IPC round-trip
+        # (plus a Language pickle) each, but hand the potentially exponential
+        # exact queries out one at a time — chunking them would pack the tail
+        # of the schedule onto one or two workers.
+        flow_items = [item for item in scheduled if not runs_exact_class(item.planned_method)]
+        exact_items = [item for item in scheduled if runs_exact_class(item.planned_method)]
+        chunksize = max(1, len(flow_items) // (self._pool_width * 4))
+        tasks = [
+            flow_items[start : start + chunksize]
+            for start in range(0, len(flow_items), chunksize)
+        ] + [[item] for item in exact_items]
+
+        # Each future remembers the pool it was submitted to (when a worker
+        # crash breaks a pool mid-stream, only that pool is discarded — a
+        # replacement pool created by a retry must survive) and its attempt
+        # number: a chunk that fell victim to a crash is retried once on a
+        # fresh pool before its queries are failed structurally, so a single
+        # worker death usually costs latency, not answers.
+        pending: dict[Future, tuple[list[ScheduledQuery], ProcessPoolExecutor, int]] = {}
+
+        def dispatch(chunk: list[ScheduledQuery], attempt: int) -> Future | None:
+            future = self._submit(chunk, len(scheduled))
+            if future is not None:
+                pending[future] = (chunk, self._pool, attempt)
+            return future
+
+        def retry_or_fail(
+            chunk: list[ScheduledQuery], attempt: int, reason: str
+        ) -> Iterator[QueryOutcome]:
+            if not self._closed and attempt < 1 and dispatch(chunk, attempt + 1) is not None:
+                return iter(())  # resubmitted on the replacement pool
+            return self._crash_outcomes(chunk, reason)
+
+        try:
+            for chunk in tasks:
+                if self._closed:
+                    # The generator was resumed after close(): never fork a
+                    # new pool on a closed server, fail the work structurally.
+                    yield from self._crash_outcomes(
+                        chunk, "PoolShutDown: server closed before execution"
+                    )
+                elif dispatch(chunk, 0) is None:
+                    # The pool broke twice in a row (fresh replacement
+                    # included); fail the chunk's queries structurally.
+                    yield from self._crash_outcomes(
+                        chunk, "BrokenProcessPool: worker pool broke before execution"
+                    )
+            while pending:
+                # Futures whose pool was discarded under us (close() between
+                # resumptions of this generator, or a crash replacement) may
+                # never complete — and the ones shutdown() cancelled linger in
+                # CANCELLED state without the notification wait() blocks on
+                # (only the executor's own machinery promotes a future to
+                # CANCELLED_AND_NOTIFIED).  Retry or fail them structurally
+                # instead of blocking in wait() forever.
+                orphaned = [
+                    future
+                    for future, (_, pool, _) in pending.items()
+                    if pool is not self._pool and (future.cancelled() or not future.done())
+                ]
+                for future in orphaned:
+                    chunk, _, attempt = pending.pop(future)
+                    future.cancel()
+                    yield from retry_or_fail(
+                        chunk, attempt, "PoolShutDown: worker pool was shut down mid-stream"
+                    )
+                if not pending:
+                    break
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    chunk, pool, attempt = pending.pop(future)
+                    try:
+                        yield from future.result()
+                    except BrokenProcessPool:
+                        if self._pool is pool:
+                            self._discard_pool(wait=False)
+                        yield from retry_or_fail(
+                            chunk, attempt, "BrokenProcessPool: worker process died mid-query"
+                        )
+                    except CancelledError:
+                        yield from retry_or_fail(
+                            chunk, attempt, "PoolShutDown: task cancelled by pool shutdown"
+                        )
+                    except Exception as error:  # pragma: no cover - defensive
+                        yield from self._crash_outcomes(chunk, f"{type(error).__name__}: {error}")
+        finally:
+            # Reached on exhaustion, on an abandoned generator (GeneratorExit)
+            # and on errors alike: never leave orphaned tasks burning workers.
+            for future in pending:
+                future.cancel()
+
+    def _submit(self, chunk: list[ScheduledQuery], task_count: int) -> Future | None:
+        """Submit one task, replacing the pool and retrying once if it broke.
+
+        A worker crash breaks a :class:`ProcessPoolExecutor` permanently and
+        is only reliably observable at submit time (the ``_broken`` check in
+        :meth:`_ensure_pool` is a best-effort fast path over a private flag).
+        Returns ``None`` only if even a freshly created pool cannot accept
+        work.
+        """
+        for _ in range(2):
+            pool = self._ensure_pool(task_count)
+            try:
+                return pool.submit(_worker_run_many, chunk)
+            except (BrokenProcessPool, RuntimeError):
+                self._discard_pool(wait=False)
+        return None
+
+    @staticmethod
+    def _crash_outcomes(chunk: list[ScheduledQuery], error: str) -> Iterator[QueryOutcome]:
+        for item in chunk:
+            yield QueryOutcome(
+                index=item.index,
+                query=item.spec.display_name(),
+                status=ERROR,
+                method=item.planned_method,
+                error=error,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else ("warm" if self._pool is not None else "cold")
+        return (
+            f"ResilienceServer({self._database!r}, max_workers={self._max_workers}, "
+            f"{state}, db={self.database_fingerprint[:12]})"
+        )

@@ -1,0 +1,247 @@
+"""Warm-pool lifecycle tests for :class:`repro.service.server.ResilienceServer`.
+
+The server's contract has three parts the serving tests don't cover:
+
+* **warmth** — the worker pool (and the workers' database copy) survives
+  across :meth:`serve` calls: same pool object, same worker PIDs, no re-fork;
+* **lifecycle** — context-manager/:meth:`close` semantics, and a closed
+  server refuses work instead of silently forking a new pool;
+* **fault tolerance** — a worker process dying breaks one call's in-flight
+  queries (structured ``"error"`` outcomes), never the server: the next call
+  runs on a fresh pool with correct results.
+"""
+
+import os
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.graphdb import generators
+from repro.service import ERROR, OK, LanguageCache, QuerySpec, ResilienceServer, Workload
+from repro.service.scheduler import plan_workload
+from repro.service.serve import _intern_scheduled, _WORKER_LANGUAGES, resilience_serve
+
+MIXED = ["ax*b", "ab|bc", "aa", "ab", "ε|a", "abc|be"]
+
+
+@pytest.fixture(scope="module")
+def database():
+    return generators.random_labelled_graph(5, 14, "abcdexy", seed=3)
+
+
+@pytest.fixture()
+def server(database):
+    with ResilienceServer(database, max_workers=2) as server:
+        yield server
+
+
+class TestWarmth:
+    def test_pool_and_workers_survive_across_serve_calls(self, server, database):
+        expected = resilience_serve(MIXED, database, parallel=False)
+        assert server.worker_pids() == frozenset()  # cold until the first call
+        first = server.serve(MIXED)
+        pool = server._pool
+        pids = server.worker_pids()
+        assert pids, "the first parallel call must create workers"
+        for _ in range(3):
+            assert server.serve(MIXED) == first == expected
+            assert server._pool is pool, "pool object must be reused, not rebuilt"
+            assert server.worker_pids() == pids, "serve() must not re-fork workers"
+
+    def test_streaming_and_batch_share_the_same_warm_pool(self, server):
+        batch = server.serve(MIXED)
+        pids = server.worker_pids()
+        streamed = sorted(server.serve_iter(MIXED), key=lambda outcome: outcome.index)
+        assert streamed == batch
+        assert server.worker_pids() == pids
+
+    def test_session_cache_is_shared_across_calls(self, database):
+        with ResilienceServer(database, max_workers=2) as server:
+            server.serve(MIXED)
+            classifications = server.cache.stats.classifications
+            assert classifications > 0
+            server.serve(MIXED)
+            assert server.cache.stats.classifications == classifications
+
+    def test_serial_server_never_forks(self, database):
+        with ResilienceServer(database, parallel=False) as server:
+            outcomes = server.serve(MIXED)
+            assert server.worker_pids() == frozenset()
+        assert outcomes == resilience_serve(MIXED, database, parallel=False)
+
+    def test_single_worker_runs_serially(self, database):
+        with ResilienceServer(database, max_workers=1) as server:
+            assert all(outcome.ok for outcome in server.serve(MIXED))
+            assert server.worker_pids() == frozenset()
+
+
+class TestWidth:
+    def test_pool_grows_when_a_larger_workload_arrives(self, database):
+        # A small warm-up call must not cap throughput for the session: the
+        # pool is rebuilt wider (one extra fork round) when a bigger workload
+        # needs it, and never shrinks back.
+        with ResilienceServer(database, max_workers=3) as server:
+            small = server.serve(MIXED[:2])
+            assert all(outcome.ok for outcome in small)
+            assert server._pool_width == 2
+            large = server.serve(MIXED * 4)
+            assert server._pool_width == 3
+            assert large == resilience_serve(MIXED * 4, database, parallel=False)
+            server.serve(MIXED[:2])  # smaller again: keep the wide pool
+            assert server._pool_width == 3
+
+    def test_abandoned_serve_iter_does_not_wedge_the_server(self, database):
+        with ResilienceServer(database, max_workers=2) as server:
+            iterator = server.serve_iter(MIXED * 4)
+            first = next(iterator)
+            assert first.status == OK
+            iterator.close()  # abandon mid-stream; queued tasks are cancelled
+            assert server.serve(MIXED) == resilience_serve(MIXED, database, parallel=False)
+
+    def test_resuming_serve_iter_after_close_never_forks_a_new_pool(self, database):
+        # Regression: a generator suspended *before* dispatching (first yield
+        # is a planning failure) and resumed after close() used to fork a
+        # fresh pool that nothing would ever shut down.
+        server = ResilienceServer(database, max_workers=2)
+        iterator = server.serve_iter(["((", *MIXED])  # parse error yields first
+        first = next(iterator)
+        assert first.status == ERROR
+        server.close()
+        remainder = list(iterator)
+        assert server._pool is None
+        assert server.worker_pids() == frozenset()
+        assert len(remainder) == len(MIXED)
+        assert all(outcome.status == ERROR for outcome in remainder)
+        assert all("PoolShutDown" in outcome.error for outcome in remainder)
+
+    def test_resuming_serve_iter_after_close_drains_instead_of_hanging(self, database):
+        # Regression: close() between resumptions used to leave the generator
+        # blocked forever in wait() on futures of the discarded pool.
+        server = ResilienceServer(database, max_workers=2)
+        iterator = server.serve_iter(MIXED * 4)
+        first = next(iterator)
+        assert first.status == OK
+        server.close()
+        remainder = list(iterator)  # must terminate, not deadlock
+        assert len(remainder) == len(MIXED) * 4 - 1
+        for outcome in remainder:
+            assert outcome.status in (OK, ERROR)
+            if outcome.status == ERROR:
+                assert "PoolShutDown" in outcome.error or "BrokenProcessPool" in outcome.error
+
+
+class TestLifecycle:
+    def test_close_shuts_the_pool_and_refuses_further_work(self, database):
+        server = ResilienceServer(database, max_workers=2)
+        server.serve(MIXED)
+        assert server.worker_pids()
+        server.close()
+        assert server.worker_pids() == frozenset()
+        with pytest.raises(ReproError):
+            server.serve(MIXED)
+        with pytest.raises(ReproError):
+            server.serve_iter(MIXED)
+        server.close()  # idempotent
+
+    def test_context_manager_closes_on_exit(self, database):
+        with ResilienceServer(database, max_workers=2) as server:
+            server.serve(MIXED)
+        with pytest.raises(ReproError):
+            server.serve(MIXED)
+
+    def test_invalid_max_workers(self, database):
+        with pytest.raises(ValueError):
+            ResilienceServer(database, max_workers=0)
+
+    def test_cache_and_store_are_mutually_exclusive(self, database, tmp_path):
+        from repro.service import AnalysisStore
+
+        with pytest.raises(ValueError):
+            ResilienceServer(
+                database, cache=LanguageCache(), store=AnalysisStore(tmp_path)
+            )
+
+    def test_explicit_database_must_match_the_warm_one(self, server, database):
+        other = generators.random_labelled_graph(6, 16, "ab", seed=7)
+        with pytest.raises(ReproError):
+            server.serve(MIXED, database=other)
+        # Same content in a different instance is fine (the guard is semantic).
+        twin = generators.random_labelled_graph(5, 14, "abcdexy", seed=3)
+        assert twin is not database
+        assert server.serve(MIXED, database=twin) == server.serve(MIXED)
+
+    def test_database_fingerprints_distinguish_semantics(self, database):
+        bag = database.to_bag(1)
+        assert database.content_fingerprint() != bag.content_fingerprint()
+        clone = generators.random_labelled_graph(5, 14, "abcdexy", seed=3)
+        assert clone.content_fingerprint() == database.content_fingerprint()
+
+
+class TestCrashRecovery:
+    def test_crashed_worker_does_not_poison_subsequent_calls(self, database):
+        with ResilienceServer(database, max_workers=2) as server:
+            reference = server.serve(MIXED)
+            pids_before = server.worker_pids()
+            crash = server._pool.submit(os._exit, 1)
+            with pytest.raises(Exception):
+                crash.result()
+            # The next call must transparently rebuild the pool and answer
+            # correctly — fresh workers, same outcomes.
+            recovered = server.serve(MIXED)
+            assert recovered == reference
+            assert server.worker_pids()
+            assert server.worker_pids().isdisjoint(pids_before)
+
+    def test_mid_serve_crash_retries_chunks_and_completes_correctly(self, database):
+        # A single worker crash breaks the pool mid-call; every affected chunk
+        # must be re-run once on a fresh pool, so the call still returns the
+        # full, correct outcome list (errors only appear on a *second*
+        # failure, which a one-off crash cannot produce).
+        expected = resilience_serve(MIXED * 4, database, parallel=False)
+        with ResilienceServer(database, max_workers=2) as server:
+            assert {outcome.status for outcome in server.serve(MIXED)} == {OK}
+            server._pool.submit(os._exit, 1)
+            assert server.serve(MIXED * 4) == expected
+            assert server.serve(MIXED * 4) == expected
+
+    def test_mid_stream_crash_retries_pending_chunks(self, database):
+        expected = resilience_serve(MIXED * 8, database, parallel=False)
+        with ResilienceServer(database, max_workers=2) as server:
+            iterator = server.serve_iter(MIXED * 8)
+            first = next(iterator)
+            server._pool.submit(os._exit, 1)
+            outcomes = sorted([first, *iterator], key=lambda outcome: outcome.index)
+            assert outcomes == expected
+
+
+class TestWorkerInterning:
+    def test_equivalent_languages_intern_to_one_instance(self, database):
+        _WORKER_LANGUAGES.clear()
+        workload = Workload.coerce(["(ab)*a", "a(ba)*", "(ab)*a"])
+        scheduled, failed = plan_workload(workload, LanguageCache())
+        assert not failed
+        try:
+            interned = [_intern_scheduled(item) for item in scheduled]
+            shared = {id(item.language._infix_free) for item in interned}
+            assert len(shared) == 1, "one intern entry per equivalence class"
+            assert len(_WORKER_LANGUAGES) == 1
+            by_index = {item.index: item for item in interned}
+            assert by_index[1].language.name == "a(ba)*"  # display names survive
+        finally:
+            _WORKER_LANGUAGES.clear()
+
+    def test_intern_keys_come_from_canonical_fingerprints(self):
+        workload = Workload.coerce(["(ab)*a", "a(ba)*", QuerySpec(42)])
+        scheduled, failed = plan_workload(workload, LanguageCache())
+        keys = {item.index: item.intern_key for item in scheduled}
+        assert keys[0] == keys[1]
+        assert keys[0].startswith("fp:")
+        assert [outcome.index for outcome in failed] == [2]
+
+    def test_string_cache_falls_back_to_expression_keys(self):
+        workload = Workload.coerce(["(ab)*a", "a(ba)*"])
+        scheduled, _ = plan_workload(workload, LanguageCache(canonical=False))
+        keys = {item.index: item.intern_key for item in scheduled}
+        assert keys[0] == "re:(ab)*a"
+        assert keys[1] == "re:a(ba)*"
+        assert keys[0] != keys[1]

@@ -11,10 +11,10 @@ export PYTHONPATH="$PWD/src${PYTHONPATH:+:$PYTHONPATH}"
 echo "ci: tier-1 test suite"
 python -m pytest -x -q
 
-echo "ci: parallel serving parity check"
+echo "ci: parallel serving parity check (batch + streamed)"
 python - <<'PY'
 from repro.graphdb import generators
-from repro.service import QuerySpec, Workload, resilience_serve
+from repro.service import QuerySpec, ResilienceServer, Workload, resilience_serve
 
 database = generators.random_labelled_graph(5, 14, "abcdexy", seed=3)
 workload = Workload.coerce(
@@ -23,7 +23,39 @@ workload = Workload.coerce(
 serial = resilience_serve(workload, database, parallel=False)
 parallel = resilience_serve(workload, database, max_workers=2)
 assert serial == parallel, "parallel serve diverged from serial results"
-print(f"ci: resilience_serve parity ok ({len(serial)} outcomes, 2 workers)")
+with ResilienceServer(database, max_workers=2) as server:
+    batch = server.serve(workload)
+    streamed = sorted(server.serve_iter(workload), key=lambda outcome: outcome.index)
+    assert server.worker_pids(), "warm pool expected after serving"
+assert batch == serial, "warm-pool serve diverged from serial results"
+assert streamed == serial, "re-sorted serve_iter() diverged from the batch result"
+print(f"ci: resilience serve parity ok ({len(serial)} outcomes, 2 workers, batch+stream)")
+PY
+
+echo "ci: conformance suite, on-disk analysis store cold then warm"
+CONFORMANCE_STORE="$(mktemp -d)"
+trap 'rm -rf "$CONFORMANCE_STORE"' EXIT
+REPRO_ANALYSIS_STORE="$CONFORMANCE_STORE" python -m pytest -q tests/test_conformance.py
+REPRO_ANALYSIS_STORE="$CONFORMANCE_STORE" python -m pytest -q tests/test_conformance.py
+python - "$CONFORMANCE_STORE" <<'PY'
+import sys
+
+from repro.graphdb import generators
+from repro.resilience import AnalysisStore, LanguageCache, resilience_many
+
+directory = sys.argv[1]
+database = generators.random_labelled_graph(5, 14, "abxy", seed=3)
+queries = ["ax*b", "ab|bc", "(ab)*a", "a(ba)*", "ab|ba", "aa", "ε|a"]
+
+store = AnalysisStore(directory)
+cache = LanguageCache(store=store)
+results = resilience_many(queries, database, cache=cache)
+stats = store.stats()
+assert stats.hits > 0, f"warm pass must hit the persisted store (stats: {stats})"
+assert cache.stats.classifications == 0, "warm pass must not re-classify anything"
+fresh = resilience_many(queries, database)
+assert results == fresh, "store-served results diverged from fresh computation"
+print(f"ci: analysis store warm pass ok ({stats.hits} hits, 0 classifications)")
 PY
 
 echo "ci: benchmark smoke pass (includes bench_resilience_serve)"
