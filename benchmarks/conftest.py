@@ -9,10 +9,35 @@ pytest-benchmark for the scaling experiments.
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 import pytest
 
 from repro.graphdb import generators
 from repro.languages import Language
+
+#: Where benchmark JSON artefacts (``BENCH_*.json``) land: the repo root by
+#: default, or ``$REPRO_BENCH_DIR``.  CI's regression guard reads them back.
+BENCH_OUTPUT_DIR = Path(os.environ.get("REPRO_BENCH_DIR", Path(__file__).resolve().parent.parent))
+
+
+def smoke_mode() -> bool:
+    """Whether this run is the CI smoke pass (``$REPRO_BENCH_SMOKE``).
+
+    Smoke runs keep iteration counts minimal and must not let wall-clock
+    assertions turn CI red on a loaded runner.
+    """
+    return bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+
+def emit_bench_json(name: str, payload: dict) -> Path:
+    """Write a benchmark artefact (sorted keys, stable layout) and return its path."""
+    path = BENCH_OUTPUT_DIR / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 @pytest.fixture(scope="session")

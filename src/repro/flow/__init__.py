@@ -1,6 +1,52 @@
-"""Network-flow substrate: flow networks and Dinic max-flow / min-cut."""
+"""Network-flow substrate: object-layer flow networks (the differential
+reference) and the array-native compiled core the reductions run on.
 
+See ``src/repro/flow/README.md`` for the compiled-graph layout, the exactness
+invariants and the substrate lifecycle.
+"""
+
+from .compiled import (
+    FLOW_SOLVER_ENV,
+    CompiledCut,
+    CompiledFlowGraph,
+    FlowGraphBuilder,
+    compile_network,
+    default_flow_solver,
+    fast_min_cut,
+    min_cut_compiled,
+    solve_min_cut,
+)
 from .mincut import INFINITY, MinCutResult, min_cut, min_cut_value
 from .network import FlowEdge, FlowNetwork
+from .substrate import (
+    BclSubstrate,
+    ProductSubstrate,
+    bcl_substrate,
+    compile_bcl_graph,
+    compile_product_graph,
+    product_substrate,
+)
 
-__all__ = ["FlowEdge", "FlowNetwork", "INFINITY", "MinCutResult", "min_cut", "min_cut_value"]
+__all__ = [
+    "FLOW_SOLVER_ENV",
+    "INFINITY",
+    "BclSubstrate",
+    "CompiledCut",
+    "CompiledFlowGraph",
+    "FlowEdge",
+    "FlowGraphBuilder",
+    "FlowNetwork",
+    "MinCutResult",
+    "ProductSubstrate",
+    "bcl_substrate",
+    "compile_bcl_graph",
+    "compile_network",
+    "compile_product_graph",
+    "default_flow_solver",
+    "fast_min_cut",
+    "min_cut",
+    "min_cut_compiled",
+    "min_cut_value",
+    "product_substrate",
+    "solve_min_cut",
+]

@@ -159,8 +159,22 @@ def min_cut(network: FlowNetwork) -> MinCutResult:
     source side of the cut.  When the source and target are connected through
     infinite-capacity edges only, the value is ``math.inf`` and no cut is returned.
     """
-    nodes = sorted(network.nodes, key=repr)
-    index_of = {node: index for index, node in enumerate(nodes)}
+    if network.source == network.target:
+        return MinCutResult(INFINITY, (), frozenset({network.source}), INFINITY)
+    # Dense node ids by first appearance (source, target, then edge endpoints
+    # in edge order): one pass over the edges instead of materializing and
+    # repr-sorting the O(E) ``nodes`` property — repr is arbitrarily expensive
+    # for rich node objects, and sorting buys nothing (the cut recovered from
+    # residual reachability is canonical whatever the node order).
+    edges = network.edges
+    index_of: dict[Node, int] = {network.source: 0}
+    index_of.setdefault(network.target, len(index_of))
+    nodes: list[Node] = list(index_of)
+    for edge in edges:
+        for node in (edge.source, edge.target):
+            if node not in index_of:
+                index_of[node] = len(nodes)
+                nodes.append(node)
     solver = _Dinic(len(nodes))
     # When every finite capacity is integral, run the whole computation in
     # exact integer arithmetic; the resulting flow value is then an exact
@@ -169,28 +183,24 @@ def min_cut(network: FlowNetwork) -> MinCutResult:
     # ``math.isclose`` can mis-round a genuinely fractional optimum.
     integral = all(
         edge.capacity == INFINITY or float(edge.capacity).is_integer()
-        for edge in network.edges
+        for edge in edges
         if edge.capacity > 0
     )
-    for edge in network.edges:
+    for edge in edges:
         if edge.capacity <= 0:
             continue
         capacity = edge.capacity
         if integral and capacity != INFINITY:
             capacity = int(capacity)
         solver.add_edge(index_of[edge.source], index_of[edge.target], capacity, edge)
-    source = index_of[network.source]
-    target = index_of[network.target]
-    if source == target:
-        return MinCutResult(INFINITY, (), frozenset({network.source}), INFINITY)
-    value = solver.max_flow(source, target)
+    value = solver.max_flow(0, index_of[network.target])
     if value == INFINITY:
         return MinCutResult(INFINITY, (), frozenset(), INFINITY)
-    reachable_indices = solver.reachable_from(source)
+    reachable_indices = solver.reachable_from(0)
     reachable = frozenset(nodes[index] for index in reachable_indices)
     cut_edges = tuple(
         edge
-        for edge in network.edges
+        for edge in edges
         if edge.capacity > 0 and edge.source in reachable and edge.target not in reachable
     )
     if integral:

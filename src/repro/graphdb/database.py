@@ -64,6 +64,7 @@ class GraphDatabase:
         self._outgoing: dict[Node, tuple[Fact, ...]] | None = None
         self._incoming: dict[Node, tuple[Fact, ...]] | None = None
         self._content_fingerprint: str | None = None
+        self._unit_bag: "BagGraphDatabase | None" = None
 
     # ------------------------------------------------------------------ constructors
 
@@ -194,6 +195,7 @@ class GraphDatabase:
         state["_outgoing"] = None
         state["_incoming"] = None
         state["_content_fingerprint"] = None
+        state["_unit_bag"] = None
         return state
 
     # ------------------------------------------------------------------ modifications (functional)
@@ -228,6 +230,17 @@ class GraphDatabase:
     def to_bag(self, multiplicity: int = 1) -> "BagGraphDatabase":
         """Return a bag database giving every fact the same multiplicity."""
         return BagGraphDatabase({fact: multiplicity for fact in self._facts})
+
+    def unit_bag(self) -> "BagGraphDatabase":
+        """Return the (cached) unit-multiplicity bag view of the database.
+
+        The flow reductions run on bag views; caching the view means every
+        query on a set database hits one shared bag index — and therefore one
+        shared flow substrate — instead of rebuilding both per query.
+        """
+        if self._unit_bag is None:
+            self._unit_bag = self.to_bag(1)
+        return self._unit_bag
 
 
 class BagGraphDatabase:
@@ -365,10 +378,14 @@ class BagGraphDatabase:
 
 
 def as_bag(database: GraphDatabase | BagGraphDatabase) -> BagGraphDatabase:
-    """Return a bag view of a database (unit multiplicities for set databases)."""
+    """Return a bag view of a database (unit multiplicities for set databases).
+
+    The view is cached on set databases (see :meth:`GraphDatabase.unit_bag`),
+    so repeated calls share one bag index and one flow substrate.
+    """
     if isinstance(database, BagGraphDatabase):
         return database
-    return database.to_bag(1)
+    return database.unit_bag()
 
 
 def as_set(database: GraphDatabase | BagGraphDatabase) -> GraphDatabase:

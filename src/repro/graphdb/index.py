@@ -29,23 +29,31 @@ class DatabaseIndex:
             tuple is its *fact id*.
         fact_ids: the inverse mapping, fact -> fact id.
         nodes: the active domain, sorted by ``repr``.
+        node_ids: the inverse mapping, node -> dense node id (its position in
+            ``nodes``).  The flow compilers address nodes by these ids.
         outgoing_ids: node -> tuple of ids of the facts leaving it (in id order).
         incoming_ids: node -> tuple of ids of the facts entering it (in id order).
         facts_by_label: label -> tuple of ids of the facts carrying it.
         outgoing_by_label: ``(node, label)`` -> tuple of ids of the facts
             leaving ``node`` with label ``label``.
         multiplicities: per-fact-id multiplicity (``None`` for set databases).
+        substrates: per-reduction-shape cache of compiled flow substrates (the
+            database-only halves of the product networks; see
+            :mod:`repro.flow.substrate`).  Built lazily, shared by every query
+            answered against this index.
     """
 
     __slots__ = (
         "facts",
         "fact_ids",
         "nodes",
+        "node_ids",
         "outgoing_ids",
         "incoming_ids",
         "facts_by_label",
         "outgoing_by_label",
         "multiplicities",
+        "substrates",
     )
 
     def __init__(
@@ -68,6 +76,8 @@ class DatabaseIndex:
             by_label.setdefault(fact.label, []).append(index)
             out_by_label.setdefault((fact.source, fact.label), []).append(index)
         self.nodes = tuple(sorted(nodes, key=repr))
+        self.node_ids = {node: index for index, node in enumerate(self.nodes)}
+        self.substrates: dict = {}
         self.outgoing_ids = {node: tuple(ids) for node, ids in outgoing.items()}
         self.incoming_ids = {node: tuple(ids) for node, ids in incoming.items()}
         self.facts_by_label = {label: tuple(ids) for label, ids in by_label.items()}

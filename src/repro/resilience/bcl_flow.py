@@ -17,8 +17,10 @@ unconditionally.
 from __future__ import annotations
 
 from ..exceptions import NotApplicableError
+from ..flow.compiled import solve_min_cut
 from ..flow.mincut import min_cut
 from ..flow.network import FlowNetwork
+from ..flow.substrate import compile_bcl_graph
 from ..graphdb.database import BagGraphDatabase, Fact, GraphDatabase, as_bag
 from ..languages import chain
 from ..languages.core import Language
@@ -83,8 +85,11 @@ def resilience_bcl(
     database: GraphDatabase | BagGraphDatabase,
     *,
     semantics: str | None = None,
+    solver: str | None = None,
 ) -> ResilienceResult:
     """Compute the resilience of a bipartite chain language (Proposition 7.6).
+
+    ``solver`` overrides the ``REPRO_FLOW_SOLVER`` min-cut solver selection.
 
     Raises:
         NotApplicableError: if the language is not a bipartite chain language.
@@ -101,21 +106,22 @@ def resilience_bcl(
 
     structure = chain.bcl_structure(language)
 
-    # Preprocessing: facts labelled by a one-letter word must always be removed.
+    # Preprocessing: facts labelled by a one-letter word must always be
+    # removed.  Instead of materializing a copy of the database without them,
+    # the compiler below skips their arcs over the shared per-database
+    # substrate — the resulting network is identical.
     index = bag.index()
-    forced: set[Fact] = set()
-    base_cost = 0
+    forced_ids: set[int] = set()
     for letter in structure.single_letter_words:
-        for fact in index.facts_of_ids(index.facts_by_label.get(letter, ())):
-            forced.add(fact)
-            base_cost += bag.multiplicity(fact)
-    remaining = bag.remove(forced)
+        forced_ids.update(index.facts_by_label.get(letter, ()))
+    forced = frozenset(index.facts_of_ids(forced_ids))
+    base_cost = sum(index.multiplicities[fact_id] for fact_id in forced_ids)
 
-    network = build_bcl_network(structure, remaining)
-    cut = min_cut(network)
+    graph = compile_bcl_graph(structure, index, frozenset(forced_ids))
+    cut = solve_min_cut(graph, solver=solver)
     if cut.value == INFINITE:  # pragma: no cover - cannot happen once epsilon/one-letter words are gone
         return ResilienceResult(INFINITE, None, semantics, "bcl-flow", name)
-    contingency = frozenset(forced) | frozenset(key for key in cut.cut_keys if isinstance(key, Fact))
+    contingency = forced | frozenset(key for key in cut.cut_keys if isinstance(key, Fact))
     return ResilienceResult(
         finite_value(cut.value + base_cost),
         contingency,
@@ -123,8 +129,8 @@ def resilience_bcl(
         "bcl-flow",
         name,
         details={
-            "network_nodes": len(network.nodes),
-            "network_edges": len(network.edges),
+            "network_nodes": graph.num_nodes,
+            "network_edges": graph.num_edges,
             "forced_facts": len(forced),
         },
     )

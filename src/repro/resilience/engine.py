@@ -30,7 +30,7 @@ from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
 
 from ..exceptions import ReproError
-from ..graphdb.database import BagGraphDatabase, GraphDatabase, as_set
+from ..graphdb.database import BagGraphDatabase, GraphDatabase, as_bag, as_set
 from ..languages import chain, dangling, local
 from ..languages.core import Language
 from ..rpq.query import RPQ
@@ -93,15 +93,17 @@ def _as_language(query: Language | RPQ | str) -> Language:
 
 
 def warm_database(database: GraphDatabase | BagGraphDatabase) -> None:
-    """Build the database's shared fact index (and the bag view's) exactly once.
+    """Build the database's shared fact indexes exactly once.
 
-    Called before fanning out over a query fleet so every query hits the same
-    cached adjacency structures (batched serving here, per-worker warm-up in
-    :mod:`repro.service.serve`).
+    Warms the set view's index (the exact search path) and the bag view's
+    (the flow reductions run on bags — for set databases the cached
+    :meth:`~repro.graphdb.database.GraphDatabase.unit_bag` view, whose index
+    carries the shared flow substrates).  Called before fanning out over a
+    query fleet so every query hits the same cached adjacency structures
+    (batched serving here, per-worker warm-up in :mod:`repro.service.serve`).
     """
     as_set(database).index()
-    if isinstance(database, BagGraphDatabase):
-        database.index()
+    as_bag(database).index()
 
 
 def reforce_planned_method(
@@ -133,11 +135,20 @@ class CacheStats:
             equivalence class.
         classifications: how many times :func:`choose_method` actually ran —
             the acceptance observable: equivalent queries share one run.
+        result_hits: queries answered from the result-level cache — an
+            identical ``(query class, database, semantics, method)`` tuple was
+            already computed this session, so the memoized
+            :class:`~repro.resilience.result.ResilienceResult` is returned
+            without touching the engine (or, in the serving layer, the worker
+            pool).
+        result_misses: result-level lookups that had to compute.
     """
 
     canonical_hits: int = 0
     canonical_misses: int = 0
     classifications: int = 0
+    result_hits: int = 0
+    result_misses: int = 0
 
 
 class LanguageCache:
@@ -192,6 +203,7 @@ class LanguageCache:
         self._store = store
         self._representatives: dict[str, Language] = {}
         self._methods_by_fingerprint: dict[str, str] = {}
+        self._results: dict[tuple, "ResilienceResult"] = {}
         self.stats = CacheStats()
 
     @property
@@ -279,6 +291,85 @@ class LanguageCache:
                     fingerprint, method=method, infix_free=representative._infix_free
                 )
         return method
+
+    # ------------------------------------------------------------ result cache
+
+    def _result_key(
+        self,
+        language: Language,
+        database: "GraphDatabase | BagGraphDatabase",
+        *,
+        semantics: str | None,
+        method: str | None,
+        unsafe: bool,
+    ) -> tuple | None:
+        """Identity of a resilience computation, or ``None`` when uncacheable.
+
+        The key is ``(language fingerprint, database content fingerprint,
+        effective semantics, forced method, unsafe)``: the result is a
+        deterministic function of exactly these five inputs (budgets only
+        decide whether the exact fallback *finishes*, never what it returns).
+        Requires the canonical layer — without fingerprints, equality of query
+        classes is undecidable in O(1).
+        """
+        if not self._canonical:
+            return None
+        if semantics is None:
+            semantics = "bag" if isinstance(database, BagGraphDatabase) else "set"
+        return (
+            language.fingerprint(),
+            database.content_fingerprint(),
+            semantics,
+            method,
+            unsafe,
+        )
+
+    def lookup_result(
+        self,
+        language: Language,
+        database: "GraphDatabase | BagGraphDatabase",
+        *,
+        semantics: str | None = None,
+        method: str | None = None,
+        unsafe: bool = False,
+    ) -> "ResilienceResult | None":
+        """Return the memoized result of an identical computation, relabelled.
+
+        A hit returns a copy reported under this language's display name (the
+        stored result keeps the first query's); values, contingency sets,
+        methods and details are the memoized ones — which equal a fresh
+        computation's exactly, because results are deterministic functions of
+        the key (the conformance suite pins this).  Hits bypass execution
+        entirely, so a per-query budget never trips on one.
+        """
+        key = self._result_key(
+            language, database, semantics=semantics, method=method, unsafe=unsafe
+        )
+        if key is None:
+            return None
+        cached = self._results.get(key)
+        if cached is None:
+            self.stats.result_misses += 1
+            return None
+        self.stats.result_hits += 1
+        return cached.with_query(language.name or "")
+
+    def store_result(
+        self,
+        language: Language,
+        database: "GraphDatabase | BagGraphDatabase",
+        result: "ResilienceResult",
+        *,
+        semantics: str | None = None,
+        method: str | None = None,
+        unsafe: bool = False,
+    ) -> None:
+        """Memoize a successfully computed result (first writer wins)."""
+        key = self._result_key(
+            language, database, semantics=semantics, method=method, unsafe=unsafe
+        )
+        if key is not None:
+            self._results.setdefault(key, result)
 
     def __len__(self) -> int:
         return len(self._by_expression)
@@ -402,20 +493,32 @@ def resilience_many(
     results: list[ResilienceResult] = []
     for query in query_list:
         language = cache.language(query)
+        # Result-level layer: an identical query-class × database × semantics
+        # × forced-method tuple computed earlier (this batch or a previous one
+        # sharing the cache) replays its memoized result — deterministic, so
+        # indistinguishable from recomputing (pinned by the conformance suite).
+        cached = cache.lookup_result(
+            language, database, semantics=semantics, method=method, unsafe=unsafe
+        )
+        if cached is not None:
+            results.append(cached)
+            continue
         run_method, run_unsafe = reforce_planned_method(
             method, unsafe, lambda: cache.method(language)
         )
-        results.append(
-            resilience(
-                language,
-                database,
-                method=run_method,
-                unsafe=run_unsafe,
-                semantics=semantics,
-                exact_max_nodes=exact_max_nodes,
-                exact_max_seconds=exact_max_seconds,
-            )
+        result = resilience(
+            language,
+            database,
+            method=run_method,
+            unsafe=run_unsafe,
+            semantics=semantics,
+            exact_max_nodes=exact_max_nodes,
+            exact_max_seconds=exact_max_seconds,
         )
+        cache.store_result(
+            language, database, result, semantics=semantics, method=method, unsafe=unsafe
+        )
+        results.append(result)
     return results
 
 

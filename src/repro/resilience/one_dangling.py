@@ -23,14 +23,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..exceptions import NotApplicableError
-from ..flow.mincut import min_cut
+from ..flow.compiled import solve_min_cut
+from ..flow.substrate import compile_product_graph
 from ..graphdb.database import BagGraphDatabase, Fact, GraphDatabase, as_bag
 from ..languages.automata import EpsilonNFA
 from ..languages.core import Language
 from ..languages.dangling import OneDanglingDecomposition, one_dangling_decomposition
 from ..languages.operations import fresh_letter
 from ..languages import read_once
-from .local_flow import build_product_network
 from .result import INFINITE, ResilienceResult, finite_value
 
 
@@ -112,8 +112,11 @@ def resilience_one_dangling(
     *,
     decomposition: OneDanglingDecomposition | None = None,
     semantics: str | None = None,
+    solver: str | None = None,
 ) -> ResilienceResult:
     """Compute the resilience of a one-dangling language (Proposition 7.9).
+
+    ``solver`` overrides the ``REPRO_FLOW_SOLVER`` min-cut solver selection.
 
     Raises:
         NotApplicableError: if the language is not one-dangling.
@@ -131,7 +134,9 @@ def resilience_one_dangling(
 
     x_letter, y_letter = decomposition.x, decomposition.y
     if y_letter not in decomposition.local_alphabet:
-        return _solve_forward(language, decomposition, bag, semantics, mirrored=False)
+        return _solve_forward(
+            language, decomposition, bag, semantics, mirrored=False, solver=solver
+        )
     # Otherwise x is the fresh letter: mirror the language and the database
     # (Proposition 6.3), solve, and mirror the contingency set back.
     mirrored_language = language.mirror()
@@ -139,7 +144,12 @@ def resilience_one_dangling(
     if mirrored_decomposition is None:  # pragma: no cover - mirror of one-dangling is one-dangling
         raise NotApplicableError("mirror of a one-dangling language should be one-dangling")
     result = _solve_forward(
-        mirrored_language, mirrored_decomposition, bag.reverse(), semantics, mirrored=True
+        mirrored_language,
+        mirrored_decomposition,
+        bag.reverse(),
+        semantics,
+        mirrored=True,
+        solver=solver,
     )
     contingency = None
     if result.contingency_set is not None:
@@ -158,6 +168,7 @@ def _solve_forward(
     semantics: str,
     *,
     mirrored: bool,
+    solver: str | None = None,
 ) -> ResilienceResult:
     """Solve the case where the second letter ``y`` of the dangling word is fresh."""
     name = language.name or ""
@@ -182,8 +193,11 @@ def _solve_forward(
     )
     base_cost = sum(non_positive.values())
 
-    network = build_product_network(primed_automaton, positive_part)
-    cut = min_cut(network)
+    # The rewritten positive part is a per-query database, but the compiled
+    # path still skips the whole object-network layer (its index carries its
+    # own product substrate).
+    graph = compile_product_graph(primed_automaton, positive_part.index())
+    cut = solve_min_cut(graph, solver=solver)
     if cut.value == INFINITE:  # pragma: no cover - epsilon not in L'
         return ResilienceResult(INFINITE, None, semantics, "one-dangling-flow", name)
 
@@ -196,8 +210,8 @@ def _solve_forward(
     details = {
         "kappa": rewrite.kappa,
         "base_cost": base_cost,
-        "network_nodes": len(network.nodes),
-        "network_edges": len(network.edges),
+        "network_nodes": graph.num_nodes,
+        "network_edges": graph.num_edges,
         "mirrored": mirrored,
         "primed_language": primed_language.name,
     }

@@ -36,9 +36,10 @@ from concurrent.futures.process import BrokenProcessPool
 from ..exceptions import ReproError
 from ..graphdb.database import BagGraphDatabase, GraphDatabase
 from ..resilience.engine import warm_database
+from ..resilience.result import ResilienceResult
 from ..resilience.store import AnalysisStore
 from .cache import LanguageCache
-from .outcome import ERROR, QueryOutcome
+from .outcome import ERROR, OK, QueryOutcome
 from .scheduler import ScheduledQuery, plan_workload, runs_exact_class
 from .serve import _execute, _worker_init, _worker_run_many
 from .workload import QueryLike, QuerySpec, Workload
@@ -219,7 +220,27 @@ class ResilienceServer:
         fleet = Workload.coerce(workload)
         scheduled, failed = plan_workload(fleet, self._cache)
         failed.sort(key=lambda outcome: outcome.index)
-        return self._stream(scheduled, failed)
+        # Result-level cache: queries whose (class, database, semantics,
+        # method) tuple was answered by an earlier serve on this session's
+        # cache replay the memoized result without touching the pool.  The
+        # lookup happens here — at planning time, before anything executes —
+        # so a query never observes results produced later in its own call,
+        # keeping serial and parallel serving outcome-identical.
+        hits: list[QueryOutcome] = []
+        to_run: list[ScheduledQuery] = []
+        for item in scheduled:
+            cached = self._cache.lookup_result(
+                item.language,
+                self._database,
+                semantics=item.spec.semantics,
+                method=item.spec.method,
+                unsafe=item.spec.unsafe,
+            )
+            if cached is None:
+                to_run.append(item)
+            else:
+                hits.append(self._hit_outcome(item, cached))
+        return self._stream(to_run, failed + hits)
 
     def _stream(
         self, scheduled: list[ScheduledQuery], failed: list[QueryOutcome]
@@ -230,7 +251,9 @@ class ResilienceServer:
         if not self._parallel or self._max_workers == 1 or len(scheduled) == 1:
             warm_database(self._database)
             for item in scheduled:
-                yield _execute(item, self._database)
+                outcome = _execute(item, self._database)
+                self._record_outcome(item, outcome)
+                yield outcome
             return
 
         if self._closed:
@@ -313,7 +336,9 @@ class ResilienceServer:
                 for future in done:
                     chunk, pool, attempt = pending.pop(future)
                     try:
-                        yield from future.result()
+                        outcomes = future.result()
+                        self._record_chunk(chunk, outcomes)
+                        yield from outcomes
                     except BrokenProcessPool:
                         if self._pool is pool:
                             self._discard_pool(wait=False)
@@ -348,6 +373,43 @@ class ResilienceServer:
             except (BrokenProcessPool, RuntimeError):
                 self._discard_pool(wait=False)
         return None
+
+    @staticmethod
+    def _hit_outcome(item: ScheduledQuery, result: ResilienceResult) -> QueryOutcome:
+        """Build the outcome of a result-cache hit.
+
+        Field-identical to what :func:`~repro.service.serve._execute` builds
+        for the same result — the cache changes cost, never outcomes.
+        """
+        return QueryOutcome(
+            index=item.index,
+            query=item.spec.display_name(),
+            status=OK,
+            method=result.method,
+            result=result,
+            nodes_explored=result.details.get("nodes_explored"),
+        )
+
+    def _record_outcome(self, item: ScheduledQuery, outcome: QueryOutcome) -> None:
+        """Feed a successful outcome into the session's result-level cache."""
+        if outcome.status == OK and outcome.result is not None:
+            self._cache.store_result(
+                item.language,
+                self._database,
+                outcome.result,
+                semantics=item.spec.semantics,
+                method=item.spec.method,
+                unsafe=item.spec.unsafe,
+            )
+
+    def _record_chunk(
+        self, chunk: list[ScheduledQuery], outcomes: list[QueryOutcome]
+    ) -> None:
+        by_index = {item.index: item for item in chunk}
+        for outcome in outcomes:
+            item = by_index.get(outcome.index)
+            if item is not None:
+                self._record_outcome(item, outcome)
 
     @staticmethod
     def _crash_outcomes(chunk: list[ScheduledQuery], error: str) -> Iterator[QueryOutcome]:

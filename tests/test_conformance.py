@@ -175,6 +175,44 @@ def test_disk_store_cold_then_warm_pass_hits(database, store_directory, tmp_path
     assert warm_cache.stats.classifications == 0
 
 
+def test_reference_flow_solver_is_outcome_identical(database, monkeypatch):
+    """The min-cut solver is an execution strategy, never a semantic.
+
+    The whole matrix runs once with the array-native solver and once with the
+    retained object-layer reference solver (``REPRO_FLOW_SOLVER=reference``);
+    the outcome streams must be byte-identical — same values, same contingency
+    sets, same details — because both solvers run on the identical compiled
+    network and exact max flows have canonical cuts.
+    """
+    workload = Workload.coerce(MATRIX_QUERIES)
+    monkeypatch.delenv("REPRO_FLOW_SOLVER", raising=False)
+    fast = resilience_serve(
+        workload, database, parallel=False, cache=LanguageCache(canonical=False)
+    )
+    monkeypatch.setenv("REPRO_FLOW_SOLVER", "reference")
+    reference = resilience_serve(
+        workload, database, parallel=False, cache=LanguageCache(canonical=False)
+    )
+    assert fast == reference
+    assert [repr(outcome) for outcome in fast] == [repr(outcome) for outcome in reference]
+
+
+def test_reference_flow_solver_matches_through_the_warm_pool(database, monkeypatch):
+    """Same claim through the process pool: workers inherit the solver
+    selection from the parent's environment at fork time."""
+    workload = Workload.coerce(MATRIX_QUERIES)
+    monkeypatch.delenv("REPRO_FLOW_SOLVER", raising=False)
+    fast = resilience_serve(
+        workload, database, parallel=False, cache=LanguageCache(canonical=False)
+    )
+    monkeypatch.setenv("REPRO_FLOW_SOLVER", "reference")
+    with ResilienceServer(
+        database, max_workers=2, cache=LanguageCache(canonical=False)
+    ) as server:
+        pooled = server.serve(workload)
+    assert pooled == fast
+
+
 def test_equivalent_queries_classify_once_with_identical_results(database):
     """The acceptance observable: one classification per equivalence class."""
     from dataclasses import replace

@@ -104,7 +104,18 @@ class TestCorrectness:
         assert result.value == 2
 
     def test_details_contain_network_size(self):
-        database = generators.random_labelled_graph(4, 6, "axb", seed=0)
-        result = resilience_local(Language.from_regex("ax*b"), database)
+        # The sizes are the compiled product graph's (trimmed to its useful
+        # core), so a database with an actual a-x*-b path is needed for the
+        # edge count to be positive.
+        bag = generators.layered_flow_database(3, 3, seed=4)
+        result = resilience_local(Language.from_regex("ax*b"), bag)
+        assert result.value > 0
         assert result.details["network_nodes"] > 0
         assert result.details["network_edges"] > 0
+
+    def test_details_network_empty_when_query_cannot_match(self):
+        # No a-x*-b path: the trimmed product graph is empty and resilience 0.
+        database = generators.random_labelled_graph(4, 6, "axb", seed=0)
+        result = resilience_local(Language.from_regex("ax*b"), database)
+        assert result.value == 0
+        assert result.details["network_edges"] == 0

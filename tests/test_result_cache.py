@@ -1,0 +1,169 @@
+"""Tests for the result-level cache (ROADMAP: results keyed by language
+fingerprint × database content fingerprint).
+
+The cache memoizes whole :class:`~repro.resilience.result.ResilienceResult`
+objects per ``(query class, database, semantics, forced method, unsafe)``
+tuple.  Results are deterministic functions of that key, so a hit is
+indistinguishable from recomputing — except that it costs nothing and, in the
+serving layer, never touches the worker pool.
+"""
+
+import pytest
+
+from repro.graphdb import generators
+from repro.resilience import LanguageCache, resilience, resilience_many
+from repro.service import OK, ResilienceServer, resilience_serve
+
+
+@pytest.fixture
+def database():
+    return generators.random_labelled_graph(5, 14, "abxy", seed=3)
+
+
+QUERIES = ["ax*b", "ab|bc", "(ab)*a", "aa", "ab"]
+
+
+class TestLanguageCacheResultLayer:
+    def test_lookup_miss_then_hit(self, database):
+        cache = LanguageCache()
+        language = cache.language("ax*b")
+        assert cache.lookup_result(language, database) is None
+        result = resilience(language, database)
+        cache.store_result(language, database, result)
+        hit = cache.lookup_result(language, database)
+        assert hit == result
+        assert cache.stats.result_hits == 1
+        assert cache.stats.result_misses == 1
+
+    def test_hit_is_relabelled_to_the_querys_own_name(self, database):
+        cache = LanguageCache()
+        first = cache.language("(ab)*a")
+        cache.store_result(first, database, resilience(first, database))
+        equivalent = cache.language("a(ba)*")  # same class, different syntax
+        hit = cache.lookup_result(equivalent, database)
+        assert hit is not None
+        assert hit.query == "a(ba)*"
+        assert hit.value == resilience("a(ba)*", database).value
+
+    def test_key_distinguishes_semantics_method_and_database(self, database):
+        cache = LanguageCache()
+        language = cache.language("ab")
+        result = resilience(language, database)
+        cache.store_result(language, database, result)
+        assert cache.lookup_result(language, database, semantics="bag") is None
+        assert cache.lookup_result(language, database, method="exact") is None
+        other = generators.random_labelled_graph(5, 14, "abxy", seed=9)
+        assert cache.lookup_result(language, other) is None
+        assert cache.lookup_result(language, database) is not None
+
+    def test_string_keyed_cache_has_no_result_layer(self, database):
+        cache = LanguageCache(canonical=False)
+        language = cache.language("ab")
+        result = resilience(language, database)
+        cache.store_result(language, database, result)
+        assert cache.lookup_result(language, database) is None
+        assert cache.stats.result_hits == 0
+        assert cache.stats.result_misses == 0
+
+
+class TestResilienceManyResultCache:
+    def test_duplicates_hit_within_one_batch(self, database):
+        cache = LanguageCache()
+        results = resilience_many(QUERIES + QUERIES, database, cache=cache)
+        assert results[: len(QUERIES)] == results[len(QUERIES) :]
+        assert cache.stats.result_hits == len(QUERIES)
+        # Cached results replay exactly what a cold computation returns.
+        fresh = resilience_many(QUERIES, database)
+        assert results[: len(QUERIES)] == fresh
+
+    def test_shared_cache_hits_across_batches(self, database):
+        cache = LanguageCache()
+        first = resilience_many(QUERIES, database, cache=cache)
+        assert cache.stats.result_hits == 0
+        second = resilience_many(QUERIES, database, cache=cache)
+        assert second == first
+        assert cache.stats.result_hits == len(QUERIES)
+
+    def test_equivalent_queries_share_results(self, database):
+        cache = LanguageCache()
+        first, second = resilience_many(["(ab)*a", "a(ba)*"], database, cache=cache)
+        assert cache.stats.result_hits == 1
+        assert first.value == second.value
+        assert first.query == "(ab)*a" and second.query == "a(ba)*"
+
+
+class TestServerResultCache:
+    def test_second_serve_is_answered_from_the_cache(self, database):
+        cache = LanguageCache()
+        with ResilienceServer(database, max_workers=2, cache=cache) as server:
+            first = server.serve(QUERIES)
+            assert cache.stats.result_hits == 0
+            second = server.serve(QUERIES)
+            assert second == first
+        assert cache.stats.result_hits == len(QUERIES)
+
+    def test_full_hit_never_touches_the_pool(self, database):
+        cache = LanguageCache()
+        with ResilienceServer(database, max_workers=2, cache=cache) as warm:
+            first = warm.serve(QUERIES)
+        # A brand-new server sharing the session cache: every query hits, so
+        # the pool is never even created.
+        with ResilienceServer(database, max_workers=2, cache=cache) as server:
+            outcomes = server.serve(QUERIES)
+            assert outcomes == first
+            assert server.worker_pids() == frozenset()
+
+    def test_streaming_hits_match_batch(self, database):
+        cache = LanguageCache()
+        with ResilienceServer(database, max_workers=2, cache=cache) as server:
+            batch = server.serve(QUERIES)
+            streamed = sorted(
+                server.serve_iter(QUERIES), key=lambda outcome: outcome.index
+            )
+            assert streamed == batch
+
+    def test_hits_happen_at_planning_time_only(self, database):
+        # Within one serve call, a duplicate query never observes the result
+        # produced earlier in the same call — that keeps the serial and
+        # parallel paths outcome-identical by construction.
+        cache = LanguageCache()
+        with ResilienceServer(database, max_workers=2, cache=cache) as server:
+            outcomes = server.serve(QUERIES + QUERIES)
+            assert cache.stats.result_hits == 0
+            assert [outcome.status for outcome in outcomes] == [OK] * len(outcomes)
+
+    def test_serial_and_parallel_agree_with_warm_result_cache(self, database):
+        serial_cache = LanguageCache()
+        parallel_cache = LanguageCache()
+        workload = QUERIES + QUERIES
+        serial_first = resilience_serve(
+            workload, database, parallel=False, cache=serial_cache
+        )
+        parallel_first = resilience_serve(
+            workload, database, max_workers=2, cache=parallel_cache
+        )
+        assert serial_first == parallel_first
+        serial_second = resilience_serve(
+            workload, database, parallel=False, cache=serial_cache
+        )
+        parallel_second = resilience_serve(
+            workload, database, max_workers=2, cache=parallel_cache
+        )
+        assert serial_second == parallel_second == serial_first
+        assert serial_cache.stats.result_hits == parallel_cache.stats.result_hits > 0
+
+    def test_failures_are_never_cached(self, database):
+        from repro.service import QuerySpec
+
+        cache = LanguageCache()
+        workload = [
+            "((",                                 # parse error
+            QuerySpec("aa", max_nodes=1),         # exact search, overruns
+            QuerySpec("aa", method="local-flow"), # inapplicable forced method
+        ]
+        with ResilienceServer(database, max_workers=2, cache=cache) as server:
+            first = server.serve(workload)
+            second = server.serve(workload)
+        assert first == second
+        assert {outcome.status for outcome in first} == {"error", "budget-exceeded"}
+        assert cache.stats.result_hits == 0

@@ -179,7 +179,12 @@ class TestLifecycle:
 
 class TestCrashRecovery:
     def test_crashed_worker_does_not_poison_subsequent_calls(self, database):
-        with ResilienceServer(database, max_workers=2) as server:
+        # A string-keyed cache keeps the result-level layer out of the way:
+        # with it on, the repeat serve would be answered from the cache and
+        # (correctly) never rebuild the pool this test is about.
+        with ResilienceServer(
+            database, max_workers=2, cache=LanguageCache(canonical=False)
+        ) as server:
             reference = server.serve(MIXED)
             pids_before = server.worker_pids()
             crash = server._pool.submit(os._exit, 1)

@@ -32,6 +32,39 @@ assert streamed == serial, "re-sorted serve_iter() diverged from the batch resul
 print(f"ci: resilience serve parity ok ({len(serial)} outcomes, 2 workers, batch+stream)")
 PY
 
+echo "ci: flow solver differential (fast vs reference, byte-identical streams)"
+python - <<'PY'
+import os
+
+from repro.graphdb import generators
+from repro.service import LanguageCache, QuerySpec, ResilienceServer, Workload, resilience_serve
+
+workload = Workload.coerce(
+    ["ax*b", "ab|bc", "abc|be", "(ab)*a", "a(ba)*", "aa", "ab", "ε|a",
+     QuerySpec("aa", max_nodes=1), QuerySpec("ab", semantics="set")]
+)
+for database in (
+    generators.random_labelled_graph(5, 14, "abcxey", seed=3),
+    generators.random_labelled_graph(4, 10, "abcx", seed=5).to_bag(2),
+):
+    os.environ.pop("REPRO_FLOW_SOLVER", None)
+    fast = resilience_serve(workload, database, parallel=False, cache=LanguageCache(canonical=False))
+    os.environ["REPRO_FLOW_SOLVER"] = "reference"
+    reference = resilience_serve(workload, database, parallel=False, cache=LanguageCache(canonical=False))
+    with ResilienceServer(database, max_workers=2, cache=LanguageCache(canonical=False)) as server:
+        pooled = server.serve(workload)
+    os.environ.pop("REPRO_FLOW_SOLVER", None)
+    assert fast == reference, "fast flow solver diverged from the reference solver"
+    assert pooled == reference, "pooled reference-solver serve diverged"
+    stream_fast = "\n".join(repr(outcome) for outcome in fast)
+    stream_reference = "\n".join(repr(outcome) for outcome in reference)
+    assert stream_fast == stream_reference, "outcome streams are not byte-identical"
+print(f"ci: flow solver differential ok ({len(workload)} queries x 2 databases, fast == reference)")
+PY
+
+echo "ci: conformance suite with the reference flow solver forced"
+REPRO_FLOW_SOLVER=reference python -m pytest -q tests/test_conformance.py
+
 echo "ci: conformance suite, on-disk analysis store cold then warm"
 CONFORMANCE_STORE="$(mktemp -d)"
 trap 'rm -rf "$CONFORMANCE_STORE"' EXIT
@@ -58,7 +91,34 @@ assert results == fresh, "store-served results diverged from fresh computation"
 print(f"ci: analysis store warm pass ok ({stats.hits} hits, 0 classifications)")
 PY
 
-echo "ci: benchmark smoke pass (includes bench_resilience_serve)"
+echo "ci: benchmark smoke pass (includes bench_resilience_serve + bench_flow_core)"
 python tools/bench_smoke.py "$@"
+
+if [ -f BENCH_flow.json ]; then
+  echo "ci: flow benchmark regression guard (BENCH_flow.json)"
+  python - <<'PY'
+import json
+from pathlib import Path
+
+data = json.loads(Path("BENCH_flow.json").read_text())
+for key in ("rows", "min_cut_speedup", "build_speedup", "serve_p50_us", "serve_p50_speedup"):
+    assert key in data, f"BENCH_flow.json missing {key!r}"
+for row in data["rows"]:
+    assert row["min_cut_us"]["fast"] > 0 and row["min_cut_us"]["reference"] > 0, row
+# Loose smoke-safe floor: the array solver must clearly beat the reference
+# even on a loaded runner (steady-state measurements put it >= 3x; the strict
+# bar is asserted by bench_flow_core.py itself outside smoke mode).
+assert data["min_cut_speedup"] >= 1.5, data["min_cut_speedup"]
+assert data["serve_p50_speedup"] >= 1.0, data["serve_p50_speedup"]
+mode = "smoke" if data.get("smoke") else "full"
+print(
+    f"ci: flow bench ok ({mode}: min-cut x{data['min_cut_speedup']:.2f}, "
+    f"build x{data['build_speedup']:.2f}, serve p50 x{data['serve_p50_speedup']:.2f})"
+)
+PY
+else
+  echo "ci: BENCH_flow.json missing (flow benchmark did not run?)" >&2
+  exit 1
+fi
 
 echo "ci: all green"
