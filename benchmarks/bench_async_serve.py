@@ -1,0 +1,207 @@
+"""E-ASYNC: the async serving front-end (:mod:`repro.service.async_server`).
+
+Exercises :class:`~repro.service.AsyncResilienceServer` end to end and emits
+``BENCH_async.json`` (read back by humans and future regression guards):
+
+* correctness in smoke mode: three concurrently submitted workloads on one
+  front-end must each be outcome-identical (after re-sorting) to the serial
+  reference, on a single shared warm pool (one fork, stable PIDs);
+* **merged-stream p50 latency**: per-outcome submit-to-delivery latency of
+  the merged concurrent stream, measured at the consumer (true p50, not the
+  histogram bound) alongside the metrics surface's histogram estimate;
+* **admission overhead**: one workload through ``submit`` + the asyncio
+  bridge vs. the same workload through a direct ``serve_iter`` drain on the
+  same server — the front-end's whole cost (admission queue, drain thread,
+  ``call_soon_threadsafe`` hops, the consumer loop) must stay within 10% of
+  the direct path on exact-heavy queries with realistic per-outcome work
+  (asserted outside the CI smoke pass and only on multi-core machines — a
+  single core cannot overlap the front-end's threads with serving work, and
+  a loaded runner's timing must not turn CI red; the measured ratio is
+  always reported and must stay within 1.5x everywhere).
+"""
+
+import asyncio
+import os
+import statistics
+import time
+
+from conftest import emit_bench_json, smoke_mode
+
+from repro.graphdb import generators
+from repro.service import (
+    AsyncResilienceServer,
+    LanguageCache,
+    ResilienceServer,
+    Workload,
+    resilience_serve,
+)
+
+MIXED_QUERIES = ["ax*b", "ab|bc", "abc|be", "aa", "ab", "ε|a", "ab|ad|cd", "axb|byc"]
+#: The overhead comparison runs exact-heavy queries (~1ms+ of real work per
+#: outcome on the denser database below): the front-end's per-outcome cost is
+#: a fixed few tens of µs, so measuring it against trivial sub-ms queries
+#: would benchmark asyncio's consumer loop, not the admission machinery.
+EXACT_HEAVY_QUERIES = ["aa", "ax*a", "axa", "aax|axa"]
+CONCURRENT_WORKLOADS = 3
+
+
+def database():
+    return generators.random_labelled_graph(6, 18, "abcdexy", seed=9)
+
+
+def exact_heavy_database():
+    return generators.random_labelled_graph(9, 30, "axy", seed=9)
+
+
+def mixed_workload(size):
+    return Workload.coerce([MIXED_QUERIES[i % len(MIXED_QUERIES)] for i in range(size)])
+
+
+def exact_heavy_workload(size):
+    return Workload.coerce(
+        [EXACT_HEAVY_QUERIES[i % len(EXACT_HEAVY_QUERIES)] for i in range(size)]
+    )
+
+
+def sorted_outcomes(outcomes):
+    return sorted(outcomes, key=lambda outcome: outcome.index)
+
+
+async def submit_and_time(server, workload):
+    """Submit one workload; return (outcomes, per-outcome latencies seconds)."""
+    started = time.perf_counter()
+    iterator = await server.submit(workload)
+    outcomes, latencies = [], []
+    async for outcome in iterator:
+        latencies.append(time.perf_counter() - started)
+        outcomes.append(outcome)
+    return outcomes, latencies
+
+
+def test_concurrent_submissions_are_outcome_identical_on_one_pool():
+    graph = database()
+    workload = mixed_workload(24)
+    reference = resilience_serve(workload, graph, parallel=False)
+    with AsyncResilienceServer(ResilienceServer(graph, max_workers=2)) as server:
+
+        async def scenario():
+            iterators = [
+                await server.submit(workload) for _ in range(CONCURRENT_WORKLOADS)
+            ]
+
+            async def collect(iterator):
+                return [outcome async for outcome in iterator]
+
+            return await asyncio.gather(*(collect(iterator) for iterator in iterators))
+
+        results = asyncio.run(scenario())
+        pids = server.worker_pids()
+        assert server.server.pool_stats().pools_created == 1, "one shared pool"
+    for outcomes in results:
+        assert sorted_outcomes(outcomes) == reference
+    assert pids, "the concurrent workloads must have run on a real pool"
+
+
+def test_merged_stream_latency_and_admission_overhead():
+    graph = exact_heavy_database()
+    workload = exact_heavy_workload(32)
+    rounds = 3 if smoke_mode() else 9
+
+    # canonical=False keeps the result-level cache from short-circuiting the
+    # repeat rounds: every round re-executes, so the two paths are compared on
+    # real serving work rather than on cache replay.  parallel=False keeps
+    # process-pool scheduling jitter out of *both* arms — the comparison
+    # isolates the front-end (queue, drain thread, asyncio bridge), which is
+    # identical machinery over either execution mode.
+    server = ResilienceServer(graph, parallel=False, cache=LanguageCache(canonical=False))
+    reference = resilience_serve(workload, graph, parallel=False, cache=LanguageCache(canonical=False))
+    direct_seconds = []
+    async_seconds = []
+    merged_latencies = []
+    try:
+        list(server.serve_iter(workload))  # warm the database index + cache
+        front_end = AsyncResilienceServer(server)
+
+        # One event loop, arms interleaved round by round: machine-load drift
+        # over the benchmark's lifetime hits both arms equally, and the
+        # comparison measures the admission queue + drain thread +
+        # call_soon_threadsafe bridge, not per-round loop construction.
+        # The direct drain blocks the loop, which is fine: the front-end is
+        # idle (nothing submitted) while it runs.
+        async def all_rounds():
+            await submit_and_time(front_end, workload)  # warm the drain thread
+            for _ in range(rounds):
+                started = time.perf_counter()
+                direct = list(server.serve_iter(workload))
+                direct_seconds.append(time.perf_counter() - started)
+                assert sorted_outcomes(direct) == reference
+
+                started = time.perf_counter()
+                outcomes, _ = await submit_and_time(front_end, workload)
+                async_seconds.append(time.perf_counter() - started)
+                assert sorted_outcomes(outcomes) == reference
+            for _ in range(max(1, rounds // 3)):
+                results = await asyncio.gather(
+                    *(
+                        submit_and_time(front_end, workload)
+                        for _ in range(CONCURRENT_WORKLOADS)
+                    )
+                )
+                for outcomes, latencies in results:
+                    assert sorted_outcomes(outcomes) == reference
+                    merged_latencies.extend(latencies)
+
+        asyncio.run(all_rounds())
+        histogram_p50 = front_end.metrics().latency["ok"]
+        front_end.close()  # also closes the wrapped server
+    finally:
+        server.close()
+
+    # Paired-round minimum: each async round is compared to the direct round
+    # interleaved right next to it, and the best pair wins — machine-load
+    # drift and one-off scheduler spikes hit a pair together, so the minimum
+    # ratio isolates the front-end's intrinsic overhead.
+    direct_best = min(direct_seconds)
+    async_best = min(async_seconds)
+    pair_ratios = [
+        async_s / max(direct_s, 1e-9)
+        for direct_s, async_s in zip(direct_seconds, async_seconds)
+    ]
+    overhead = min(pair_ratios)  # intrinsic overhead: the cleanest pair
+    overhead_median = statistics.median(pair_ratios)  # typical, incl. noise
+    merged_p50 = statistics.median(merged_latencies)
+
+    payload = {
+        "smoke": smoke_mode(),
+        "rounds": rounds,
+        "workload_size": len(workload),
+        "concurrent_workloads": CONCURRENT_WORKLOADS,
+        "direct_serve_iter_ms": round(direct_best * 1e3, 3),
+        "async_submit_ms": round(async_best * 1e3, 3),
+        "admission_overhead": round(overhead, 4),
+        "admission_overhead_median": round(overhead_median, 4),
+        "merged_stream_p50_ms": round(merged_p50 * 1e3, 3),
+        "cpus": os.cpu_count(),
+    }
+    path = emit_bench_json("BENCH_async.json", payload)
+    print(
+        f"\nasync serve: direct {direct_best * 1e3:.1f}ms, "
+        f"submit {async_best * 1e3:.1f}ms (overhead x{overhead:.3f}), "
+        f"merged p50 {merged_p50 * 1e3:.1f}ms -> {path.name}"
+    )
+    assert histogram_p50["count"] > 0, "the metrics surface must have seen the outcomes"
+    # The 10% bar needs the drain/consumer threads to overlap with serving
+    # work, which a single core cannot do — every front-end microsecond is
+    # pure addition there.  Same hardware gate as the serve-speedup bar in
+    # bench_resilience_serve.py: assert where the claim is testable, report
+    # the measured ratio everywhere.
+    strict = (os.cpu_count() or 1) >= 2 and not smoke_mode()
+    if strict:
+        assert overhead <= 1.10, (
+            f"admission overhead x{overhead:.3f} exceeds the 10% budget "
+            f"(direct {direct_best * 1e3:.1f}ms, async {async_best * 1e3:.1f}ms)"
+        )
+    assert overhead <= 1.5, (
+        f"admission overhead x{overhead:.3f} is out of range even for a "
+        f"loaded single-core runner"
+    )

@@ -27,7 +27,7 @@ with per-query budgets and structured outcomes, see :mod:`repro.service`.
 from __future__ import annotations
 
 from collections.abc import Callable, Iterable, Sequence
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, fields, replace
 
 from ..exceptions import ReproError
 from ..graphdb.database import BagGraphDatabase, GraphDatabase, as_bag, as_set
@@ -149,6 +149,28 @@ class CacheStats:
     classifications: int = 0
     result_hits: int = 0
     result_misses: int = 0
+
+    def snapshot(self) -> "CacheStats":
+        """A frozen-in-time copy (the live object keeps counting)."""
+        return replace(self)
+
+    def as_dict(self) -> dict[str, int]:
+        """The counters as a plain dict — the metrics-surface serialization."""
+        return asdict(self)
+
+    @classmethod
+    def aggregate(cls, parts: "Iterable[CacheStats]") -> "CacheStats":
+        """Sum several caches' counters into one roll-up.
+
+        The aggregation hook of the serving layer's metrics surface: a front
+        end multiplexing workloads over several session caches reports one
+        combined :class:`CacheStats` without reaching into cache internals.
+        """
+        total = cls()
+        for part in parts:
+            for field in fields(cls):
+                setattr(total, field.name, getattr(total, field.name) + getattr(part, field.name))
+        return total
 
 
 class LanguageCache:
@@ -332,6 +354,8 @@ class LanguageCache:
         semantics: str | None = None,
         method: str | None = None,
         unsafe: bool = False,
+        max_nodes: int | None = None,
+        max_seconds: float | None = None,
     ) -> "ResilienceResult | None":
         """Return the memoized result of an identical computation, relabelled.
 
@@ -339,9 +363,20 @@ class LanguageCache:
         stored result keeps the first query's); values, contingency sets,
         methods and details are the memoized ones — which equal a fresh
         computation's exactly, because results are deterministic functions of
-        the key (the conformance suite pins this).  Hits bypass execution
-        entirely, so a per-query budget never trips on one.
+        the key (the conformance suite pins this).
+
+        A *budgeted* query (``max_nodes`` / ``max_seconds``) never hits: its
+        defining observable is whether its own execution finishes within the
+        budget, which a replayed result cannot answer — serving it from the
+        cache would report ``ok`` where the uncached reference reports
+        ``budget-exceeded``, and (under concurrent serving) make the outcome
+        depend on what happened to run first.  Budgeted queries always
+        execute; their *completed* results still feed the cache via
+        :meth:`store_result`, because a search that finished within budget is
+        identical to an unbounded one.
         """
+        if max_nodes is not None or max_seconds is not None:
+            return None
         key = self._result_key(
             language, database, semantics=semantics, method=method, unsafe=unsafe
         )
@@ -498,7 +533,13 @@ def resilience_many(
         # sharing the cache) replays its memoized result — deterministic, so
         # indistinguishable from recomputing (pinned by the conformance suite).
         cached = cache.lookup_result(
-            language, database, semantics=semantics, method=method, unsafe=unsafe
+            language,
+            database,
+            semantics=semantics,
+            method=method,
+            unsafe=unsafe,
+            max_nodes=exact_max_nodes,
+            max_seconds=exact_max_seconds,
         )
         if cached is not None:
             results.append(cached)

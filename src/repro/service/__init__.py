@@ -26,6 +26,14 @@ a serving subsystem for query fleets:
   workers' database copy) warm across calls and adds
   :meth:`~repro.service.server.ResilienceServer.serve_iter`, which streams
   outcomes as they complete.
+* **Async front-end** (:mod:`~repro.service.async_server`):
+  :class:`~repro.service.async_server.AsyncResilienceServer` multiplexes
+  concurrent workloads onto one warm server through an admission queue
+  (priority classes, FIFO within class, bounded depth with structured
+  ``admission-rejected`` outcomes, queue-wait deadlines, per-workload round
+  shares) and exposes the runtime as a
+  :class:`~repro.service.async_server.ServerMetrics` snapshot — scrapeable
+  via :meth:`~repro.service.async_server.AsyncResilienceServer.metrics_endpoint`.
 
 Budget semantics
 ----------------
@@ -68,24 +76,38 @@ Quickstart::
         print(outcome.query, outcome.status, outcome.result)
 """
 
+from .async_server import (
+    AdmissionStats,
+    AsyncResilienceServer,
+    LatencyHistogram,
+    MetricsEndpoint,
+    ServerMetrics,
+)
 from .cache import AnalysisStore, CacheStats, LanguageCache, StoreStats
-from .outcome import BUDGET_EXCEEDED, ERROR, OK, QueryOutcome
+from .outcome import ADMISSION_REJECTED, BUDGET_EXCEEDED, ERROR, OK, QueryOutcome
 from .scheduler import ScheduledQuery, plan_workload
 from .serve import resilience_serve
-from .server import ResilienceServer
+from .server import PoolStats, ResilienceServer
 from .workload import QuerySpec, Workload
 
 __all__ = [
+    "ADMISSION_REJECTED",
     "BUDGET_EXCEEDED",
     "ERROR",
     "OK",
+    "AdmissionStats",
     "AnalysisStore",
+    "AsyncResilienceServer",
     "CacheStats",
     "LanguageCache",
+    "LatencyHistogram",
+    "MetricsEndpoint",
+    "PoolStats",
     "QueryOutcome",
     "QuerySpec",
     "ResilienceServer",
     "ScheduledQuery",
+    "ServerMetrics",
     "StoreStats",
     "Workload",
     "plan_workload",

@@ -1,0 +1,828 @@
+"""Async serving front-end: admission control over one warm worker pool.
+
+:class:`AsyncResilienceServer` multiplexes *concurrent* workloads onto a single
+:class:`~repro.service.server.ResilienceServer` — one database, one warm
+process pool, one session cache — behind an ``asyncio`` API:
+
+* :meth:`~AsyncResilienceServer.submit` admits a workload into an internal
+  admission queue and returns an async iterator of its
+  :class:`~repro.service.outcome.QueryOutcome` objects;
+* a dedicated drain thread pops admitted workloads and runs the blocking
+  :meth:`~repro.service.server.ResilienceServer.serve_iter` on the shared
+  pool, bridging each outcome back into the submitting workload's
+  :class:`asyncio.Queue` (via ``loop.call_soon_threadsafe``) as it completes;
+* :meth:`~AsyncResilienceServer.metrics` snapshots the whole runtime —
+  cache counters, pool state, admission counters, per-status latency
+  histograms — as a :class:`ServerMetrics`, and
+  :meth:`~AsyncResilienceServer.metrics_endpoint` serves that snapshot as
+  JSON over a tiny stdlib HTTP endpoint for ops tooling to scrape.
+
+Admission semantics
+-------------------
+
+Workloads are admitted into priority classes: **lower ``priority`` values are
+served first**, and within one class workloads drain FIFO (by submission
+order).  The drain thread serves *rounds*: each round merges the waiting
+workloads of the single best (lowest) nonempty priority class into one
+combined workload and streams it through the shared pool, so concurrent
+same-class workloads genuinely share the pool within a round while a higher
+class never yields the pool to a lower one.  ``round_share`` caps how many
+queries one workload may contribute to a round (its *concurrency share*): a
+workload larger than its share is served across consecutive rounds, keeping
+one huge submission from monopolizing a round against its peers.
+
+Admission is bounded: when ``max_queue_depth`` workloads are already waiting,
+:meth:`~AsyncResilienceServer.submit` does not block and does not raise — it
+returns an iterator of structured :data:`~repro.service.outcome.ADMISSION_REJECTED`
+outcomes (one per query), so back-pressure is data the caller can retry on.  A
+``deadline`` (seconds) bounds *queue wait*: a workload still unserved when its
+deadline passes is rejected the same way instead of running stale.  Once a
+workload's first round starts, it always runs to completion.
+
+Outcome-stream contract
+-----------------------
+
+Per workload, the same contract as ``serve_iter``: the multiset of outcomes
+equals the blocking :meth:`~repro.service.server.ResilienceServer.serve`
+list for that workload (indices are workload-local), with no ordering
+guarantee beyond it — re-sorting by ``outcome.index`` reproduces the serial
+reference exactly, which the conformance harness pins for the async variants.
+Outcomes are never shared or duplicated across workloads: every admitted query
+yields exactly one outcome on exactly its own iterator.
+
+A consumer that abandons its iterator mid-stream (``break``, task
+cancellation, GC) marks the workload abandoned: already-queued outcomes are
+dropped, its unserved queries are never dispatched to the pool, and later
+workloads are unaffected — pinned by the abandonment regression tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from bisect import bisect_left
+from collections import deque
+from collections.abc import AsyncIterator, Iterable
+from dataclasses import dataclass, replace
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..exceptions import ReproError
+from ..graphdb.database import BagGraphDatabase, GraphDatabase
+from ..resilience.engine import CacheStats
+from .cache import LanguageCache
+from .outcome import ADMISSION_REJECTED, ERROR, QueryOutcome
+from .server import PoolStats, ResilienceServer
+from .workload import QueryLike, QuerySpec, Workload
+
+AnyDatabase = GraphDatabase | BagGraphDatabase
+
+#: Upper bucket bounds (seconds) of the latency histograms; the implicit last
+#: bucket is +inf.  Roughly log-spaced from 1 ms to 10 s — per-query serving
+#: cost spans flow lookups (sub-ms, cache hits) to exact searches (seconds).
+LATENCY_BUCKET_BOUNDS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: End-of-stream sentinel on a workload's outcome queue.
+_DONE = object()
+
+
+def _synthetic_outcomes(
+    specs: tuple[QuerySpec, ...], status: str, reason: str, *, start: int = 0
+) -> list[QueryOutcome]:
+    """Fabricate one structured outcome per spec from ``start`` on — the shared
+    shape of every never-executed path (rejection, expiry, failure)."""
+    return [
+        QueryOutcome(
+            index=index,
+            query=specs[index].display_name(),
+            status=status,
+            method=specs[index].method,
+            error=reason,
+        )
+        for index in range(start, len(specs))
+    ]
+
+
+class LatencyHistogram:
+    """A fixed-bucket latency histogram (submit-to-delivery, seconds).
+
+    Mutable and cheap to record into; :meth:`as_dict` snapshots it for the
+    metrics surface.  Buckets are *non-cumulative* counts per
+    :data:`LATENCY_BUCKET_BOUNDS` band (the last band is everything above the
+    largest bound).
+    """
+
+    __slots__ = ("counts", "count", "sum_seconds")
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(LATENCY_BUCKET_BOUNDS) + 1)
+        self.count = 0
+        self.sum_seconds = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.counts[bisect_left(LATENCY_BUCKET_BOUNDS, seconds)] += 1
+        self.count += 1
+        self.sum_seconds += seconds
+
+    def quantile(self, q: float) -> float:
+        """Upper-bound estimate of the ``q``-quantile (0 for an empty histogram).
+
+        Returns the upper bucket bound containing the quantile rank — a
+        conservative (never underestimating) histogram quantile; the overflow
+        bucket reports the largest finite bound.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1] (got {q})")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for index, bucket in enumerate(self.counts):
+            seen += bucket
+            if seen >= rank and bucket:
+                return LATENCY_BUCKET_BOUNDS[min(index, len(LATENCY_BUCKET_BOUNDS) - 1)]
+        return LATENCY_BUCKET_BOUNDS[-1]
+
+    def as_dict(self) -> dict:
+        buckets = {str(bound): count for bound, count in zip(LATENCY_BUCKET_BOUNDS, self.counts)}
+        buckets["inf"] = self.counts[-1]
+        return {"buckets": buckets, "count": self.count, "sum_seconds": self.sum_seconds}
+
+
+@dataclass(frozen=True)
+class AdmissionStats:
+    """A snapshot of the admission queue's counters.
+
+    ``queued`` is instantaneous (waiting workloads per priority class right
+    now); ``admitted`` and ``rejected`` are cumulative per class over the
+    server's lifetime.  ``rejected`` counts both depth-bound refusals and
+    deadline expiries; ``deadline_expired`` separates out the latter.
+    ``in_flight`` is the number of workloads in the round being served this
+    instant.
+    """
+
+    queued: dict[int, int]
+    admitted: dict[int, int]
+    rejected: dict[int, int]
+    deadline_expired: int
+    depth: int
+    in_flight: int
+
+    def as_dict(self) -> dict:
+        def keyed(counter: dict[int, int]) -> dict[str, int]:
+            return {str(priority): count for priority, count in sorted(counter.items())}
+
+        return {
+            "queued": keyed(self.queued),
+            "admitted": keyed(self.admitted),
+            "rejected": keyed(self.rejected),
+            "deadline_expired": self.deadline_expired,
+            "depth": self.depth,
+            "in_flight": self.in_flight,
+        }
+
+
+@dataclass(frozen=True)
+class ServerMetrics:
+    """One coherent snapshot of an :class:`AsyncResilienceServer`'s state.
+
+    Aggregates the full serving runtime: the session cache's
+    :class:`~repro.resilience.engine.CacheStats` (classifications, canonical
+    interning, result-level hits/misses), the warm pool's
+    :class:`~repro.service.server.PoolStats` (worker pids, forks, crashes,
+    retries, chunks dispatched), the admission queue's
+    :class:`AdmissionStats`, and per-outcome-status latency histograms
+    (submit-to-delivery seconds).  :meth:`to_json` is the wire format the
+    metrics endpoint serves — scraping and the programmatic snapshot agree by
+    construction (pinned in CI).
+    """
+
+    cache: CacheStats
+    pool: PoolStats
+    admission: AdmissionStats
+    latency: dict[str, dict]
+
+    def outcome_counts(self) -> dict[str, int]:
+        """Delivered outcomes per status (derived from the latency histograms)."""
+        return {status: histogram["count"] for status, histogram in self.latency.items()}
+
+    def as_dict(self) -> dict:
+        return {
+            "cache": self.cache.as_dict(),
+            "pool": self.pool.as_dict(),
+            "admission": self.admission.as_dict(),
+            "latency": self.latency,
+            "outcomes": self.outcome_counts(),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True)
+
+
+class MetricsEndpoint:
+    """A minimal stdlib HTTP endpoint serving a metrics snapshot as JSON.
+
+    ``GET /metrics`` (or ``/``) returns ``ServerMetrics.to_json()`` evaluated
+    at scrape time; other paths 404.  Runs a daemonic
+    :class:`~http.server.ThreadingHTTPServer` bound to ``host:port`` —
+    ``port=0`` picks a free port, exposed as :attr:`port` / :attr:`url`.
+    """
+
+    def __init__(self, snapshot, *, host: str = "127.0.0.1", port: int = 0) -> None:
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                path = self.path.split("?", 1)[0].rstrip("/")
+                if path not in ("", "/metrics"):
+                    self.send_error(404)
+                    return
+                body = snapshot().to_json().encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:  # pragma: no cover - silence
+                pass
+
+        self._http = ThreadingHTTPServer((host, port), Handler)
+        self.host, self.port = self._http.server_address[0], self._http.server_address[1]
+        self._thread = threading.Thread(
+            target=self._http.serve_forever, name="resilience-metrics", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def close(self) -> None:
+        self._http.shutdown()
+        self._http.server_close()
+        self._thread.join()
+
+
+class _Admission:
+    """One admitted (or rejected) workload and its delivery state.
+
+    ``next_offset`` is how many specs have been contributed to serving rounds;
+    ``remaining`` how many outcomes are still undelivered.  ``next_offset``
+    and ``remaining`` are only touched under the server lock or on the drain
+    thread, never concurrently.  ``abandoned`` flips (from the consumer side)
+    when the outcome iterator is dropped mid-stream: the router then discards
+    outcomes and the admission queue skips the unserved tail.
+    """
+
+    __slots__ = (
+        "seq", "priority", "deadline_at", "specs", "queue", "loop",
+        "submitted_at", "next_offset", "remaining", "abandoned", "in_round",
+    )
+
+    def __init__(
+        self,
+        priority: int,
+        deadline_at: float | None,
+        specs: tuple[QuerySpec, ...],
+        queue: "asyncio.Queue",
+        loop: "asyncio.AbstractEventLoop",
+        submitted_at: float,
+    ) -> None:
+        self.seq = 0
+        self.priority = priority
+        self.deadline_at = deadline_at
+        self.specs = specs
+        self.queue = queue
+        self.loop = loop
+        self.submitted_at = submitted_at
+        self.next_offset = 0
+        self.remaining = len(specs)
+        self.abandoned = False
+        self.in_round = False
+
+
+class _OutcomeStream:
+    """The async iterator :meth:`AsyncResilienceServer.submit` returns.
+
+    A plain class rather than an async generator so that *abandonment* is
+    observable no matter how the consumer lets go: ``aclose()`` (including on
+    a stream that was never iterated — a generator's ``finally`` would never
+    run there) and garbage collection both mark the workload abandoned, which
+    stops outcome routing and keeps its unserved tail out of the pool.
+    """
+
+    __slots__ = ("_entry", "_finished")
+
+    def __init__(self, entry: _Admission) -> None:
+        self._entry = entry
+        self._finished = False
+
+    def __aiter__(self) -> "_OutcomeStream":
+        return self
+
+    async def __anext__(self) -> QueryOutcome:
+        # Sticky end-of-stream: once finished (or abandoned), every later
+        # __anext__ raises again instead of blocking on the drained queue.
+        if self._finished or self._entry.abandoned:
+            self._finished = True
+            raise StopAsyncIteration
+        item = await self._entry.queue.get()
+        if item is _DONE:
+            self._finished = True
+            raise StopAsyncIteration
+        return item
+
+    async def aclose(self) -> None:
+        self._entry.abandoned = True
+        self._finished = True
+        # Wake a consumer already blocked in __anext__'s queue.get() — the
+        # abandonment flag alone can never reach it (deliveries stop).
+        self._entry.queue.put_nowait(_DONE)
+
+    def __del__(self) -> None:
+        # GC can only collect an un-awaited stream (a blocked __anext__ holds
+        # a reference), so flagging without a wake-up is enough here — and
+        # put_nowait would not be safe from an arbitrary GC thread.
+        self._entry.abandoned = True
+
+
+class AsyncResilienceServer:
+    """An asyncio front-end multiplexing workloads onto one warm server.
+
+    Args:
+        server: the :class:`~repro.service.server.ResilienceServer` to serve
+            through — or a database, from which a server is built with the
+            remaining keyword arguments (``max_workers``, ``parallel``,
+            ``cache``, ``store``).  The async server *owns* the underlying
+            server either way: closing the front-end closes it.
+        max_queue_depth: bound on *waiting* workloads; a submission arriving
+            at the bound is rejected with structured
+            :data:`~repro.service.outcome.ADMISSION_REJECTED` outcomes
+            instead of queueing without limit.
+        round_share: per-workload concurrency share — the maximum number of
+            queries one workload may contribute to a single serving round
+            (``None``: a workload always contributes all of its remaining
+            queries).
+        autostart: start the drain thread lazily on the first submission
+            (default).  ``autostart=False`` keeps every submission queued
+            until :meth:`start` is called — the seam the admission-order
+            tests (and pre-loading ops tooling) use.
+
+    Use as an async context manager, or call :meth:`close` /
+    :meth:`aclose`.  All methods are safe to call from one event loop;
+    workloads may also be submitted from several event loops in different
+    threads (each iterator is bound to its submitting loop).
+    """
+
+    def __init__(
+        self,
+        server: ResilienceServer | AnyDatabase,
+        *,
+        max_queue_depth: int = 64,
+        round_share: int | None = None,
+        autostart: bool = True,
+        max_workers: int | None = None,
+        parallel: bool = True,
+        cache: LanguageCache | None = None,
+        store=None,
+    ) -> None:
+        if max_queue_depth < 1:
+            raise ValueError(f"max_queue_depth must be >= 1 (got {max_queue_depth})")
+        if round_share is not None and round_share < 1:
+            raise ValueError(f"round_share must be >= 1 or None (got {round_share})")
+        if isinstance(server, ResilienceServer):
+            if max_workers is not None or cache is not None or store is not None or parallel is not True:
+                raise ValueError(
+                    "max_workers/parallel/cache/store configure a server built from a "
+                    "database; an existing ResilienceServer already owns them"
+                )
+            self._server = server
+        else:
+            self._server = ResilienceServer(
+                server, max_workers=max_workers, parallel=parallel, cache=cache, store=store
+            )
+        self._max_queue_depth = max_queue_depth
+        self._round_share = round_share
+        self._autostart = autostart
+
+        # Reentrant: expiry runs under the lock and delivers outcomes, whose
+        # latency recording takes the lock again.
+        self._lock = threading.RLock()
+        self._wake = threading.Condition(self._lock)
+        self._waiting: dict[int, deque[_Admission]] = {}
+        self._seq = 0
+        self._drain_log: deque[tuple[int, int]] = deque(maxlen=4096)
+        self._drain_thread: threading.Thread | None = None
+        self._closing = False
+        self._closed = False
+        self._admitted: dict[int, int] = {}
+        self._rejected: dict[int, int] = {}
+        self._deadline_expired = 0
+        self._in_flight = 0
+        self._latency: dict[str, LatencyHistogram] = {}
+        self._endpoints: list[MetricsEndpoint] = []
+
+    # ------------------------------------------------------------------ accessors
+
+    @property
+    def server(self) -> ResilienceServer:
+        """The wrapped warm server (owned: closed with the front-end)."""
+        return self._server
+
+    @property
+    def cache(self) -> LanguageCache:
+        return self._server.cache
+
+    @property
+    def database(self) -> AnyDatabase:
+        return self._server.database
+
+    def worker_pids(self) -> frozenset[int]:
+        """PIDs of the shared pool's workers — stable PIDs across concurrent
+        workloads prove they share one warm pool (the acceptance observable)."""
+        return self._server.worker_pids()
+
+    def drain_log(self) -> tuple[tuple[int, int], ...]:
+        """Diagnostic: ``(priority, submission_seq)`` per workload per round,
+        in serving order (bounded: the most recent 4096 entries).  The
+        admission-order tests assert on this — with every workload queued
+        before :meth:`start`, priorities must be non-decreasing and
+        same-class workloads must first appear in submission order."""
+        with self._lock:
+            return tuple(self._drain_log)
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Start the drain thread (idempotent; implicit when ``autostart``)."""
+        with self._lock:
+            if self._closing or self._closed:
+                raise ReproError("this AsyncResilienceServer is closed")
+            self._start_locked()
+
+    def _start_locked(self) -> None:
+        if self._drain_thread is None:
+            self._drain_thread = threading.Thread(
+                target=self._drain_loop, name="async-resilience-drain", daemon=True
+            )
+            self._drain_thread.start()
+
+    def close(self) -> None:
+        """Drain down and close (idempotent): stop admissions, finish the
+        in-flight round, fail still-waiting workloads with structured
+        ``"error"`` outcomes, shut metrics endpoints and the wrapped server.
+        Blocking — from async code, use :meth:`aclose`."""
+        with self._lock:
+            already = self._closed
+            self._closing = True
+            self._wake.notify_all()
+            thread = self._drain_thread
+        if thread is not None:
+            thread.join()
+        with self._lock:
+            leftovers = [entry for queue in self._waiting.values() for entry in queue]
+            self._waiting.clear()
+            self._closed = True
+        for entry in leftovers:
+            self._fail_entry(entry, "ServerClosed: async server closed before serving")
+        if not already:
+            endpoints, self._endpoints = self._endpoints, []
+            for endpoint in endpoints:
+                endpoint.close()
+            self._server.close()
+
+    async def aclose(self) -> None:
+        """Async-friendly :meth:`close` (runs it on the default executor)."""
+        await asyncio.get_running_loop().run_in_executor(None, self.close)
+
+    async def __aenter__(self) -> "AsyncResilienceServer":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    def __enter__(self) -> "AsyncResilienceServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ admission
+
+    async def submit(
+        self,
+        workload: Workload | Iterable[QuerySpec | QueryLike],
+        *,
+        priority: int = 0,
+        deadline: float | None = None,
+    ) -> AsyncIterator[QueryOutcome]:
+        """Admit a workload; iterate its outcomes as they complete.
+
+        Args:
+            workload: anything :meth:`~repro.service.workload.Workload.coerce`
+                accepts.
+            priority: admission class — **lower is served first**; FIFO
+                within a class.
+            deadline: maximum seconds the workload may *wait in the queue*.
+                Expiring unserved rejects it with ``admission-rejected``
+                outcomes; once serving starts the deadline no longer applies.
+
+        Returns:
+            an async iterator yielding exactly one
+            :class:`~repro.service.outcome.QueryOutcome` per query, with
+            workload-local ``index`` — re-sort by it to reproduce the
+            blocking :meth:`~repro.service.server.ResilienceServer.serve`
+            list.  A rejected submission yields one
+            :data:`~repro.service.outcome.ADMISSION_REJECTED` outcome per
+            query instead of raising.
+
+        Raises:
+            ReproError: on a closed server (the one non-graceful refusal: the
+                pool is gone, so no later capacity can serve a retry).
+        """
+        if deadline is not None and deadline < 0:
+            raise ValueError(f"deadline must be >= 0 seconds (got {deadline})")
+        fleet = Workload.coerce(workload)
+        loop = asyncio.get_running_loop()
+        now = time.monotonic()
+        entry = _Admission(
+            priority=priority,
+            deadline_at=None if deadline is None else now + deadline,
+            specs=fleet.specs,
+            queue=asyncio.Queue(),
+            loop=loop,
+            submitted_at=now,
+        )
+        with self._lock:
+            if self._closing or self._closed:
+                raise ReproError("this AsyncResilienceServer is closed")
+            self._seq += 1
+            entry.seq = self._seq
+            if entry.remaining == 0:
+                # An empty workload needs no queue slot: complete it at once,
+                # admitted whatever the queue depth.
+                self._admitted[priority] = self._admitted.get(priority, 0) + 1
+                entry.queue.put_nowait(_DONE)
+                return self._outcomes(entry)
+            # Expire overdue waiters first: a dead workload must neither
+            # occupy a depth slot nor keep its consumer waiting for the
+            # drain to reach its priority class.
+            self._sweep_expired_locked()
+            depth = sum(len(queue) for queue in self._waiting.values())
+            if depth >= self._max_queue_depth:
+                self._rejected[priority] = self._rejected.get(priority, 0) + 1
+                self._reject_locked(
+                    entry,
+                    f"AdmissionRejected: queue depth {depth} at bound "
+                    f"{self._max_queue_depth}",
+                )
+                return self._outcomes(entry)
+            self._admitted[priority] = self._admitted.get(priority, 0) + 1
+            self._waiting.setdefault(priority, deque()).append(entry)
+            if self._autostart:
+                self._start_locked()
+            self._wake.notify_all()
+        return self._outcomes(entry)
+
+    def _reject_locked(self, entry: _Admission, reason: str) -> None:
+        """Fill a never-queued entry with ``admission-rejected`` outcomes.
+
+        Runs on the submitting thread (entry queue untouched by the drain),
+        so outcomes go straight onto the asyncio queue.
+        """
+        elapsed = time.monotonic() - entry.submitted_at
+        histogram = self._latency.setdefault(ADMISSION_REJECTED, LatencyHistogram())
+        for outcome in _synthetic_outcomes(entry.specs, ADMISSION_REJECTED, reason):
+            histogram.record(elapsed)
+            entry.queue.put_nowait(outcome)
+        entry.queue.put_nowait(_DONE)
+        entry.remaining = 0
+
+    def _outcomes(self, entry: _Admission) -> "_OutcomeStream":
+        return _OutcomeStream(entry)
+
+    # ------------------------------------------------------------------ draining
+
+    def _drain_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._closing and not any(self._waiting.values()):
+                    self._wake.wait()
+                if self._closing:
+                    return  # close() fails whatever is still waiting
+                round_slices = self._pop_round_locked()
+                self._in_flight = len(round_slices)
+            try:
+                if round_slices:
+                    self._serve_round(round_slices)
+            finally:
+                with self._lock:
+                    self._in_flight = 0
+
+    def _pop_round_locked(self) -> list[tuple[_Admission, int, int]]:
+        """Pop the next round: the best priority class's waiting workloads.
+
+        Returns ``(entry, start, stop)`` spec slices, each capped at the
+        round share.  Abandoned entries are dropped; expired waiters are
+        rejected *across every class* first (an expired low-priority
+        workload behind sustained high-priority traffic must not wait for
+        its class's turn to learn it was rejected).  Partially contributed
+        entries are re-queued by :meth:`_serve_round` after the round
+        completes.
+        """
+        self._sweep_expired_locked()
+        while True:
+            classes = sorted(priority for priority, queue in self._waiting.items() if queue)
+            if not classes:
+                return []
+            queue = self._waiting[classes[0]]
+            slices: list[tuple[_Admission, int, int]] = []
+            while queue:
+                entry = queue.popleft()
+                if entry.abandoned:
+                    continue
+                start = entry.next_offset
+                stop = (
+                    len(entry.specs)
+                    if self._round_share is None
+                    else min(len(entry.specs), start + self._round_share)
+                )
+                entry.next_offset = stop
+                entry.in_round = True
+                slices.append((entry, start, stop))
+                self._drain_log.append((entry.priority, entry.seq))
+            if slices:
+                return slices
+            # the class emptied out (abandons/expiries): try the next one
+
+    def _sweep_expired_locked(self) -> None:
+        """Drop dead waiters: expired deadlines (rejected) and abandoned
+        iterators (discarded — nobody is listening).
+
+        Runs on both admission (submit) and drain (round pop), so a dead
+        workload stops occupying a queue-depth slot promptly even while the
+        drain is busy with other priority classes.  Only never-started
+        workloads expire — a workload whose first round ran always
+        completes.
+        """
+        now = time.monotonic()
+        for queue in self._waiting.values():
+            for entry in [entry for entry in queue if entry.abandoned]:
+                queue.remove(entry)
+            expired = [
+                entry
+                for entry in queue
+                if entry.deadline_at is not None
+                and entry.next_offset == 0
+                and now > entry.deadline_at
+            ]
+            for entry in expired:
+                queue.remove(entry)
+                self._expire_locked(entry)
+
+    def _expire_locked(self, entry: _Admission) -> None:
+        self._rejected[entry.priority] = self._rejected.get(entry.priority, 0) + 1
+        self._deadline_expired += 1
+        waited = time.monotonic() - entry.submitted_at
+        reason = f"AdmissionRejected: deadline expired after {waited:.3f}s in queue"
+        for outcome in _synthetic_outcomes(entry.specs, ADMISSION_REJECTED, reason):
+            self._deliver(entry, outcome)
+
+    def _serve_round(self, slices: list[tuple[_Admission, int, int]]) -> None:
+        """Serve one merged round on the shared warm server and route outcomes.
+
+        The merged workload concatenates each entry's spec slice; outcome
+        indices come back merged-global and are rewritten to workload-local
+        before delivery.  Any raise out of ``serve_iter`` itself (closed
+        server, broken beyond retry) fails every undelivered query of the
+        round structurally — per-query failures are already outcomes.
+        """
+        merged: list[QuerySpec] = []
+        routing: list[tuple[_Admission, int]] = []
+        for entry, start, stop in slices:
+            for local in range(start, stop):
+                routing.append((entry, local))
+                merged.append(entry.specs[local])
+        delivered = [False] * len(routing)
+        try:
+            iterator = self._server.serve_iter(Workload(tuple(merged)))
+            try:
+                for outcome in iterator:
+                    entry, local = routing[outcome.index]
+                    delivered[outcome.index] = True
+                    self._deliver(entry, replace(outcome, index=local))
+            finally:
+                iterator.close()
+        except Exception as error:
+            reason = f"{type(error).__name__}: {error}"
+            for position, (entry, local) in enumerate(routing):
+                if not delivered[position]:
+                    spec = entry.specs[local]
+                    self._deliver(
+                        entry,
+                        QueryOutcome(
+                            index=local,
+                            query=spec.display_name(),
+                            status=ERROR,
+                            method=spec.method,
+                            error=reason,
+                        ),
+                    )
+            # Nothing about later specs can work either: fail the tails too,
+            # completing every entry of the round instead of re-queueing.
+            for entry, _, _ in slices:
+                self._fail_entry(entry, reason)
+            return
+        # Re-queue entries that still have unserved specs (round share hit):
+        # they keep their seq, so extendleft preserves FIFO within the class.
+        with self._lock:
+            partials = [
+                entry
+                for entry, _, stop in slices
+                if stop < len(entry.specs) and not entry.abandoned
+            ]
+            for entry in reversed(partials):
+                entry.in_round = False
+                self._waiting.setdefault(entry.priority, deque()).appendleft(entry)
+
+    def _fail_entry(self, entry: _Admission, reason: str) -> None:
+        """Deliver ``"error"`` outcomes for every not-yet-served spec."""
+        for outcome in _synthetic_outcomes(entry.specs, ERROR, reason, start=entry.next_offset):
+            self._deliver(entry, outcome)
+        entry.next_offset = len(entry.specs)
+
+    def _deliver(self, entry: _Admission, outcome: QueryOutcome) -> None:
+        """Bridge one outcome from the drain thread into the entry's loop."""
+        entry.remaining -= 1
+        done = entry.remaining <= 0
+        with self._lock:
+            if done and entry.in_round:
+                # Completed workloads leave ``in_flight`` *before* their last
+                # outcome reaches the consumer, so a snapshot taken after
+                # draining an iterator never still counts it.
+                entry.in_round = False
+                self._in_flight = max(0, self._in_flight - 1)
+            if entry.abandoned:
+                return
+            histogram = self._latency.setdefault(outcome.status, LatencyHistogram())
+            histogram.record(time.monotonic() - entry.submitted_at)
+        try:
+            entry.loop.call_soon_threadsafe(entry.queue.put_nowait, outcome)
+            if done:
+                entry.loop.call_soon_threadsafe(entry.queue.put_nowait, _DONE)
+        except RuntimeError:
+            # The submitting event loop is gone: nobody can consume this
+            # stream anymore, so treat the workload as abandoned.
+            entry.abandoned = True
+
+    # -------------------------------------------------------------------- metrics
+
+    def metrics(self) -> ServerMetrics:
+        """Snapshot the runtime (cache + pool + admission + latency) coherently."""
+        with self._lock:
+            queued = {
+                priority: len(queue) for priority, queue in self._waiting.items() if queue
+            }
+            admission = AdmissionStats(
+                queued=queued,
+                admitted=dict(self._admitted),
+                rejected=dict(self._rejected),
+                deadline_expired=self._deadline_expired,
+                depth=sum(queued.values()),
+                in_flight=self._in_flight,
+            )
+            latency = {
+                status: histogram.as_dict()
+                for status, histogram in sorted(self._latency.items())
+            }
+        return ServerMetrics(
+            cache=self._server.cache.stats.snapshot(),
+            pool=self._server.pool_stats(),
+            admission=admission,
+            latency=latency,
+        )
+
+    def metrics_endpoint(self, port: int = 0, *, host: str = "127.0.0.1") -> MetricsEndpoint:
+        """Serve :meth:`metrics` as JSON over HTTP for ops tooling to scrape.
+
+        ``port=0`` binds a free port (see the returned endpoint's ``url``).
+        Endpoints are closed with the server; call the endpoint's ``close``
+        to stop one earlier.
+        """
+        with self._lock:
+            if self._closing or self._closed:
+                raise ReproError("this AsyncResilienceServer is closed")
+            endpoint = MetricsEndpoint(self.metrics, host=host, port=port)
+            self._endpoints.append(endpoint)
+            return endpoint
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else ("draining" if self._drain_thread else "idle")
+        with self._lock:
+            depth = sum(len(queue) for queue in self._waiting.values())
+        return (
+            f"AsyncResilienceServer({self._server!r}, {state}, depth={depth}, "
+            f"bound={self._max_queue_depth})"
+        )

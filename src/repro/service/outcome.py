@@ -19,6 +19,10 @@ OK = "ok"
 BUDGET_EXCEEDED = "budget-exceeded"
 #: The query failed (parse error, inapplicable forced method, ...).
 ERROR = "error"
+#: The async front-end refused the query before execution: its workload was
+#: turned away at admission (queue depth over the bound, or a submit deadline
+#: that expired while waiting).  Nothing ran — resubmitting later may succeed.
+ADMISSION_REJECTED = "admission-rejected"
 
 
 @dataclass(frozen=True)
@@ -29,7 +33,8 @@ class QueryOutcome:
         index: position of the query in the submitted workload (outcomes are
             always returned in workload order, whatever order they ran in).
         query: human-readable query label.
-        status: :data:`OK`, :data:`BUDGET_EXCEEDED` or :data:`ERROR`.
+        status: :data:`OK`, :data:`BUDGET_EXCEEDED`, :data:`ERROR` or
+            :data:`ADMISSION_REJECTED`.
         method: the algorithm that ran (for :data:`OK`) or was planned when the
             query failed; ``None`` when the query never got past planning.
         result: the resilience result for :data:`OK` outcomes, else ``None``.

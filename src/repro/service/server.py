@@ -32,6 +32,7 @@ import os
 from collections.abc import Iterable, Iterator
 from concurrent.futures import FIRST_COMPLETED, CancelledError, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, dataclass
 
 from ..exceptions import ReproError
 from ..graphdb.database import BagGraphDatabase, GraphDatabase
@@ -45,6 +46,39 @@ from .serve import _execute, _worker_init, _worker_run_many
 from .workload import QueryLike, QuerySpec, Workload
 
 AnyDatabase = GraphDatabase | BagGraphDatabase
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """A point-in-time snapshot of one server's worker-pool activity.
+
+    Counters are cumulative over the server's lifetime (pool replacements
+    included), so deltas between snapshots are meaningful.  Part of the
+    metrics surface scraped by the async front-end's
+    :meth:`~repro.service.async_server.AsyncResilienceServer.metrics`.
+
+    Attributes:
+        pools_created: process pools forked so far (1 on a healthy warm
+            server; each crash replacement or width growth adds one).
+        pool_width: worker count of the live pool (0 while cold/closed).
+        worker_pids: PIDs of the live workers, sorted (empty while cold).
+        chunks_dispatched: tasks submitted to a pool, retries included.
+        chunks_retried: crashed chunks re-dispatched onto a fresh pool.
+        crashes: ``BrokenProcessPool`` events observed (worker deaths).
+    """
+
+    pools_created: int
+    pool_width: int
+    worker_pids: tuple[int, ...]
+    chunks_dispatched: int
+    chunks_retried: int
+    crashes: int
+
+    def as_dict(self) -> dict:
+        """The snapshot as a plain dict — the metrics-surface serialization."""
+        payload = asdict(self)
+        payload["worker_pids"] = list(self.worker_pids)
+        return payload
 
 
 class ResilienceServer:
@@ -96,6 +130,10 @@ class ResilienceServer:
         self._pool: ProcessPoolExecutor | None = None
         self._pool_width = 0
         self._closed = False
+        self._pools_created = 0
+        self._chunks_dispatched = 0
+        self._chunks_retried = 0
+        self._crashes = 0
 
     # ------------------------------------------------------------------ accessors
 
@@ -122,6 +160,17 @@ class ResilienceServer:
         if self._pool is None:
             return frozenset()
         return frozenset(self._pool._processes or ())
+
+    def pool_stats(self) -> PoolStats:
+        """Snapshot the pool's lifetime activity counters (see :class:`PoolStats`)."""
+        return PoolStats(
+            pools_created=self._pools_created,
+            pool_width=self._pool_width,
+            worker_pids=tuple(sorted(self.worker_pids())),
+            chunks_dispatched=self._chunks_dispatched,
+            chunks_retried=self._chunks_retried,
+            crashes=self._crashes,
+        )
 
     # ------------------------------------------------------------------ lifecycle
 
@@ -164,6 +213,7 @@ class ResilienceServer:
             self._discard_pool(wait=False)
         if self._pool is None:
             self._pool_width = width
+            self._pools_created += 1
             self._pool = ProcessPoolExecutor(
                 max_workers=width,
                 initializer=_worker_init,
@@ -235,6 +285,8 @@ class ResilienceServer:
                 semantics=item.spec.semantics,
                 method=item.spec.method,
                 unsafe=item.spec.unsafe,
+                max_nodes=item.spec.max_nodes,
+                max_seconds=item.spec.max_seconds,
             )
             if cached is None:
                 to_run.append(item)
@@ -294,6 +346,7 @@ class ResilienceServer:
             chunk: list[ScheduledQuery], attempt: int, reason: str
         ) -> Iterator[QueryOutcome]:
             if not self._closed and attempt < 1 and dispatch(chunk, attempt + 1) is not None:
+                self._chunks_retried += 1
                 return iter(())  # resubmitted on the replacement pool
             return self._crash_outcomes(chunk, reason)
 
@@ -340,6 +393,7 @@ class ResilienceServer:
                         self._record_chunk(chunk, outcomes)
                         yield from outcomes
                     except BrokenProcessPool:
+                        self._crashes += 1
                         if self._pool is pool:
                             self._discard_pool(wait=False)
                         yield from retry_or_fail(
@@ -369,9 +423,14 @@ class ResilienceServer:
         for _ in range(2):
             pool = self._ensure_pool(task_count)
             try:
-                return pool.submit(_worker_run_many, chunk)
-            except (BrokenProcessPool, RuntimeError):
+                future = pool.submit(_worker_run_many, chunk)
+            except (BrokenProcessPool, RuntimeError) as error:
+                if isinstance(error, BrokenProcessPool):
+                    self._crashes += 1
                 self._discard_pool(wait=False)
+            else:
+                self._chunks_dispatched += 1
+                return future
         return None
 
     @staticmethod

@@ -1,0 +1,238 @@
+"""Reusable differential conformance harness for the serving runtime.
+
+The conformance claim: caches, pools, streaming and the async front-end are
+*execution strategies* — the uncached serial path is the semantics, and every
+variant must reproduce its outcomes exactly (after re-sorting streamed
+outcomes by ``index``).  This module makes that claim a first-class, reusable
+subsystem instead of one test file's private plumbing:
+
+* :data:`MATRIX_QUERIES` — the fixed query matrix covering every dispatch
+  method, duplicate and equivalent-but-unequal pairs, and every failure mode;
+* :func:`make_cache` / :data:`CACHE_VARIANTS` — the cache configurations;
+* :func:`reference_outcomes` — the uncached serial reference for a database;
+* :data:`EXECUTION_VARIANTS` and :func:`variant_session` — the registry of
+  execution strategies.  A session is opened once per (variant, cache) pair
+  and runs the matrix ``PASSES`` times with shared state (cache, warm pool,
+  async admission queue), so the second pass exercises exactly the warm paths
+  the variants exist for;
+* :func:`assert_outcomes_identical` — the comparator, with a per-index diff
+  on mismatch.
+
+Registering a new execution mode (how PR 3's streaming and this PR's async
+variants were added) means one entry in ``EXECUTION_VARIANTS`` plus one branch
+in :func:`variant_session`; the parametrized conformance test picks it up for
+every cache variant automatically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.graphdb import generators
+from repro.service import (
+    AnalysisStore,
+    AsyncResilienceServer,
+    LanguageCache,
+    QueryOutcome,
+    QuerySpec,
+    ResilienceServer,
+    Workload,
+    resilience_serve,
+)
+
+#: The fixed query matrix: every dispatch method, duplicate queries,
+#: equivalent-but-unequal pairs, and every failure mode.
+MATRIX_QUERIES = (
+    "ax*b",                                  # local-flow
+    "ab|bc",                                 # bcl-flow
+    "(ab)*a",                                # infinite; equivalent pair with the next
+    "a(ba)*",                                # ... same minimal DFA, different syntax
+    "ab|ba",                                 # exact; equivalent pair with the next
+    "ba|ab",
+    "aa",                                    # exact, duplicated below
+    "aa",
+    "ε|a",                                   # trivial-epsilon
+    "((",                                    # parse error -> "error" outcome
+    QuerySpec("aa", method="local-flow"),    # inapplicable forced method -> "error"
+    "aba",                                   # unbudgeted duplicate of the next:
+    QuerySpec("aba", max_nodes=1),           # ... its cached "ok" must never be
+                                             # replayed for the budgeted spec
+    QuerySpec("ab", semantics="set"),        # forced semantics
+)
+
+CACHE_VARIANTS = ("uncached", "string-cache", "canonical-cache", "disk-cache")
+EXECUTION_VARIANTS = (
+    "serial",
+    "warm-pool",
+    "streaming",
+    "async-single-workload",
+    "async-3-concurrent-workloads-merged",
+)
+PASSES = 2
+
+#: How many copies of the matrix the merged async variant submits concurrently.
+CONCURRENT_WORKLOADS = 3
+
+
+def databases():
+    return {
+        "set": generators.random_labelled_graph(5, 14, "abxy", seed=3),
+        "bag": generators.random_labelled_graph(4, 10, "abx", seed=5).to_bag(2),
+    }
+
+
+def make_cache(kind: str, store_directory) -> LanguageCache | None:
+    """Build the shared cache of a variant run (``None``: fresh per pass)."""
+    if kind == "uncached":
+        return None
+    if kind == "string-cache":
+        return LanguageCache(canonical=False)
+    if kind == "canonical-cache":
+        return LanguageCache()
+    if kind == "disk-cache":
+        return LanguageCache(store=AnalysisStore(store_directory))
+    raise AssertionError(kind)
+
+
+def fresh_reference_cache() -> LanguageCache:
+    """The reference configuration's cache: string-keyed, session-fresh."""
+    return LanguageCache(canonical=False)
+
+
+def reference_outcomes(database) -> list[QueryOutcome]:
+    """The uncached serial reference: fresh string-keyed cache, no pool."""
+    workload = Workload.coerce(MATRIX_QUERIES)
+    return resilience_serve(
+        workload, database, parallel=False, cache=fresh_reference_cache()
+    )
+
+
+def assert_outcomes_identical(
+    actual: list[QueryOutcome], reference: list[QueryOutcome], label: str = ""
+) -> None:
+    """Assert outcome-identity, reporting the first diverging index."""
+    prefix = f"{label}: " if label else ""
+    assert len(actual) == len(reference), (
+        f"{prefix}{len(actual)} outcomes, reference has {len(reference)}"
+    )
+    for ours, theirs in zip(actual, reference):
+        assert ours == theirs, f"{prefix}diverged at #{theirs.index}: {ours!r} != {theirs!r}"
+
+
+def _sorted(outcomes) -> list[QueryOutcome]:
+    return sorted(outcomes, key=lambda outcome: outcome.index)
+
+
+class VariantSession:
+    """One execution variant bound to one database and cache configuration.
+
+    :meth:`run_pass` serves the matrix once and returns one re-sorted outcome
+    list *per workload served that pass* (most variants serve one; the merged
+    async variant serves :data:`CONCURRENT_WORKLOADS`).  ``shares_pool`` says
+    whether worker PIDs are expected to stay stable across passes (only
+    meaningful with a shared cache, where the server itself persists).
+    """
+
+    def __init__(self, execution: str, database, shared_cache: LanguageCache | None):
+        if execution not in EXECUTION_VARIANTS:
+            raise AssertionError(f"unregistered execution variant: {execution}")
+        self.execution = execution
+        self.database = database
+        self.shared_cache = shared_cache
+        self.workload = Workload.coerce(MATRIX_QUERIES)
+        self.shares_pool = execution != "serial" and shared_cache is not None
+        self._server: ResilienceServer | None = None
+        self._async_server: AsyncResilienceServer | None = None
+        if self.shares_pool:
+            self._open_servers(shared_cache)
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def _open_servers(self, cache: LanguageCache | None) -> None:
+        if self.execution in ("warm-pool", "streaming"):
+            self._server = ResilienceServer(self.database, max_workers=2, cache=cache)
+        elif self.execution.startswith("async"):
+            self._async_server = AsyncResilienceServer(
+                ResilienceServer(self.database, max_workers=2, cache=cache)
+            )
+
+    def _close_servers(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+        if self._async_server is not None:
+            self._async_server.close()
+            self._async_server = None
+
+    def close(self) -> None:
+        self._close_servers()
+
+    def __enter__(self) -> "VariantSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def worker_pids(self) -> frozenset[int]:
+        if self._server is not None:
+            return self._server.worker_pids()
+        if self._async_server is not None:
+            return self._async_server.worker_pids()
+        return frozenset()
+
+    # ------------------------------------------------------------------ one pass
+
+    def run_pass(self) -> list[list[QueryOutcome]]:
+        if not self.shares_pool and self.execution != "serial":
+            # The uncached configuration proves the *execution strategy alone*
+            # never changes results: fresh cache, fresh server, every pass.
+            self._open_servers(fresh_reference_cache())
+            try:
+                return self._run_pass_on_open_servers(cache=None)
+            finally:
+                self._close_servers()
+        cache = (
+            self.shared_cache if self.shared_cache is not None else fresh_reference_cache()
+        )
+        return self._run_pass_on_open_servers(cache=cache)
+
+    def _run_pass_on_open_servers(self, cache: LanguageCache | None) -> list[list[QueryOutcome]]:
+        if self.execution == "serial":
+            return [
+                resilience_serve(
+                    self.workload, self.database, parallel=False, cache=cache
+                )
+            ]
+        if self.execution == "warm-pool":
+            return [self._server.serve(self.workload)]
+        if self.execution == "streaming":
+            return [_sorted(self._server.serve_iter(self.workload))]
+        if self.execution == "async-single-workload":
+            return asyncio.run(self._submit_and_collect(1))
+        if self.execution == "async-3-concurrent-workloads-merged":
+            return asyncio.run(self._submit_and_collect(CONCURRENT_WORKLOADS))
+        raise AssertionError(self.execution)
+
+    async def _submit_and_collect(self, count: int) -> list[list[QueryOutcome]]:
+        """Submit ``count`` copies of the matrix concurrently, gather them all.
+
+        All submissions land in the admission queue before any is awaited, so
+        the drain merges concurrent workloads onto the one warm pool; each
+        workload's outcomes come back on its own iterator and are re-sorted
+        independently.
+        """
+
+        async def collect(iterator) -> list[QueryOutcome]:
+            return _sorted([outcome async for outcome in iterator])
+
+        iterators = [
+            await self._async_server.submit(self.workload) for _ in range(count)
+        ]
+        return list(await asyncio.gather(*(collect(iterator) for iterator in iterators)))
+
+
+def variant_session(
+    execution: str, database, cache_kind: str, store_directory
+) -> VariantSession:
+    """Open a session for one (execution, cache) conformance cell."""
+    return VariantSession(execution, database, make_cache(cache_kind, store_directory))

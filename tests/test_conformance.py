@@ -2,17 +2,22 @@
 
 One fixed query × database matrix runs through every cache variant
 {uncached, string-cache, canonical-cache, disk-cache} crossed with every
-execution variant {serial, warm-pool, streaming}, and every combination must
-produce outcomes *identical* to the uncached serial reference — values,
-contingency sets, methods, statuses, node counts, everything.  Caches and
-pools are execution strategies; the serial uncached path is the semantics.
+registered execution variant {serial, warm-pool, streaming,
+async-single-workload, async-3-concurrent-workloads-merged}, and every
+combination must produce outcomes *identical* to the uncached serial
+reference — values, contingency sets, methods, statuses, node counts,
+everything.  Caches, pools and the async front-end are execution strategies;
+the serial uncached path is the semantics.
 
-Each variant runs the workload twice back to back with shared state (cache,
-warm pool, disk store), so the second pass exercises exactly the warm paths
-the variants exist for.  The matrix deliberately contains equivalent-but-
-unequal query pairs (``(ab)*a`` / ``a(ba)*`` and ``ab|ba`` / ``ba|ab``), a
-parse error, an inapplicable forced method, and a node-budget overrun, so the
-parity claim covers the error paths too.
+The matrix, variant registry, comparator and per-variant session plumbing
+live in :mod:`conformance_harness` so new execution modes register once and
+are pinned everywhere.  Each session runs the workload twice back to back
+with shared state (cache, warm pool, async admission queue), so the second
+pass exercises exactly the warm paths the variants exist for.  The matrix
+deliberately contains equivalent-but-unequal query pairs (``(ab)*a`` /
+``a(ba)*`` and ``ab|ba`` / ``ba|ab``), a parse error, an inapplicable forced
+method, and a node-budget overrun, so the parity claim covers the error
+paths too.
 
 The disk-store variant writes to a per-test temporary directory unless
 ``REPRO_ANALYSIS_STORE`` points somewhere (tools/ci.sh sets it and runs the
@@ -25,44 +30,24 @@ from pathlib import Path
 
 import pytest
 
+from conformance_harness import (
+    CACHE_VARIANTS,
+    EXECUTION_VARIANTS,
+    MATRIX_QUERIES,
+    PASSES,
+    assert_outcomes_identical,
+    databases,
+    reference_outcomes,
+    variant_session,
+)
 from repro.graphdb import generators
 from repro.service import (
     AnalysisStore,
     LanguageCache,
-    QuerySpec,
     ResilienceServer,
     Workload,
     resilience_serve,
 )
-
-#: The fixed query matrix: every dispatch method, duplicate queries,
-#: equivalent-but-unequal pairs, and every failure mode.
-MATRIX_QUERIES = (
-    "ax*b",                                  # local-flow
-    "ab|bc",                                 # bcl-flow
-    "(ab)*a",                                # infinite; equivalent pair with the next
-    "a(ba)*",                                # ... same minimal DFA, different syntax
-    "ab|ba",                                 # exact; equivalent pair with the next
-    "ba|ab",
-    "aa",                                    # exact, duplicated below
-    "aa",
-    "ε|a",                                   # trivial-epsilon
-    "((",                                    # parse error -> "error" outcome
-    QuerySpec("aa", method="local-flow"),    # inapplicable forced method -> "error"
-    QuerySpec("aba", max_nodes=1),           # node budget -> "budget-exceeded"
-    QuerySpec("ab", semantics="set"),        # forced semantics
-)
-
-CACHE_VARIANTS = ("uncached", "string-cache", "canonical-cache", "disk-cache")
-EXECUTION_VARIANTS = ("serial", "warm-pool", "streaming")
-PASSES = 2
-
-
-def databases():
-    return {
-        "set": generators.random_labelled_graph(5, 14, "abxy", seed=3),
-        "bag": generators.random_labelled_graph(4, 10, "abx", seed=5).to_bag(2),
-    }
 
 
 @pytest.fixture(scope="module", params=["set", "bag"])
@@ -73,10 +58,7 @@ def database(request):
 @pytest.fixture(scope="module")
 def reference(database):
     """The uncached serial reference: fresh string-keyed cache, no pool."""
-    workload = Workload.coerce(MATRIX_QUERIES)
-    return resilience_serve(
-        workload, database, parallel=False, cache=LanguageCache(canonical=False)
-    )
+    return reference_outcomes(database)
 
 
 @pytest.fixture
@@ -85,68 +67,24 @@ def store_directory(tmp_path):
     return Path(env) if env else tmp_path / "analysis-store"
 
 
-def make_cache(kind, store_directory):
-    if kind == "uncached":
-        return None  # a fresh default is built per pass below
-    if kind == "string-cache":
-        return LanguageCache(canonical=False)
-    if kind == "canonical-cache":
-        return LanguageCache()
-    if kind == "disk-cache":
-        return LanguageCache(store=AnalysisStore(store_directory))
-    raise AssertionError(kind)
-
-
 @pytest.mark.parametrize("execution", EXECUTION_VARIANTS)
 @pytest.mark.parametrize("cache_kind", CACHE_VARIANTS)
 def test_variant_is_outcome_identical_to_uncached_serial(
     cache_kind, execution, database, reference, store_directory
 ):
-    workload = Workload.coerce(MATRIX_QUERIES)
-    shared_cache = make_cache(cache_kind, store_directory)
-
-    def run_pass(server):
-        cache = (
-            shared_cache
-            if shared_cache is not None
-            else LanguageCache(canonical=False)
-        )
-        if execution == "serial":
-            return resilience_serve(workload, database, parallel=False, cache=cache)
-        if execution == "warm-pool":
-            return server.serve(workload)
-        streamed = list(server.serve_iter(workload))
-        return sorted(streamed, key=lambda outcome: outcome.index)
-
-    if execution == "serial":
-        for _ in range(PASSES):
-            assert run_pass(None) == reference
-        return
-
-    # Pool variants share one warm server across passes; the uncached variant
-    # still gets a fresh *cache* per pass (cache=... below), proving the warm
-    # pool alone never changes results either.
-    with ResilienceServer(database, max_workers=2, cache=shared_cache) as server:
-        if shared_cache is None:
-            for _ in range(PASSES):
-                inner = ResilienceServer(
-                    database, max_workers=2, cache=LanguageCache(canonical=False)
-                )
-                with inner:
-                    if execution == "warm-pool":
-                        assert inner.serve(workload) == reference
-                    else:
-                        streamed = sorted(
-                            inner.serve_iter(workload), key=lambda outcome: outcome.index
-                        )
-                        assert streamed == reference
-            return
+    with variant_session(execution, database, cache_kind, store_directory) as session:
         pids = None
-        for _ in range(PASSES):
-            assert run_pass(server) == reference
-            if pids is not None:
-                assert server.worker_pids() == pids, "pool must stay warm across passes"
-            pids = server.worker_pids()
+        for pass_number in range(PASSES):
+            for outcomes in session.run_pass():
+                assert_outcomes_identical(
+                    outcomes, reference, f"{execution}/{cache_kind} pass {pass_number}"
+                )
+            if session.shares_pool:
+                if pids:
+                    assert session.worker_pids() == pids, (
+                        "pool must stay warm across passes"
+                    )
+                pids = session.worker_pids()
 
 
 def test_disk_store_cold_then_warm_pass_hits(database, store_directory, tmp_path):

@@ -152,6 +152,37 @@ class TestServerResultCache:
         assert serial_second == parallel_second == serial_first
         assert serial_cache.stats.result_hits == parallel_cache.stats.result_hits > 0
 
+    def test_budgeted_specs_never_replay_a_cached_result(self, database):
+        # Regression: a budgeted spec's observable is whether *its own*
+        # execution fits the budget — replaying an earlier unbudgeted "ok"
+        # would report success where the uncached serial reference reports
+        # "budget-exceeded" (and make the outcome scheduling-dependent under
+        # concurrent serving).  Completed budgeted runs still feed the cache.
+        from repro.service import QuerySpec
+
+        cache = LanguageCache()
+        with ResilienceServer(database, parallel=False, cache=cache) as server:
+            [unbudgeted] = server.serve([QuerySpec("aba", method="exact")])
+            assert unbudgeted.status == "ok"
+            [budgeted] = server.serve([QuerySpec("aba", method="exact", max_nodes=1)])
+            reference = resilience_serve(
+                [QuerySpec("aba", method="exact", max_nodes=1)],
+                database,
+                parallel=False,
+                cache=LanguageCache(canonical=False),
+            )[0]
+            assert budgeted.status == reference.status
+            assert cache.stats.result_hits == 0
+            # A budgeted run that *completed* is identical to an unbounded
+            # one, so it feeds the cache for later unbudgeted duplicates.
+            generous = LanguageCache()
+            with ResilienceServer(database, parallel=False, cache=generous) as inner:
+                [first] = inner.serve([QuerySpec("aba", max_nodes=10_000)])
+                assert first.status == "ok"
+                [replayed] = inner.serve(["aba"])
+                assert replayed.status == "ok"
+                assert generous.stats.result_hits == 1
+
     def test_failures_are_never_cached(self, database):
         from repro.service import QuerySpec
 

@@ -62,6 +62,62 @@ for database in (
 print(f"ci: flow solver differential ok ({len(workload)} queries x 2 databases, fast == reference)")
 PY
 
+echo "ci: async conformance variants (single workload + 3 concurrent merged)"
+python -m pytest -q tests/test_conformance.py -k "async"
+
+echo "ci: async soak (3 workloads x 2 rounds, one warm pool) + metrics endpoint scrape"
+python - <<'PY'
+import asyncio
+import json
+import urllib.request
+
+from repro.graphdb import generators
+from repro.service import AsyncResilienceServer, ResilienceServer, resilience_serve
+
+database = generators.random_labelled_graph(5, 14, "abcdexy", seed=3)
+workload = ["ax*b", "ab|bc", "abc|be", "aa", "ab", "ε|a"] * 2
+reference = resilience_serve(workload, database, parallel=False)
+
+
+async def soak():
+    async with AsyncResilienceServer(ResilienceServer(database, max_workers=2)) as server:
+
+        async def collect(iterator):
+            return sorted([o async for o in iterator], key=lambda o: o.index)
+
+        pids = None
+        for round_number in range(2):
+            iterators = [await server.submit(workload) for _ in range(3)]
+            for outcomes in await asyncio.gather(*(collect(it) for it in iterators)):
+                assert outcomes == reference, f"round {round_number} diverged from serial"
+            round_pids = server.worker_pids()
+            assert round_pids, "concurrent workloads must share a real pool"
+            if pids is not None:
+                assert round_pids == pids, "the warm pool must not re-fork across rounds"
+            pids = round_pids
+        assert server.server.pool_stats().pools_created == 1, "exactly one pool forked"
+
+        metrics = server.metrics()
+        assert metrics.cache.result_hits > 0, "round 2 must hit the result-level cache"
+        endpoint = server.metrics_endpoint(port=0)
+        with urllib.request.urlopen(endpoint.url, timeout=10) as response:
+            scraped = json.loads(response.read())
+        assert scraped == json.loads(server.metrics().to_json()), (
+            "scraped metrics diverged from the programmatic snapshot"
+        )
+        assert scraped["cache"]["result_hits"] == metrics.cache.result_hits
+        assert scraped["admission"]["admitted"] == {"0": 6}
+        ok = scraped["outcomes"]["ok"]
+        assert ok == 6 * len(workload), f"outcome loss: {ok}"
+        print(
+            f"ci: async soak ok (6 workloads, {ok} outcomes, "
+            f"{metrics.cache.result_hits} result hits, scrape == snapshot)"
+        )
+
+
+asyncio.run(soak())
+PY
+
 echo "ci: conformance suite with the reference flow solver forced"
 REPRO_FLOW_SOLVER=reference python -m pytest -q tests/test_conformance.py
 
@@ -118,6 +174,30 @@ print(
 PY
 else
   echo "ci: BENCH_flow.json missing (flow benchmark did not run?)" >&2
+  exit 1
+fi
+
+if [ -f BENCH_async.json ]; then
+  echo "ci: async benchmark artefact check (BENCH_async.json)"
+  python - <<'PY'
+import json
+from pathlib import Path
+
+data = json.loads(Path("BENCH_async.json").read_text())
+for key in ("admission_overhead", "merged_stream_p50_ms", "direct_serve_iter_ms", "async_submit_ms"):
+    assert key in data, f"BENCH_async.json missing {key!r}"
+    assert data[key] > 0, f"BENCH_async.json {key!r} not positive: {data[key]}"
+# Loose smoke-safe ceiling; the strict 10% bar is asserted by
+# bench_async_serve.py itself outside smoke mode.
+assert data["admission_overhead"] <= 2.0, data["admission_overhead"]
+mode = "smoke" if data.get("smoke") else "full"
+print(
+    f"ci: async bench ok ({mode}: overhead x{data['admission_overhead']:.3f}, "
+    f"merged p50 {data['merged_stream_p50_ms']:.1f}ms)"
+)
+PY
+else
+  echo "ci: BENCH_async.json missing (async benchmark did not run?)" >&2
   exit 1
 fi
 
