@@ -26,14 +26,28 @@ a serving subsystem for query fleets:
   workers' database copy) warm across calls and adds
   :meth:`~repro.service.server.ResilienceServer.serve_iter`, which streams
   outcomes as they complete.
+* **Exchange layer** (:mod:`~repro.service.exchange`): transport-agnostic
+  routing between front-end and nodes.  A
+  :class:`~repro.service.exchange.base.WorkloadEnvelope` travels through an
+  :class:`~repro.service.exchange.base.Exchange` —
+  :class:`~repro.service.exchange.local.LocalExchange` (one in-process
+  server, the default),
+  :class:`~repro.service.exchange.threads.ThreadExchange` (an in-process
+  fleet of nodes routed by database fingerprint, with failover), or
+  :class:`~repro.service.exchange.http.HttpExchange` (the same fleet over
+  stdlib HTTP) — managed by a
+  :class:`~repro.service.exchange.manager.NodeManager` (spawn / drain /
+  kill / replace).
 * **Async front-end** (:mod:`~repro.service.async_server`):
   :class:`~repro.service.async_server.AsyncResilienceServer` multiplexes
-  concurrent workloads onto one warm server through an admission queue
+  concurrent workloads onto an exchange through an admission queue
   (priority classes, FIFO within class, bounded depth with structured
-  ``admission-rejected`` outcomes, queue-wait deadlines, per-workload round
-  shares) and exposes the runtime as a
+  ``admission-rejected`` outcomes, end-to-end deadlines with cooperative
+  mid-execution cancellation, weighted per-workload round shares) and
+  exposes the runtime as a
   :class:`~repro.service.async_server.ServerMetrics` snapshot — scrapeable
-  via :meth:`~repro.service.async_server.AsyncResilienceServer.metrics_endpoint`.
+  as JSON or Prometheus text via
+  :meth:`~repro.service.async_server.AsyncResilienceServer.metrics_endpoint`.
 
 Budget semantics
 ----------------
@@ -84,6 +98,18 @@ from .async_server import (
     ServerMetrics,
 )
 from .cache import AnalysisStore, CacheStats, LanguageCache, StoreStats
+from .cancellation import CancellationToken
+from .exchange import (
+    EnvelopePart,
+    Exchange,
+    HttpExchange,
+    LocalExchange,
+    NodeManager,
+    NodeStats,
+    Router,
+    ThreadExchange,
+    WorkloadEnvelope,
+)
 from .outcome import ADMISSION_REJECTED, BUDGET_EXCEEDED, ERROR, OK, QueryOutcome
 from .scheduler import ScheduledQuery, plan_workload
 from .serve import resilience_serve
@@ -99,17 +125,27 @@ __all__ = [
     "AnalysisStore",
     "AsyncResilienceServer",
     "CacheStats",
+    "CancellationToken",
+    "EnvelopePart",
+    "Exchange",
+    "HttpExchange",
     "LanguageCache",
     "LatencyHistogram",
+    "LocalExchange",
     "MetricsEndpoint",
+    "NodeManager",
+    "NodeStats",
     "PoolStats",
     "QueryOutcome",
     "QuerySpec",
     "ResilienceServer",
+    "Router",
     "ScheduledQuery",
     "ServerMetrics",
     "StoreStats",
+    "ThreadExchange",
     "Workload",
+    "WorkloadEnvelope",
     "plan_workload",
     "resilience_serve",
 ]

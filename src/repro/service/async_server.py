@@ -1,21 +1,30 @@
-"""Async serving front-end: admission control over one warm worker pool.
+"""Async serving front-end: admission control over an exchange of warm nodes.
 
-:class:`AsyncResilienceServer` multiplexes *concurrent* workloads onto a single
-:class:`~repro.service.server.ResilienceServer` — one database, one warm
-process pool, one session cache — behind an ``asyncio`` API:
+:class:`AsyncResilienceServer` is the top layer of the three-layer serving
+stack (front-end → exchange → nodes).  It multiplexes *concurrent* workloads
+onto an :class:`~repro.service.exchange.base.Exchange` — by default a
+:class:`~repro.service.exchange.local.LocalExchange` wrapping one warm
+:class:`~repro.service.server.ResilienceServer`, but equally a
+fingerprint-routed fleet
+(:class:`~repro.service.exchange.threads.ThreadExchange`,
+:class:`~repro.service.exchange.http.HttpExchange`) — behind an ``asyncio``
+API:
 
 * :meth:`~AsyncResilienceServer.submit` admits a workload into an internal
   admission queue and returns an async iterator of its
   :class:`~repro.service.outcome.QueryOutcome` objects;
-* a dedicated drain thread pops admitted workloads and runs the blocking
-  :meth:`~repro.service.server.ResilienceServer.serve_iter` on the shared
-  pool, bridging each outcome back into the submitting workload's
-  :class:`asyncio.Queue` (via ``loop.call_soon_threadsafe``) as it completes;
+* a dedicated drain thread pops admitted workloads, packs them into a
+  :class:`~repro.service.exchange.base.WorkloadEnvelope` (one part per
+  distinct database) and streams the exchange's merged outcomes back into
+  each submitting workload's :class:`asyncio.Queue` (via
+  ``loop.call_soon_threadsafe``) as they complete;
 * :meth:`~AsyncResilienceServer.metrics` snapshots the whole runtime —
-  cache counters, pool state, admission counters, per-status latency
-  histograms — as a :class:`ServerMetrics`, and
+  fleet-aggregated cache counters and pool state, per-node
+  :class:`~repro.service.exchange.base.NodeStats`, admission counters,
+  per-status latency histograms — as a :class:`ServerMetrics`, and
   :meth:`~AsyncResilienceServer.metrics_endpoint` serves that snapshot as
-  JSON over a tiny stdlib HTTP endpoint for ops tooling to scrape.
+  JSON (or Prometheus text exposition, content-negotiated) over a tiny
+  stdlib HTTP endpoint for ops tooling to scrape.
 
 Admission semantics
 -------------------
@@ -24,20 +33,28 @@ Workloads are admitted into priority classes: **lower ``priority`` values are
 served first**, and within one class workloads drain FIFO (by submission
 order).  The drain thread serves *rounds*: each round merges the waiting
 workloads of the single best (lowest) nonempty priority class into one
-combined workload and streams it through the shared pool, so concurrent
-same-class workloads genuinely share the pool within a round while a higher
-class never yields the pool to a lower one.  ``round_share`` caps how many
-queries one workload may contribute to a round (its *concurrency share*): a
-workload larger than its share is served across consecutive rounds, keeping
-one huge submission from monopolizing a round against its peers.
+combined envelope and streams it through the exchange, so concurrent
+same-class workloads genuinely share the serving capacity within a round
+while a higher class never yields it to a lower one.  ``round_share`` caps
+how many queries one workload may contribute to a round (its *concurrency
+share*): a workload larger than its share is served across consecutive
+rounds, keeping one huge submission from monopolizing a round against its
+peers.  Shares are *weighted*: a workload's cap is
+``max(1, round(round_share * weight))``, with per-class default weights via
+``share_weights`` and a per-submission override — heavier clients get
+proportionally more of each round, and the floor of one spec per round
+guarantees no positive-weight workload starves.
 
 Admission is bounded: when ``max_queue_depth`` workloads are already waiting,
 :meth:`~AsyncResilienceServer.submit` does not block and does not raise — it
 returns an iterator of structured :data:`~repro.service.outcome.ADMISSION_REJECTED`
 outcomes (one per query), so back-pressure is data the caller can retry on.  A
-``deadline`` (seconds) bounds *queue wait*: a workload still unserved when its
-deadline passes is rejected the same way instead of running stale.  Once a
-workload's first round starts, it always runs to completion.
+``deadline`` (seconds) bounds the workload end to end: still unserved when it
+passes, the workload is rejected outright; already executing, the deadline
+travels with the workload as a cooperative
+:class:`~repro.service.cancellation.CancellationToken` checked between
+queries — down to the in-flight worker chunk — so the unserved tail surfaces
+as ``admission-rejected`` outcomes instead of running stale to completion.
 
 Outcome-stream contract
 -----------------------
@@ -52,8 +69,9 @@ yields exactly one outcome on exactly its own iterator.
 
 A consumer that abandons its iterator mid-stream (``break``, task
 cancellation, GC) marks the workload abandoned: already-queued outcomes are
-dropped, its unserved queries are never dispatched to the pool, and later
-workloads are unaffected — pinned by the abandonment regression tests.
+dropped, its unserved queries are never dispatched (the abandonment cancels
+the workload's token, stopping even an in-flight chunk between queries), and
+later workloads are unaffected — pinned by the abandonment regression tests.
 """
 
 from __future__ import annotations
@@ -64,14 +82,17 @@ import threading
 import time
 from bisect import bisect_left
 from collections import deque
-from collections.abc import AsyncIterator, Iterable
-from dataclasses import dataclass, replace
+from collections.abc import AsyncIterator, Iterable, Mapping
+from dataclasses import dataclass, field, replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..exceptions import ReproError
 from ..graphdb.database import BagGraphDatabase, GraphDatabase
 from ..resilience.engine import CacheStats
 from .cache import LanguageCache
+from .cancellation import CancellationToken
+from .exchange.base import EnvelopePart, Exchange, NodeStats, WorkloadEnvelope
+from .exchange.local import LocalExchange
 from .outcome import ADMISSION_REJECTED, ERROR, QueryOutcome
 from .server import PoolStats, ResilienceServer
 from .workload import QueryLike, QuerySpec, Workload
@@ -87,6 +108,9 @@ LATENCY_BUCKET_BOUNDS = (
 
 #: End-of-stream sentinel on a workload's outcome queue.
 _DONE = object()
+
+#: Token reason recorded when a consumer lets go of its outcome stream.
+_ABANDON_REASON = "WorkloadAbandoned: consumer dropped the outcome stream"
 
 
 def _synthetic_outcomes(
@@ -189,14 +213,17 @@ class AdmissionStats:
 class ServerMetrics:
     """One coherent snapshot of an :class:`AsyncResilienceServer`'s state.
 
-    Aggregates the full serving runtime: the session cache's
-    :class:`~repro.resilience.engine.CacheStats` (classifications, canonical
-    interning, result-level hits/misses), the warm pool's
-    :class:`~repro.service.server.PoolStats` (worker pids, forks, crashes,
-    retries, chunks dispatched), the admission queue's
-    :class:`AdmissionStats`, and per-outcome-status latency histograms
-    (submit-to-delivery seconds).  :meth:`to_json` is the wire format the
-    metrics endpoint serves — scraping and the programmatic snapshot agree by
+    Aggregates the full serving runtime: fleet-wide
+    :class:`~repro.resilience.engine.CacheStats` and
+    :class:`~repro.service.server.PoolStats` roll-ups (via their
+    ``aggregate`` hooks — over a single-node
+    :class:`~repro.service.exchange.local.LocalExchange` the roll-up equals
+    the node's own counters), the per-node
+    :class:`~repro.service.exchange.base.NodeStats` snapshots behind them,
+    the admission queue's :class:`AdmissionStats`, and per-outcome-status
+    latency histograms (submit-to-delivery seconds).  :meth:`to_json` is the
+    JSON wire format the metrics endpoint serves, :meth:`to_prometheus` the
+    text exposition — scraping and the programmatic snapshot agree by
     construction (pinned in CI).
     """
 
@@ -204,6 +231,7 @@ class ServerMetrics:
     pool: PoolStats
     admission: AdmissionStats
     latency: dict[str, dict]
+    nodes: tuple[NodeStats, ...] = ()
 
     def outcome_counts(self) -> dict[str, int]:
         """Delivered outcomes per status (derived from the latency histograms)."""
@@ -216,17 +244,117 @@ class ServerMetrics:
             "admission": self.admission.as_dict(),
             "latency": self.latency,
             "outcomes": self.outcome_counts(),
+            "nodes": {snapshot.node_id: snapshot.as_dict() for snapshot in self.nodes},
         }
 
     def to_json(self) -> str:
         return json.dumps(self.as_dict(), sort_keys=True)
 
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition (format version 0.0.4) of the snapshot.
+
+        Fleet roll-ups are unlabelled; per-node series carry a ``node`` label;
+        latency renders as native histograms (cumulative ``le`` buckets) with
+        a ``status`` label per outcome status.
+        """
+        lines: list[str] = []
+
+        def escape(value: str) -> str:
+            return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+        def emit(name: str, kind: str, help_text: str, samples) -> None:
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            for labels, value in samples:
+                rendered = ""
+                if labels:
+                    inner = ",".join(f'{key}="{escape(str(val))}"' for key, val in labels.items())
+                    rendered = "{" + inner + "}"
+                lines.append(f"{name}{rendered} {value}")
+
+        def per_class(counter: dict[int, int]):
+            return [
+                ({"priority": priority}, count)
+                for priority, count in sorted(counter.items())
+            ]
+
+        admission = self.admission
+        emit("repro_admission_queued", "gauge",
+             "Waiting workloads per priority class.", per_class(admission.queued))
+        emit("repro_admission_admitted_total", "counter",
+             "Workloads admitted per priority class.", per_class(admission.admitted))
+        emit("repro_admission_rejected_total", "counter",
+             "Workloads rejected per priority class.", per_class(admission.rejected))
+        emit("repro_admission_deadline_expired_total", "counter",
+             "Workloads rejected because their deadline expired.",
+             [({}, admission.deadline_expired)])
+        emit("repro_admission_depth", "gauge",
+             "Waiting workloads right now.", [({}, admission.depth)])
+        emit("repro_admission_in_flight", "gauge",
+             "Workloads in the round being served right now.",
+             [({}, admission.in_flight)])
+        for name, value in sorted(self.cache.as_dict().items()):
+            emit(f"repro_cache_{name}_total", "counter",
+                 f"Fleet-wide language-cache counter: {name}.", [({}, value)])
+        pool = self.pool.as_dict()
+        for name, kind in (
+            ("pools_created", "counter"), ("chunks_dispatched", "counter"),
+            ("chunks_retried", "counter"), ("crashes", "counter"),
+            ("pool_width", "gauge"),
+        ):
+            emit(f"repro_pool_{name}" + ("_total" if kind == "counter" else ""), kind,
+                 f"Fleet-wide worker-pool counter: {name}.", [({}, pool[name])])
+        emit("repro_node_alive", "gauge", "Whether the node is serving.",
+             [({"node": s.node_id}, int(s.alive)) for s in self.nodes])
+        emit("repro_node_databases", "gauge", "Databases held warm per node.",
+             [({"node": s.node_id}, s.databases) for s in self.nodes])
+        emit("repro_node_envelopes_served_total", "counter",
+             "Sub-workloads accepted per node.",
+             [({"node": s.node_id}, s.envelopes_served) for s in self.nodes])
+        emit("repro_node_pool_crashes_total", "counter",
+             "Worker crashes observed per node.",
+             [({"node": s.node_id}, s.pool.crashes) for s in self.nodes])
+        emit("repro_node_pool_chunks_dispatched_total", "counter",
+             "Chunks dispatched per node.",
+             [({"node": s.node_id}, s.pool.chunks_dispatched) for s in self.nodes])
+        emit("repro_node_cache_result_hits_total", "counter",
+             "Result-level cache hits per node (node-owned caches only).",
+             [({"node": s.node_id}, s.cache.result_hits) for s in self.nodes])
+        emit("repro_outcomes_total", "counter", "Outcomes delivered per status.",
+             [({"status": status}, count)
+              for status, count in sorted(self.outcome_counts().items())])
+        lines.append(
+            "# HELP repro_latency_seconds Submit-to-delivery latency per outcome status."
+        )
+        lines.append("# TYPE repro_latency_seconds histogram")
+        for status, histogram in sorted(self.latency.items()):
+            label = escape(status)
+            cumulative = 0
+            for bound in LATENCY_BUCKET_BOUNDS:
+                cumulative += histogram["buckets"][str(bound)]
+                lines.append(
+                    f'repro_latency_seconds_bucket{{status="{label}",le="{bound}"}} {cumulative}'
+                )
+            lines.append(
+                f'repro_latency_seconds_bucket{{status="{label}",le="+Inf"}} {histogram["count"]}'
+            )
+            lines.append(
+                f'repro_latency_seconds_sum{{status="{label}"}} {histogram["sum_seconds"]}'
+            )
+            lines.append(
+                f'repro_latency_seconds_count{{status="{label}"}} {histogram["count"]}'
+            )
+        return "\n".join(lines) + "\n"
+
 
 class MetricsEndpoint:
-    """A minimal stdlib HTTP endpoint serving a metrics snapshot as JSON.
+    """A minimal stdlib HTTP endpoint serving a metrics snapshot.
 
     ``GET /metrics`` (or ``/``) returns ``ServerMetrics.to_json()`` evaluated
-    at scrape time; other paths 404.  Runs a daemonic
+    at scrape time; other paths 404.  Prometheus scrapers get the text
+    exposition instead via content negotiation: ``?format=prometheus`` or an
+    ``Accept`` header asking for ``text/plain`` selects
+    ``ServerMetrics.to_prometheus()``.  Runs a daemonic
     :class:`~http.server.ThreadingHTTPServer` bound to ``host:port`` —
     ``port=0`` picks a free port, exposed as :attr:`port` / :attr:`url`.
     """
@@ -234,13 +362,23 @@ class MetricsEndpoint:
     def __init__(self, snapshot, *, host: str = "127.0.0.1", port: int = 0) -> None:
         class Handler(BaseHTTPRequestHandler):
             def do_GET(self) -> None:  # noqa: N802 - http.server API
-                path = self.path.split("?", 1)[0].rstrip("/")
+                path, _, query = self.path.partition("?")
+                path = path.rstrip("/")
                 if path not in ("", "/metrics"):
                     self.send_error(404)
                     return
-                body = snapshot().to_json().encode("utf-8")
+                accept = self.headers.get("Accept", "")
+                prometheus = (
+                    "format=prometheus" in query.split("&") if query else False
+                ) or "text/plain" in accept
+                if prometheus:
+                    body = snapshot().to_prometheus().encode("utf-8")
+                    content_type = "text/plain; version=0.0.4; charset=utf-8"
+                else:
+                    body = snapshot().to_json().encode("utf-8")
+                    content_type = "application/json"
                 self.send_response(200)
-                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Type", content_type)
                 self.send_header("Content-Length", str(len(body)))
                 self.end_headers()
                 self.wfile.write(body)
@@ -273,12 +411,15 @@ class _Admission:
     and ``remaining`` are only touched under the server lock or on the drain
     thread, never concurrently.  ``abandoned`` flips (from the consumer side)
     when the outcome iterator is dropped mid-stream: the router then discards
-    outcomes and the admission queue skips the unserved tail.
+    outcomes and the admission queue skips the unserved tail.  ``token`` is
+    the workload's cooperative cancellation handle, shipped with every round
+    it participates in; ``weight`` scales its round share.
     """
 
     __slots__ = (
         "seq", "priority", "deadline_at", "specs", "queue", "loop",
         "submitted_at", "next_offset", "remaining", "abandoned", "in_round",
+        "database", "weight", "token",
     )
 
     def __init__(
@@ -289,6 +430,8 @@ class _Admission:
         queue: "asyncio.Queue",
         loop: "asyncio.AbstractEventLoop",
         submitted_at: float,
+        database: AnyDatabase,
+        weight: float,
     ) -> None:
         self.seq = 0
         self.priority = priority
@@ -301,6 +444,9 @@ class _Admission:
         self.remaining = len(specs)
         self.abandoned = False
         self.in_round = False
+        self.database = database
+        self.weight = weight
+        self.token = CancellationToken(deadline_at=deadline_at)
 
 
 class _OutcomeStream:
@@ -334,9 +480,22 @@ class _OutcomeStream:
             raise StopAsyncIteration
         return item
 
+    def cancel(
+        self, reason: str = "WorkloadCancelled: cancelled by the consumer"
+    ) -> None:
+        """Cooperatively cancel the workload while keeping the stream alive.
+
+        Unlike abandonment, the consumer stays subscribed: every not-yet-run
+        query — including the tail of a chunk already on a worker — surfaces
+        as a structured ``error`` outcome carrying ``reason``, so the stream
+        still completes with exactly one outcome per query.
+        """
+        self._entry.token.cancel(reason)
+
     async def aclose(self) -> None:
         self._entry.abandoned = True
         self._finished = True
+        self._entry.token.cancel(_ABANDON_REASON)
         # Wake a consumer already blocked in __anext__'s queue.get() — the
         # abandonment flag alone can never reach it (deliveries stop).
         self._entry.queue.put_nowait(_DONE)
@@ -344,27 +503,43 @@ class _OutcomeStream:
     def __del__(self) -> None:
         # GC can only collect an un-awaited stream (a blocked __anext__ holds
         # a reference), so flagging without a wake-up is enough here — and
-        # put_nowait would not be safe from an arbitrary GC thread.
+        # put_nowait would not be safe from an arbitrary GC thread.  The token
+        # cancel is a plain attribute write plus (at worst) one shared-memory
+        # byte store, both safe from a GC context.
         self._entry.abandoned = True
+        self._entry.token.cancel(_ABANDON_REASON)
 
 
 class AsyncResilienceServer:
-    """An asyncio front-end multiplexing workloads onto one warm server.
+    """An asyncio front-end multiplexing workloads onto an exchange.
 
     Args:
-        server: the :class:`~repro.service.server.ResilienceServer` to serve
-            through — or a database, from which a server is built with the
-            remaining keyword arguments (``max_workers``, ``parallel``,
-            ``cache``, ``store``).  The async server *owns* the underlying
-            server either way: closing the front-end closes it.
+        server: what to serve through — an
+            :class:`~repro.service.exchange.base.Exchange` (routed fleets
+            included), a :class:`~repro.service.server.ResilienceServer`
+            (wrapped in a :class:`~repro.service.exchange.local.LocalExchange`
+            — the single-node path, behavior-identical to the pre-exchange
+            front-end), or a database, from which a local server is built
+            with the remaining keyword arguments (``max_workers``,
+            ``parallel``, ``cache``, ``store``).  The async server *owns*
+            the exchange either way: closing the front-end closes it, its
+            nodes and their pools.
+        database: the default database submissions run against.  Required
+            (here or per-:meth:`submit`) when wrapping a bare ``Exchange``;
+            inferred — and not accepted — when wrapping a server or database.
         max_queue_depth: bound on *waiting* workloads; a submission arriving
             at the bound is rejected with structured
             :data:`~repro.service.outcome.ADMISSION_REJECTED` outcomes
             instead of queueing without limit.
-        round_share: per-workload concurrency share — the maximum number of
-            queries one workload may contribute to a single serving round
-            (``None``: a workload always contributes all of its remaining
-            queries).
+        round_share: base per-workload concurrency share — the maximum number
+            of queries a weight-1.0 workload may contribute to a single
+            serving round (``None``: a workload always contributes all of its
+            remaining queries).
+        share_weights: default share weight per priority class (1.0 where
+            unset).  A workload's round cap is ``max(1, round(round_share *
+            weight))`` — the floor of one guarantees every waiting workload
+            progresses every round of its class, so no positive weight can
+            starve.
         autostart: start the drain thread lazily on the first submission
             (default).  ``autostart=False`` keeps every submission queued
             until :meth:`start` is called — the seam the admission-order
@@ -378,10 +553,12 @@ class AsyncResilienceServer:
 
     def __init__(
         self,
-        server: ResilienceServer | AnyDatabase,
+        server: Exchange | ResilienceServer | AnyDatabase,
         *,
+        database: AnyDatabase | None = None,
         max_queue_depth: int = 64,
         round_share: int | None = None,
+        share_weights: Mapping[int, float] | None = None,
         autostart: bool = True,
         max_workers: int | None = None,
         parallel: bool = True,
@@ -392,19 +569,46 @@ class AsyncResilienceServer:
             raise ValueError(f"max_queue_depth must be >= 1 (got {max_queue_depth})")
         if round_share is not None and round_share < 1:
             raise ValueError(f"round_share must be >= 1 or None (got {round_share})")
-        if isinstance(server, ResilienceServer):
+        if share_weights:
+            for priority, weight in share_weights.items():
+                if weight <= 0:
+                    raise ValueError(
+                        f"share weights must be > 0 (priority {priority} got {weight})"
+                    )
+        if isinstance(server, Exchange):
+            if max_workers is not None or cache is not None or store is not None or parallel is not True:
+                raise ValueError(
+                    "max_workers/parallel/cache/store configure a server built from a "
+                    "database; an Exchange already owns its nodes' configuration"
+                )
+            self._exchange = server
+            self._default_database = database
+        elif isinstance(server, ResilienceServer):
             if max_workers is not None or cache is not None or store is not None or parallel is not True:
                 raise ValueError(
                     "max_workers/parallel/cache/store configure a server built from a "
                     "database; an existing ResilienceServer already owns them"
                 )
-            self._server = server
+            if database is not None and database is not server.database:
+                raise ValueError(
+                    "database= names the default database of a bare Exchange; a "
+                    "ResilienceServer already pins its own"
+                )
+            self._exchange = LocalExchange(server)
+            self._default_database = server.database
         else:
-            self._server = ResilienceServer(
+            if database is not None:
+                raise ValueError(
+                    "database= names the default database of a bare Exchange; "
+                    "positional `server` already is the database here"
+                )
+            self._exchange = LocalExchange(
                 server, max_workers=max_workers, parallel=parallel, cache=cache, store=store
             )
+            self._default_database = self._exchange.database
         self._max_queue_depth = max_queue_depth
         self._round_share = round_share
+        self._share_weights = dict(share_weights) if share_weights else {}
         self._autostart = autostart
 
         # Reentrant: expiry runs under the lock and delivers outcomes, whose
@@ -427,22 +631,35 @@ class AsyncResilienceServer:
     # ------------------------------------------------------------------ accessors
 
     @property
+    def exchange(self) -> Exchange:
+        """The owned exchange every round is served through."""
+        return self._exchange
+
+    @property
     def server(self) -> ResilienceServer:
-        """The wrapped warm server (owned: closed with the front-end)."""
-        return self._server
+        """The wrapped warm server — single-node (:class:`LocalExchange`) only."""
+        if isinstance(self._exchange, LocalExchange):
+            return self._exchange.server
+        raise ReproError(
+            "no single wrapped server: this front-end serves through "
+            f"{type(self._exchange).__name__}; use .exchange"
+        )
 
     @property
     def cache(self) -> LanguageCache:
-        return self._server.cache
+        """The wrapped server's cache — single-node (:class:`LocalExchange`) only."""
+        return self.server.cache
 
     @property
     def database(self) -> AnyDatabase:
-        return self._server.database
+        """The default database submissions run against (may be ``None`` for a
+        bare exchange configured per-submit)."""
+        return self._default_database
 
     def worker_pids(self) -> frozenset[int]:
-        """PIDs of the shared pool's workers — stable PIDs across concurrent
-        workloads prove they share one warm pool (the acceptance observable)."""
-        return self._server.worker_pids()
+        """PIDs of the fleet's pool workers — stable PIDs across concurrent
+        workloads prove they share warm pools (the acceptance observable)."""
+        return self._exchange.worker_pids()
 
     def drain_log(self) -> tuple[tuple[int, int], ...]:
         """Diagnostic: ``(priority, submission_seq)`` per workload per round,
@@ -472,8 +689,8 @@ class AsyncResilienceServer:
     def close(self) -> None:
         """Drain down and close (idempotent): stop admissions, finish the
         in-flight round, fail still-waiting workloads with structured
-        ``"error"`` outcomes, shut metrics endpoints and the wrapped server.
-        Blocking — from async code, use :meth:`aclose`."""
+        ``"error"`` outcomes, shut metrics endpoints and the exchange (and
+        with it every node).  Blocking — from async code, use :meth:`aclose`."""
         with self._lock:
             already = self._closed
             self._closing = True
@@ -491,7 +708,7 @@ class AsyncResilienceServer:
             endpoints, self._endpoints = self._endpoints, []
             for endpoint in endpoints:
                 endpoint.close()
-            self._server.close()
+            self._exchange.close()
 
     async def aclose(self) -> None:
         """Async-friendly :meth:`close` (runs it on the default executor)."""
@@ -517,6 +734,8 @@ class AsyncResilienceServer:
         *,
         priority: int = 0,
         deadline: float | None = None,
+        database: AnyDatabase | None = None,
+        weight: float | None = None,
     ) -> AsyncIterator[QueryOutcome]:
         """Admit a workload; iterate its outcomes as they complete.
 
@@ -525,9 +744,18 @@ class AsyncResilienceServer:
                 accepts.
             priority: admission class — **lower is served first**; FIFO
                 within a class.
-            deadline: maximum seconds the workload may *wait in the queue*.
-                Expiring unserved rejects it with ``admission-rejected``
-                outcomes; once serving starts the deadline no longer applies.
+            deadline: maximum seconds until the workload's outcomes must be
+                done.  Expiring unserved rejects it with
+                ``admission-rejected`` outcomes; expiring *mid-execution*
+                cancels the unserved tail cooperatively, yielding
+                ``admission-rejected`` outcomes for the queries the deadline
+                cut off (served queries keep their real outcomes).
+            database: the database to run against, overriding the server's
+                default; different submissions may target different databases
+                and a routed exchange scatters them to their owning nodes.
+            weight: share weight for this workload, overriding the
+                ``share_weights`` default of its priority class.  The round
+                cap is ``max(1, round(round_share * weight))``; must be > 0.
 
         Returns:
             an async iterator yielding exactly one
@@ -536,14 +764,27 @@ class AsyncResilienceServer:
             blocking :meth:`~repro.service.server.ResilienceServer.serve`
             list.  A rejected submission yields one
             :data:`~repro.service.outcome.ADMISSION_REJECTED` outcome per
-            query instead of raising.
+            query instead of raising.  The iterator's ``cancel()`` requests
+            cooperative cancellation of whatever has not been served yet.
 
         Raises:
             ReproError: on a closed server (the one non-graceful refusal: the
-                pool is gone, so no later capacity can serve a retry).
+                pool is gone, so no later capacity can serve a retry), or
+                when no database is known (bare exchange, no default, no
+                ``database=``).
         """
         if deadline is not None and deadline < 0:
             raise ValueError(f"deadline must be >= 0 seconds (got {deadline})")
+        if weight is None:
+            weight = self._share_weights.get(priority, 1.0)
+        elif weight <= 0:
+            raise ValueError(f"weight must be > 0 (got {weight})")
+        db = database if database is not None else self._default_database
+        if db is None:
+            raise ReproError(
+                "no database to serve against: this front-end wraps a bare "
+                "exchange with no default; pass database= to submit()"
+            )
         fleet = Workload.coerce(workload)
         loop = asyncio.get_running_loop()
         now = time.monotonic()
@@ -554,6 +795,8 @@ class AsyncResilienceServer:
             queue=asyncio.Queue(),
             loop=loop,
             submitted_at=now,
+            database=db,
+            weight=weight,
         )
         with self._lock:
             if self._closing or self._closed:
@@ -625,7 +868,8 @@ class AsyncResilienceServer:
         """Pop the next round: the best priority class's waiting workloads.
 
         Returns ``(entry, start, stop)`` spec slices, each capped at the
-        round share.  Abandoned entries are dropped; expired waiters are
+        entry's weighted round share.  Abandoned entries are dropped; expired
+        waiters are
         rejected *across every class* first (an expired low-priority
         workload behind sustained high-priority traffic must not wait for
         its class's turn to learn it was rejected).  Partially contributed
@@ -644,10 +888,11 @@ class AsyncResilienceServer:
                 if entry.abandoned:
                     continue
                 start = entry.next_offset
+                share = self._entry_share(entry)
                 stop = (
                     len(entry.specs)
-                    if self._round_share is None
-                    else min(len(entry.specs), start + self._round_share)
+                    if share is None
+                    else min(len(entry.specs), start + share)
                 )
                 entry.next_offset = stop
                 entry.in_round = True
@@ -657,6 +902,17 @@ class AsyncResilienceServer:
                 return slices
             # the class emptied out (abandons/expiries): try the next one
 
+    def _entry_share(self, entry: "_Admission") -> int | None:
+        """The weighted round cap: ``max(1, round(round_share * weight))``.
+
+        The floor of one query per round is the no-starvation guarantee —
+        however small a positive weight, a waiting workload progresses on
+        every round of its class.
+        """
+        if self._round_share is None:
+            return None
+        return max(1, round(self._round_share * entry.weight))
+
     def _sweep_expired_locked(self) -> None:
         """Drop dead waiters: expired deadlines (rejected) and abandoned
         iterators (discarded — nobody is listening).
@@ -664,8 +920,9 @@ class AsyncResilienceServer:
         Runs on both admission (submit) and drain (round pop), so a dead
         workload stops occupying a queue-depth slot promptly even while the
         drain is busy with other priority classes.  Only never-started
-        workloads expire — a workload whose first round ran always
-        completes.
+        workloads expire *here* — a workload whose first round ran completes
+        through the serving path, where its cancellation token turns the
+        deadline into cooperative mid-execution cancellation instead.
         """
         now = time.monotonic()
         for queue in self._waiting.values():
@@ -691,30 +948,54 @@ class AsyncResilienceServer:
             self._deliver(entry, outcome)
 
     def _serve_round(self, slices: list[tuple[_Admission, int, int]]) -> None:
-        """Serve one merged round on the shared warm server and route outcomes.
+        """Serve one merged round through the exchange and route outcomes.
 
-        The merged workload concatenates each entry's spec slice; outcome
-        indices come back merged-global and are rewritten to workload-local
-        before delivery.  Any raise out of ``serve_iter`` itself (closed
-        server, broken beyond retry) fails every undelivered query of the
-        round structurally — per-query failures are already outcomes.
+        Slices are grouped by database (identity, first-appearance order)
+        into one :class:`WorkloadEnvelope` part per database; a
+        single-database round is therefore a one-part envelope — the exact
+        merged workload the pre-exchange front-end served directly.  Outcome
+        indices come back envelope-global and are rewritten to workload-local
+        before delivery.  Each entry's cancellation token rides along keyed
+        by envelope index, so deadlines and consumer cancels cut execution
+        cooperatively mid-round.  Any raise out of ``submit`` itself (closed
+        exchange, broken beyond failover) fails every undelivered query of
+        the round structurally — per-query failures are already outcomes.
         """
-        merged: list[QuerySpec] = []
-        routing: list[tuple[_Admission, int]] = []
+        groups: dict[int, tuple[AnyDatabase, list[QuerySpec], list[tuple[_Admission, int]]]] = {}
+        order: list[int] = []
         for entry, start, stop in slices:
+            key = id(entry.database)
+            if key not in groups:
+                groups[key] = (entry.database, [], [])
+                order.append(key)
+            _, merged, routed = groups[key]
             for local in range(start, stop):
-                routing.append((entry, local))
+                routed.append((entry, local))
                 merged.append(entry.specs[local])
+        parts: list[EnvelopePart] = []
+        routing: list[tuple[_Admission, int]] = []
+        for key in order:
+            db, merged, routed = groups[key]
+            parts.append(EnvelopePart(workload=Workload(tuple(merged)), database=db))
+            routing.extend(routed)
+        tokens = {
+            global_index: entry.token
+            for global_index, (entry, _) in enumerate(routing)
+        }
         delivered = [False] * len(routing)
         try:
-            iterator = self._server.serve_iter(Workload(tuple(merged)))
+            iterator = self._exchange.submit(
+                WorkloadEnvelope(tuple(parts)), cancel=tokens
+            )
             try:
                 for outcome in iterator:
                     entry, local = routing[outcome.index]
                     delivered[outcome.index] = True
                     self._deliver(entry, replace(outcome, index=local))
             finally:
-                iterator.close()
+                close = getattr(iterator, "close", None)
+                if close is not None:
+                    close()
         except Exception as error:
             reason = f"{type(error).__name__}: {error}"
             for position, (entry, local) in enumerate(routing):
@@ -774,8 +1055,10 @@ class AsyncResilienceServer:
                 entry.loop.call_soon_threadsafe(entry.queue.put_nowait, _DONE)
         except RuntimeError:
             # The submitting event loop is gone: nobody can consume this
-            # stream anymore, so treat the workload as abandoned.
+            # stream anymore, so treat the workload as abandoned and stop
+            # spending pool time on its unserved tail.
             entry.abandoned = True
+            entry.token.cancel(_ABANDON_REASON)
 
     # -------------------------------------------------------------------- metrics
 
@@ -797,11 +1080,13 @@ class AsyncResilienceServer:
                 status: histogram.as_dict()
                 for status, histogram in sorted(self._latency.items())
             }
+        nodes = self._exchange.stats()
         return ServerMetrics(
-            cache=self._server.cache.stats.snapshot(),
-            pool=self._server.pool_stats(),
+            cache=CacheStats.aggregate([snapshot.cache for snapshot in nodes]),
+            pool=PoolStats.aggregate([snapshot.pool for snapshot in nodes]),
             admission=admission,
             latency=latency,
+            nodes=nodes,
         )
 
     def metrics_endpoint(self, port: int = 0, *, host: str = "127.0.0.1") -> MetricsEndpoint:
@@ -823,6 +1108,6 @@ class AsyncResilienceServer:
         with self._lock:
             depth = sum(len(queue) for queue in self._waiting.values())
         return (
-            f"AsyncResilienceServer({self._server!r}, {state}, depth={depth}, "
+            f"AsyncResilienceServer({self._exchange!r}, {state}, depth={depth}, "
             f"bound={self._max_queue_depth})"
         )

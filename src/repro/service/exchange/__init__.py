@@ -1,0 +1,51 @@
+"""The exchange layer: transport-agnostic routing between front-end and nodes.
+
+The serving stack is three layers — front-end
+(:class:`~repro.service.async_server.AsyncResilienceServer`: admission,
+merging, streaming), **exchange** (this package: routing, scatter/gather,
+failover), nodes (warm :class:`~repro.service.server.ResilienceServer`
+pools).  The front-end codes against the :class:`Exchange` contract only, so
+the same admission-controlled surface serves in-process
+(:class:`LocalExchange`), over an in-process fleet (:class:`ThreadExchange`)
+or over HTTP (:class:`HttpExchange`) — the local → thread → HTTP ladder,
+each rung pinned outcome-identical to the uncached serial reference by the
+conformance suite.
+"""
+
+from .base import (
+    CancelMap,
+    EnvelopePart,
+    Exchange,
+    Mailbox,
+    Node,
+    NodeStats,
+    WorkloadEnvelope,
+)
+from .http import HttpExchange, HttpNode, HttpNodeLauncher, HttpNodeServer
+from .local import LocalExchange
+from .manager import NodeLauncher, NodeManager, ThreadNodeLauncher
+from .nodes import ThreadNode
+from .router import Router
+from .threads import RoutedExchange, ThreadExchange
+
+__all__ = [
+    "CancelMap",
+    "EnvelopePart",
+    "Exchange",
+    "HttpExchange",
+    "HttpNode",
+    "HttpNodeLauncher",
+    "HttpNodeServer",
+    "LocalExchange",
+    "Mailbox",
+    "Node",
+    "NodeLauncher",
+    "NodeManager",
+    "NodeStats",
+    "RoutedExchange",
+    "Router",
+    "ThreadExchange",
+    "ThreadNode",
+    "ThreadNodeLauncher",
+    "WorkloadEnvelope",
+]

@@ -1,0 +1,294 @@
+"""The exchange protocol: envelopes in, outcome streams out, nodes underneath.
+
+This module defines the transport-agnostic vocabulary of the middle layer of
+the serving stack (front-end → **exchange** → nodes):
+
+* :class:`WorkloadEnvelope` — what a front-end submits: one or more
+  :class:`EnvelopePart`\\ s, each a :class:`~repro.service.workload.Workload`
+  bound to the database it runs against.  Envelope-global outcome indices are
+  the concatenation of the parts, in order, so a multi-database round stays
+  one stream with one index space.
+* :class:`Node` — the serving side: something that can hold databases warm
+  and stream :class:`~repro.service.outcome.QueryOutcome`\\ s for a workload
+  against one of them (a :class:`~repro.service.exchange.nodes.ThreadNode`
+  in-process, an :class:`~repro.service.exchange.http.HttpNode` over the
+  wire).
+* :class:`NodeStats` — one node's observability snapshot, aggregated by the
+  front-end's :meth:`~repro.service.async_server.AsyncResilienceServer.metrics`.
+* :class:`Exchange` — the contract the front-end codes against: submit an
+  envelope, iterate outcomes (envelope-global indices, completion order),
+  plus node registration/heartbeat for the routed implementations.
+* :class:`Mailbox` — the gather half of scatter/gather: serving threads post
+  outcomes from per-node sub-streams, the consumer drains one merged stream.
+
+Every implementation must uphold the serving contract the conformance suite
+pins: exactly one outcome per envelope query (no loss, no duplication, no
+cross-workload leaks), outcome-identical to the uncached serial reference
+once re-sorted by index.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from abc import ABC, abstractmethod
+from collections.abc import Iterator, Mapping
+from dataclasses import dataclass, field, fields
+
+from ...exceptions import ReproError
+from ...graphdb.database import BagGraphDatabase, GraphDatabase
+from ...resilience.engine import CacheStats
+from ..cancellation import CancellationToken
+from ..outcome import QueryOutcome
+from ..server import PoolStats
+from ..workload import Workload
+
+AnyDatabase = GraphDatabase | BagGraphDatabase
+
+#: ``cancel=`` shape at the exchange boundary: envelope-global index -> token.
+CancelMap = Mapping[int, CancellationToken] | CancellationToken | None
+
+
+@dataclass(frozen=True)
+class EnvelopePart:
+    """One workload bound to the database it runs against."""
+
+    workload: Workload
+    database: AnyDatabase
+
+    def fingerprint(self) -> str:
+        """Routing key: the database's content digest (stable across hosts)."""
+        return self.database.content_fingerprint()
+
+    def __len__(self) -> int:
+        return len(self.workload)
+
+
+@dataclass(frozen=True)
+class WorkloadEnvelope:
+    """A front-end submission: parts concatenated into one index space.
+
+    Outcome index ``g`` belongs to part ``k`` at part-local index
+    ``g - offset(k)`` where ``offset(k)`` is the total length of parts
+    ``0..k-1``.  The common case — everything in a merged round against one
+    database — is a single part, which routed exchanges serve without any
+    scatter machinery.
+    """
+
+    parts: tuple[EnvelopePart, ...]
+
+    @classmethod
+    def single(cls, workload: Workload, database: AnyDatabase) -> "WorkloadEnvelope":
+        return cls(parts=(EnvelopePart(workload=workload, database=database),))
+
+    def __len__(self) -> int:
+        return sum(len(part) for part in self.parts)
+
+    def offsets(self) -> list[int]:
+        """The envelope-global index where each part starts."""
+        offsets, total = [], 0
+        for part in self.parts:
+            offsets.append(total)
+            total += len(part)
+        return offsets
+
+
+@dataclass(frozen=True)
+class NodeStats:
+    """One node's observability snapshot (the per-node metrics unit).
+
+    ``cache`` counts only a cache the node *owns*: nodes sharing one session
+    cache (the conformance harness's shared-cache variants) report empty
+    cache stats so fleet aggregation never double-counts one object.
+
+    Attributes:
+        node_id: stable routing identity (survives replacement).
+        alive: whether the node is believed serveable right now.
+        databases: databases the node holds warm servers for.
+        envelopes_served: sub-workloads this node has accepted.
+        cache: the node-owned language cache counters.
+        pool: worker-pool counters summed over the node's servers.
+    """
+
+    node_id: str
+    alive: bool
+    databases: int
+    envelopes_served: int
+    cache: CacheStats
+    pool: PoolStats
+
+    def as_dict(self) -> dict:
+        return {
+            "node_id": self.node_id,
+            "alive": self.alive,
+            "databases": self.databases,
+            "envelopes_served": self.envelopes_served,
+            "cache": self.cache.as_dict(),
+            "pool": self.pool.as_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "NodeStats":
+        """Rebuild from :meth:`as_dict` output (the HTTP stats wire format)."""
+        cache = CacheStats(
+            **{f.name: payload["cache"].get(f.name, 0) for f in fields(CacheStats)}
+        )
+        return cls(
+            node_id=payload["node_id"],
+            alive=payload["alive"],
+            databases=payload["databases"],
+            envelopes_served=payload["envelopes_served"],
+            cache=cache,
+            pool=PoolStats.from_dict(payload["pool"]),
+        )
+
+
+class Node(ABC):
+    """A serving node: warm servers for its databases, streamed outcomes."""
+
+    node_id: str
+
+    @property
+    @abstractmethod
+    def alive(self) -> bool:
+        """Current belief, without probing (see :meth:`heartbeat`)."""
+
+    @property
+    @abstractmethod
+    def killed(self) -> bool:
+        """Whether the node was torn down abruptly (crash or kill)."""
+
+    @abstractmethod
+    def ensure_database(self, database: AnyDatabase) -> str:
+        """Make the node able to serve ``database``; returns its fingerprint.
+
+        Idempotent — registering the same content twice is free.
+        """
+
+    @abstractmethod
+    def serve_iter(
+        self,
+        workload: Workload,
+        database: AnyDatabase,
+        *,
+        cancel: CancelMap = None,
+    ) -> Iterator[QueryOutcome]:
+        """Stream outcomes for one workload against one registered database."""
+
+    @abstractmethod
+    def heartbeat(self) -> bool:
+        """Actively probe the node, updating and returning :attr:`alive`."""
+
+    @abstractmethod
+    def stats(self) -> NodeStats:
+        ...
+
+    @abstractmethod
+    def kill(self) -> None:
+        """Tear the node down abruptly (fault injection / forced eviction)."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Graceful shutdown; idempotent."""
+
+
+class Exchange(ABC):
+    """What the async front-end owns: envelope in, outcome stream out.
+
+    Implementations: :class:`~repro.service.exchange.local.LocalExchange`
+    (one in-process server, zero routing), routed exchanges over a node fleet
+    (:class:`~repro.service.exchange.threads.ThreadExchange`,
+    :class:`~repro.service.exchange.http.HttpExchange`).
+    """
+
+    @abstractmethod
+    def submit(
+        self, envelope: WorkloadEnvelope, *, cancel: CancelMap = None
+    ) -> Iterator[QueryOutcome]:
+        """Serve one envelope, yielding outcomes with envelope-global indices.
+
+        Exactly one outcome per envelope query, in completion order.  Node
+        failures surface as re-routed results or structured ``error``
+        outcomes — never as lost indices.
+        """
+
+    @abstractmethod
+    def stats(self) -> tuple[NodeStats, ...]:
+        """Per-node observability snapshots, one per registered node."""
+
+    @abstractmethod
+    def close(self) -> None:
+        ...
+
+    # --------------------------------------------------------- fleet surface
+
+    def nodes(self) -> tuple[str, ...]:
+        """Registered node ids (dead nodes included, until replaced)."""
+        return tuple(snapshot.node_id for snapshot in self.stats())
+
+    def heartbeat(self) -> dict[str, bool]:
+        """Probe every registered node; ``node_id -> alive``."""
+        return {snapshot.node_id: snapshot.alive for snapshot in self.stats()}
+
+    def register(self, node: Node) -> None:
+        """Attach an externally launched node (routed exchanges only)."""
+        raise ReproError(f"{type(self).__name__} does not accept external nodes")
+
+    def worker_pids(self) -> frozenset[int]:
+        """Union of worker PIDs across nodes (remote nodes report their own
+        hosts' PIDs — meaningful for diagnostics, not for local signalling)."""
+        pids: set[int] = set()
+        for snapshot in self.stats():
+            pids.update(snapshot.pool.worker_pids)
+        return frozenset(pids)
+
+    def __enter__(self) -> "Exchange":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@dataclass
+class Mailbox:
+    """Thread-safe gather stream for a scattered envelope.
+
+    Each scatter thread serves one envelope part and :meth:`post`\\ s its
+    outcomes here; the submitting consumer iterates one merged stream that
+    ends when every part called :meth:`finish_part`.  :meth:`close` is the
+    consumer abandoning the stream: posts become no-ops and serving threads
+    poll :attr:`closed` between outcomes to stop early.
+    """
+
+    expected_parts: int
+    _queue: queue.Queue = field(default_factory=queue.Queue)
+    _finished: int = 0
+    _closed: bool = False
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    _DONE = object()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def post(self, outcome: QueryOutcome) -> None:
+        if not self._closed:
+            self._queue.put(outcome)
+
+    def finish_part(self) -> None:
+        with self._lock:
+            self._finished += 1
+            if self._finished == self.expected_parts:
+                self._queue.put(self._DONE)
+
+    def close(self) -> None:
+        self._closed = True
+        self._queue.put(self._DONE)
+
+    def __iter__(self) -> Iterator[QueryOutcome]:
+        while True:
+            item = self._queue.get()
+            if item is self._DONE:
+                return
+            yield item

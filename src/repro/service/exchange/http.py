@@ -1,0 +1,416 @@
+"""The HTTP rung of the exchange ladder: nodes behind stdlib sockets.
+
+One :class:`HttpNodeServer` wraps a
+:class:`~repro.service.exchange.nodes.ThreadNode` runtime behind a
+``ThreadingHTTPServer`` — the serving semantics are byte-identical to the
+in-process node because it *is* the in-process node, reached through a
+socket.  :class:`HttpNode` is the client-side handle implementing the
+:class:`~repro.service.exchange.base.Node` contract over ``http.client``,
+so :class:`HttpExchange` is nothing but :class:`RoutedExchange` over a
+fleet of HTTP node handles: routing, scatter/gather and failover are the
+exact code paths the thread exchange runs.
+
+Wire format: JSON envelopes on every endpoint.  Databases, workloads and
+outcomes travel as base64-pickled payloads *inside* the JSON — the nodes
+are trusted peers running this same codebase (exactly the trust model of
+the process pool's pickle channel), not an open API; do not expose a node
+to untrusted callers.  Outcome streaming uses newline-delimited JSON with
+chunked transfer, so the client sees each outcome as the node finishes it.
+
+Endpoints::
+
+    GET  /healthz            -> {"node_id": ..., "alive": true}
+    GET  /stats              -> NodeStats.as_dict()
+    POST /databases          <- {"database": b64}        -> {"fingerprint": fp}
+    POST /serve              <- {"fingerprint": fp, "workload": b64,
+                                 "deadlines": {index: seconds_remaining}}
+                             -> ndjson: {"outcome": b64} ... {"done": count}
+    POST /kill               -> abrupt runtime teardown (fault injection)
+
+Cancellation over the wire is deadline-only and best-effort: remaining
+seconds ship with the serve request and the node rebuilds tokens against
+its own monotonic clock; explicit cancel flags do not cross the socket
+(the client simply stops reading, and failover/abandonment semantics are
+enforced client-side by the routed exchange).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import threading
+from collections.abc import Iterator, Mapping
+from http.client import HTTPConnection
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from time import monotonic
+
+from ...exceptions import ReproError
+from ..cancellation import CancellationToken
+from ..outcome import QueryOutcome
+from ..workload import Workload
+from .base import AnyDatabase, CancelMap, Node, NodeStats
+from .manager import NodeLauncher, NodeManager
+from .nodes import ThreadNode
+from .router import Router
+from .threads import RoutedExchange
+
+
+def encode_payload(obj) -> str:
+    """Pickle an object into a JSON-safe base64 string (trusted peers only)."""
+    return base64.b64encode(pickle.dumps(obj)).decode("ascii")
+
+
+def decode_payload(text: str):
+    return pickle.loads(base64.b64decode(text.encode("ascii")))
+
+
+# ------------------------------------------------------------------- node side
+
+
+class _NodeRequestHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    # The runtime is attached to the server object by HttpNodeServer.
+    def log_message(self, *args) -> None:  # silence per-request stderr noise
+        pass
+
+    def _reply_json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", "0"))
+        return json.loads(self.rfile.read(length) or b"{}")
+
+    def do_GET(self) -> None:
+        runtime: ThreadNode = self.server.runtime
+        if self.path == "/healthz":
+            self._reply_json({"node_id": runtime.node_id, "alive": runtime.alive})
+        elif self.path == "/stats":
+            self._reply_json(runtime.stats().as_dict())
+        else:
+            self._reply_json({"error": f"unknown path {self.path}"}, status=404)
+
+    def do_POST(self) -> None:
+        runtime: ThreadNode = self.server.runtime
+        try:
+            if self.path == "/databases":
+                request = self._read_json()
+                database = decode_payload(request["database"])
+                fingerprint = runtime.ensure_database(database)
+                # Keep the decoded object so /serve ships only the fingerprint.
+                self.server.databases[fingerprint] = database
+                self._reply_json({"fingerprint": fingerprint})
+            elif self.path == "/serve":
+                self._serve(runtime, self._read_json())
+            elif self.path == "/kill":
+                runtime.kill()
+                self._reply_json({"killed": True})
+            else:
+                self._reply_json({"error": f"unknown path {self.path}"}, status=404)
+        except ReproError as error:
+            self._reply_json({"error": str(error)}, status=409)
+        except Exception as error:  # pragma: no cover - defensive
+            self._reply_json({"error": f"{type(error).__name__}: {error}"}, status=500)
+
+    def _serve(self, runtime: ThreadNode, request: dict) -> None:
+        fingerprint = request["fingerprint"]
+        database = self.server.databases.get(fingerprint)
+        if database is None:
+            self._reply_json(
+                {"error": f"database {fingerprint!r} not registered"}, status=409
+            )
+            return
+        workload: Workload = decode_payload(request["workload"])
+        cancel = None
+        deadlines = request.get("deadlines") or {}
+        if deadlines:
+            now = monotonic()
+            cancel = {
+                int(index): CancellationToken(deadline_at=now + max(0.0, seconds))
+                for index, seconds in deadlines.items()
+            }
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        count = 0
+        for outcome in runtime.serve_iter(workload, database, cancel=cancel):
+            self._write_chunk({"outcome": encode_payload(outcome)})
+            count += 1
+        self._write_chunk({"done": count})
+        self.wfile.write(b"0\r\n\r\n")
+
+    def _write_chunk(self, payload: dict) -> None:
+        line = json.dumps(payload).encode() + b"\n"
+        self.wfile.write(f"{len(line):x}\r\n".encode() + line + b"\r\n")
+        self.wfile.flush()
+
+
+class HttpNodeServer:
+    """One serving node behind a loopback (or LAN) socket.
+
+    The runtime is a plain :class:`ThreadNode`; the HTTP layer adds only
+    transport.  ``port=0`` binds an ephemeral port — read :attr:`address`.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_workers: int | None = None,
+        parallel: bool = True,
+    ) -> None:
+        self.runtime = ThreadNode(node_id, max_workers=max_workers, parallel=parallel)
+        self._httpd = ThreadingHTTPServer((host, port), _NodeRequestHandler)
+        self._httpd.runtime = self.runtime
+        # ensure_database returns only the fingerprint over the wire; the
+        # server keeps the decoded database objects for /serve lookups.
+        self._httpd.databases = {}
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name=f"http-node-{node_id}", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._httpd.server_address[:2]
+        return host, port
+
+    def close(self) -> None:
+        self.runtime.close()
+        self._httpd.shutdown()
+        self._httpd.server_close()
+
+
+# ----------------------------------------------------------------- client side
+
+
+class HttpNode(Node):
+    """Client-side handle to a remote node, speaking the wire format above.
+
+    ``alive`` is the client's belief: it flips to ``False`` on any failed
+    request (connection refused, node-side error) and back to ``True`` only
+    through a successful :meth:`heartbeat` probe.
+    """
+
+    def __init__(self, node_id: str, host: str, port: int, *, timeout: float = 30.0) -> None:
+        self.node_id = node_id
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._alive = True
+        self._killed = False
+        self._shipped: set[str] = set()
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def alive(self) -> bool:
+        return self._alive and not self._killed
+
+    @property
+    def killed(self) -> bool:
+        return self._killed
+
+    def heartbeat(self) -> bool:
+        try:
+            payload = self._request_json("GET", "/healthz")
+            self._alive = bool(payload.get("alive"))
+        except Exception:
+            self._alive = False
+        return self.alive
+
+    # ---------------------------------------------------------------- serving
+
+    def ensure_database(self, database: AnyDatabase) -> str:
+        fingerprint = database.content_fingerprint()
+        if fingerprint not in self._shipped:
+            reply = self._request_json(
+                "POST", "/databases", {"database": encode_payload(database)}
+            )
+            self._shipped.add(reply["fingerprint"])
+        return fingerprint
+
+    def serve_iter(
+        self,
+        workload: Workload,
+        database: AnyDatabase,
+        *,
+        cancel: CancelMap = None,
+    ) -> Iterator[QueryOutcome]:
+        fingerprint = self.ensure_database(database)
+        deadlines: dict[int, float] = {}
+        if cancel is not None:
+            now = monotonic()
+            items: Iterator = (
+                cancel.items()
+                if isinstance(cancel, Mapping)
+                else ((index, cancel) for index in range(len(workload)))
+            )
+            for index, token in items:
+                if token is not None and token.deadline_at is not None:
+                    deadlines[index] = token.deadline_at - now
+        request = {
+            "fingerprint": fingerprint,
+            "workload": encode_payload(workload),
+            "deadlines": deadlines,
+        }
+        connection = self._connect()
+        try:
+            body = json.dumps(request)
+            connection.request(
+                "POST", "/serve", body=body, headers={"Content-Type": "application/json"}
+            )
+            response = connection.getresponse()
+            if response.status != 200:
+                detail = response.read().decode(errors="replace")
+                raise ReproError(
+                    f"node {self.node_id!r} refused workload "
+                    f"(HTTP {response.status}): {detail}"
+                )
+            count = None
+            served = 0
+            for raw in response:
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    message = json.loads(line)
+                except ValueError as error:
+                    # A node dying mid-response can splice error payloads into
+                    # the chunk stream; treat any corruption as node failure.
+                    self._alive = False
+                    raise ReproError(
+                        f"node {self.node_id!r} stream corrupted: {error}"
+                    ) from error
+                if "outcome" in message:
+                    served += 1
+                    yield decode_payload(message["outcome"])
+                elif "done" in message:
+                    count = message["done"]
+            if count is None or count != served:
+                self._alive = False
+                raise ReproError(
+                    f"node {self.node_id!r} stream ended early "
+                    f"({served} outcomes, terminator={count!r})"
+                )
+        except (ConnectionError, OSError) as error:
+            self._alive = False
+            raise ReproError(
+                f"node {self.node_id!r} connection failed: {error}"
+            ) from error
+        finally:
+            connection.close()
+
+    # -------------------------------------------------------------- lifecycle
+
+    def stats(self) -> NodeStats:
+        return NodeStats.from_dict(self._request_json("GET", "/stats"))
+
+    def kill(self) -> None:
+        self._killed = True
+        try:
+            self._request_json("POST", "/kill")
+        except Exception:
+            pass  # the node may already be gone; the client flag is the truth
+
+    def close(self) -> None:
+        self._alive = False
+
+    # --------------------------------------------------------------- plumbing
+
+    def _connect(self) -> HTTPConnection:
+        return HTTPConnection(self._host, self._port, timeout=self._timeout)
+
+    def _request_json(self, method: str, path: str, payload: dict | None = None) -> dict:
+        connection = self._connect()
+        try:
+            body = json.dumps(payload) if payload is not None else None
+            headers = {"Content-Type": "application/json"} if body else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            data = response.read()
+            if response.status != 200:
+                self._alive = False
+                raise ReproError(
+                    f"node {self.node_id!r} {method} {path} -> HTTP {response.status}: "
+                    + data.decode(errors="replace")
+                )
+            return json.loads(data)
+        except (ConnectionError, OSError) as error:
+            self._alive = False
+            raise ReproError(
+                f"node {self.node_id!r} connection failed: {error}"
+            ) from error
+        finally:
+            connection.close()
+
+
+class HttpNodeLauncher(NodeLauncher):
+    """Launches loopback :class:`HttpNodeServer`\\ s and hands out handles.
+
+    In-process by construction (each node is a daemon HTTP server thread in
+    this interpreter) — the transport is real, the deployment is a harness.
+    Launching against remote hosts means constructing :class:`HttpNode`
+    handles yourself and registering them on the manager.
+    """
+
+    def __init__(self, *, host: str = "127.0.0.1", max_workers: int | None = None, parallel: bool = True) -> None:
+        self._host = host
+        self._max_workers = max_workers
+        self._parallel = parallel
+        self._servers: list[HttpNodeServer] = []
+
+    def launch(self, node_id: str) -> HttpNode:
+        server = HttpNodeServer(
+            node_id,
+            host=self._host,
+            max_workers=self._max_workers,
+            parallel=self._parallel,
+        )
+        self._servers.append(server)
+        host, port = server.address
+        return HttpNode(node_id, host, port)
+
+    def close(self) -> None:
+        for server in self._servers:
+            server.close()
+        self._servers.clear()
+
+
+class HttpExchange(RoutedExchange):
+    """Fingerprint-routed serving over HTTP nodes.
+
+    Same routing, scatter/gather and failover engine as
+    :class:`~repro.service.exchange.threads.ThreadExchange`; only the node
+    transport differs.
+    """
+
+    def __init__(
+        self,
+        nodes: int = 2,
+        *,
+        manager: NodeManager | None = None,
+        router: Router | None = None,
+        max_failovers: int = 3,
+        host: str = "127.0.0.1",
+        max_workers: int | None = None,
+        parallel: bool = True,
+    ) -> None:
+        if manager is None:
+            manager = NodeManager(
+                HttpNodeLauncher(host=host, max_workers=max_workers, parallel=parallel)
+            )
+        if not manager.node_ids():
+            if nodes < 1:
+                raise ValueError(f"an HttpExchange needs >= 1 node (got {nodes})")
+            manager.spawn(nodes)
+        super().__init__(manager, router=router, max_failovers=max_failovers)

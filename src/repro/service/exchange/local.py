@@ -1,0 +1,118 @@
+"""The in-process exchange: one warm server, zero routing overhead.
+
+:class:`LocalExchange` is the refactored default under
+:class:`~repro.service.async_server.AsyncResilienceServer`: it wraps exactly
+one :class:`~repro.service.server.ResilienceServer` and forwards envelope
+parts straight to :meth:`~repro.service.server.ResilienceServer.serve_iter`
+— the same call, on the same thread, that the front-end made before the
+exchange layer existed, so the single-node serving path is behavior-identical
+to the pre-exchange stack (pinned by the async conformance variants and the
+``BENCH_async.json`` admission-overhead guard).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+from dataclasses import replace
+
+from ...exceptions import ReproError
+from ..cache import LanguageCache
+from ..outcome import QueryOutcome
+from ..server import ResilienceServer
+from .base import AnyDatabase, CancelMap, Exchange, NodeStats, WorkloadEnvelope
+
+#: The synthetic node id of the wrapped server in stats/heartbeat output.
+LOCAL_NODE_ID = "local"
+
+
+class LocalExchange(Exchange):
+    """One in-process :class:`ResilienceServer` behind the exchange contract.
+
+    Accepts either a ready server or a database plus
+    :class:`~repro.service.server.ResilienceServer` keyword arguments to
+    build one.  The exchange owns the server either way: closing the
+    exchange closes it.
+    """
+
+    def __init__(self, server: ResilienceServer | AnyDatabase, **server_kwargs) -> None:
+        if isinstance(server, ResilienceServer):
+            if server_kwargs:
+                raise ValueError(
+                    "server construction arguments "
+                    f"({', '.join(sorted(server_kwargs))}) only apply when "
+                    "LocalExchange builds the server from a database"
+                )
+            self._server = server
+        else:
+            self._server = ResilienceServer(server, **server_kwargs)
+        self._envelopes_served = 0
+        self._closed = False
+
+    @property
+    def server(self) -> ResilienceServer:
+        """The wrapped server — the front-end's escape hatch for direct use."""
+        return self._server
+
+    @property
+    def cache(self) -> LanguageCache:
+        return self._server.cache
+
+    @property
+    def database(self) -> AnyDatabase:
+        return self._server.database
+
+    def submit(
+        self, envelope: WorkloadEnvelope, *, cancel: CancelMap = None
+    ) -> Iterator[QueryOutcome]:
+        if self._closed:
+            raise ReproError("this LocalExchange is closed")
+        self._envelopes_served += len(envelope.parts)
+        if len(envelope.parts) == 1:
+            # The hot path: hand the server's own generator straight through.
+            # Planning happens eagerly here (serve_iter plans before returning
+            # its generator), exactly as when the front-end held the server.
+            part = envelope.parts[0]
+            return self._server.serve_iter(
+                part.workload, database=part.database, cancel=cancel
+            )
+        return self._submit_parts(envelope, cancel)
+
+    def _submit_parts(
+        self, envelope: WorkloadEnvelope, cancel: CancelMap
+    ) -> Iterator[QueryOutcome]:
+        """Multi-part envelopes serve sequentially with index remapping.
+
+        Every part must still match the wrapped server's database (the server
+        cross-checks); a local exchange cannot scatter.
+        """
+        for offset, part in zip(envelope.offsets(), envelope.parts):
+            sub_cancel = cancel
+            if isinstance(cancel, Mapping):
+                sub_cancel = {
+                    local: token
+                    for global_index, token in cancel.items()
+                    if 0 <= (local := global_index - offset) < len(part)
+                }
+            for outcome in self._server.serve_iter(
+                part.workload, database=part.database, cancel=sub_cancel
+            ):
+                yield replace(outcome, index=outcome.index + offset)
+
+    def stats(self) -> tuple[NodeStats, ...]:
+        return (
+            NodeStats(
+                node_id=LOCAL_NODE_ID,
+                alive=not self._closed,
+                databases=1,
+                envelopes_served=self._envelopes_served,
+                cache=self._server.cache.stats.snapshot(),
+                pool=self._server.pool_stats(),
+            ),
+        )
+
+    def close(self) -> None:
+        self._closed = True
+        self._server.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LocalExchange({self._server!r})"

@@ -1,0 +1,133 @@
+"""In-process serving nodes: one warm :class:`ResilienceServer` per database.
+
+A :class:`ThreadNode` is the node-layer runtime every exchange ultimately
+serves through: it lazily builds one
+:class:`~repro.service.server.ResilienceServer` per registered database
+fingerprint (each with its own warm worker pool) and streams outcomes for
+sub-workloads routed to it.  :class:`ThreadExchange` holds several of these
+directly; the HTTP transport wraps one behind a socket — the runtime is the
+same either way, so in-process and over-the-wire serving cannot drift.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from ...exceptions import ReproError
+from ...resilience.engine import CacheStats
+from ..cache import LanguageCache
+from ..outcome import QueryOutcome
+from ..server import PoolStats, ResilienceServer
+from ..workload import Workload
+from .base import AnyDatabase, CancelMap, Node, NodeStats
+
+
+class ThreadNode(Node):
+    """One in-process serving node.
+
+    Args:
+        node_id: stable routing identity.
+        max_workers: per-server pool width cap (see
+            :class:`~repro.service.server.ResilienceServer`).
+        parallel: ``False`` pins the node's servers to the serial path.
+        cache: optional session :class:`LanguageCache` *shared* across this
+            node's servers — and possibly across nodes (the conformance
+            harness shares one cache fleet-wide so canonical representatives
+            agree everywhere).  When omitted the node owns a fresh cache;
+            only an owned cache is reported in :meth:`stats`, so fleet
+            aggregation never double-counts a shared object.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        *,
+        max_workers: int | None = None,
+        parallel: bool = True,
+        cache: LanguageCache | None = None,
+    ) -> None:
+        self.node_id = node_id
+        self._max_workers = max_workers
+        self._parallel = parallel
+        self._owns_cache = cache is None
+        self._cache = cache if cache is not None else LanguageCache()
+        self._servers: dict[str, ResilienceServer] = {}
+        self._envelopes_served = 0
+        self._killed = False
+        self._closed = False
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def alive(self) -> bool:
+        return not self._killed and not self._closed
+
+    @property
+    def killed(self) -> bool:
+        return self._killed
+
+    @property
+    def cache(self) -> LanguageCache:
+        return self._cache
+
+    def heartbeat(self) -> bool:
+        return self.alive
+
+    # ---------------------------------------------------------------- serving
+
+    def ensure_database(self, database: AnyDatabase) -> str:
+        if not self.alive:
+            raise ReproError(f"node {self.node_id!r} is not serving")
+        fingerprint = database.content_fingerprint()
+        if fingerprint not in self._servers:
+            self._servers[fingerprint] = ResilienceServer(
+                database,
+                max_workers=self._max_workers,
+                parallel=self._parallel,
+                cache=self._cache,
+            )
+        return fingerprint
+
+    def serve_iter(
+        self,
+        workload: Workload,
+        database: AnyDatabase,
+        *,
+        cancel: CancelMap = None,
+    ) -> Iterator[QueryOutcome]:
+        if not self.alive:
+            raise ReproError(f"node {self.node_id!r} is not serving")
+        server = self._servers.get(self.ensure_database(database))
+        self._envelopes_served += 1
+        return server.serve_iter(workload, database=database, cancel=cancel)
+
+    # -------------------------------------------------------------- lifecycle
+
+    def stats(self) -> NodeStats:
+        return NodeStats(
+            node_id=self.node_id,
+            alive=self.alive,
+            databases=len(self._servers),
+            envelopes_served=self._envelopes_served,
+            cache=self._cache.stats.snapshot() if self._owns_cache else CacheStats(),
+            pool=PoolStats.aggregate(
+                server.pool_stats() for server in self._servers.values()
+            ),
+        )
+
+    def kill(self) -> None:
+        """Abrupt teardown (fault injection): in-flight streams on this node
+        will observe :attr:`killed` and hand their unserved tail back to the
+        exchange for re-routing."""
+        self._killed = True
+        for server in self._servers.values():
+            server.close()
+
+    def close(self) -> None:
+        self._closed = True
+        for server in self._servers.values():
+            server.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "killed" if self._killed else ("closed" if self._closed else "alive")
+        return f"ThreadNode({self.node_id!r}, {state}, databases={len(self._servers)})"

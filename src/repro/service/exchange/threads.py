@@ -1,0 +1,298 @@
+"""Routed exchanges: fingerprint routing, scatter/gather, node failover.
+
+:class:`RoutedExchange` is the shared engine of every multi-node exchange:
+it routes each envelope part to the node that rendezvous-owns the part's
+database fingerprint, scatters multi-database envelopes across nodes
+(gathering through a :class:`~repro.service.exchange.base.Mailbox`), and
+re-routes the unserved tail of a part when its node dies mid-stream —
+falling back to structured ``error`` outcomes only when no node (or
+replacement) can serve, so an envelope index is never lost.
+
+:class:`ThreadExchange` is its in-process instantiation: N
+:class:`~repro.service.exchange.nodes.ThreadNode`\\ s in this process, each
+with its own warm worker pools — the middle rung of the local → thread →
+HTTP exchange ladder, where all routing/failover machinery is exercised
+without any network in the loop.
+
+Failover never loses or duplicates an outcome: outcomes already delivered
+for a part stay delivered (their part-local indices are removed from the
+``remaining`` set); the kill check runs *before* each yield, so an outcome
+produced by a dying node's teardown path (e.g. a pool-shutdown error) is
+discarded and its query recomputed on the next node — deterministic
+execution makes the recomputed outcome identical to what the dead node
+would have answered, which is exactly the property the distributed
+conformance variants pin.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterator, Mapping
+from dataclasses import replace
+
+from ...exceptions import ReproError
+from ..cache import LanguageCache
+from ..outcome import ERROR, QueryOutcome
+from ..workload import Workload
+from .base import (
+    CancelMap,
+    EnvelopePart,
+    Exchange,
+    Mailbox,
+    Node,
+    NodeStats,
+    WorkloadEnvelope,
+)
+from .manager import NodeManager, ThreadNodeLauncher
+from .router import Router
+
+
+class RoutedExchange(Exchange):
+    """Envelope serving over a :class:`NodeManager` fleet.
+
+    Args:
+        manager: the node fleet (with or without a launcher; without one,
+            failed nodes cannot be auto-replaced and exhausted failover
+            surfaces structured errors).
+        router: rendezvous router (a default :class:`Router` if omitted).
+        max_failovers: node failures tolerated per envelope part before its
+            unserved queries fail structurally.
+    """
+
+    def __init__(
+        self,
+        manager: NodeManager,
+        *,
+        router: Router | None = None,
+        max_failovers: int = 3,
+    ) -> None:
+        self._manager = manager
+        self._router = router if router is not None else Router()
+        self._max_failovers = max_failovers
+        self._closed = False
+
+    # ------------------------------------------------------------------ fleet
+
+    @property
+    def manager(self) -> NodeManager:
+        return self._manager
+
+    @property
+    def router(self) -> Router:
+        return self._router
+
+    def register(self, node: Node) -> None:
+        self._manager.register(node)
+
+    def route_for(self, database) -> str:
+        """The node id currently owning a database (testing/ops surface)."""
+        return self._router.route(
+            database.content_fingerprint(), self._manager.live_ids()
+        )
+
+    def stats(self) -> tuple[NodeStats, ...]:
+        return self._manager.stats()
+
+    def heartbeat(self) -> dict[str, bool]:
+        return self._manager.heartbeat()
+
+    def close(self) -> None:
+        self._closed = True
+        self._manager.close()
+
+    # ---------------------------------------------------------------- serving
+
+    def submit(
+        self, envelope: WorkloadEnvelope, *, cancel: CancelMap = None
+    ) -> Iterator[QueryOutcome]:
+        if self._closed:
+            raise ReproError(f"this {type(self).__name__} is closed")
+        if len(envelope.parts) == 1:
+            return self._serve_part(envelope.parts[0], 0, cancel)
+        return self._scatter(envelope, cancel)
+
+    def _scatter(
+        self, envelope: WorkloadEnvelope, cancel: CancelMap
+    ) -> Iterator[QueryOutcome]:
+        """Serve each part on its own thread, gather through one mailbox."""
+        mailbox = Mailbox(expected_parts=len(envelope.parts))
+
+        def serve_part(part: EnvelopePart, offset: int) -> None:
+            try:
+                for outcome in self._serve_part(part, offset, cancel):
+                    if mailbox.closed:
+                        break
+                    mailbox.post(outcome)
+            finally:
+                mailbox.finish_part()
+
+        for offset, part in zip(envelope.offsets(), envelope.parts):
+            threading.Thread(
+                target=serve_part,
+                args=(part, offset),
+                name=f"exchange-scatter-{offset}",
+                daemon=True,
+            ).start()
+        try:
+            yield from mailbox
+        finally:
+            mailbox.close()
+
+    def _serve_part(
+        self, part: EnvelopePart, offset: int, cancel: CancelMap
+    ) -> Iterator[QueryOutcome]:
+        """Serve one part with re-route-on-death, yielding global indices."""
+        fingerprint = part.fingerprint()
+        specs = part.workload.specs
+        remaining = dict(enumerate(specs))
+        tried: set[int] = set()  # id() of node objects that already failed
+        failures = 0
+        reason = "NodeLost: no live node available to serve this workload"
+        while remaining:
+            node = self._pick_node(fingerprint, tried)
+            if node is None:
+                break
+            clean_pass = True
+            try:
+                node.ensure_database(part.database)
+                yield from self._drain_node(node, part, offset, remaining, cancel)
+            except Exception as error:
+                clean_pass = False
+                reason = f"{type(error).__name__}: {error}"
+            if not remaining:
+                return
+            if clean_pass and not node.killed:
+                # The node's stream ended while queries were still unserved —
+                # a broken serving contract, not a crash.  Re-routing would
+                # just replay the bug elsewhere; fail what's left.
+                reason = "NodeProtocolError: node ended its stream with unserved queries"
+                break
+            tried.add(id(node))
+            failures += 1
+            if failures > self._max_failovers:
+                reason = f"NodeLost: gave up after {failures} node failures ({reason})"
+                break
+        for local in sorted(remaining):
+            spec = remaining[local]
+            yield QueryOutcome(
+                index=offset + local,
+                query=spec.display_name(),
+                status=ERROR,
+                method=spec.method,
+                error=reason,
+            )
+
+    def _drain_node(
+        self,
+        node: Node,
+        part: EnvelopePart,
+        offset: int,
+        remaining: dict,
+        cancel: CancelMap,
+    ) -> Iterator[QueryOutcome]:
+        """One node's attempt at a part's remaining queries.
+
+        Delivered queries are removed from ``remaining`` as their outcomes
+        are yielded; the kill check precedes every yield, so a node dying
+        mid-stream leaves ``remaining`` exactly the unserved tail (teardown
+        artifacts from the dying node are discarded, then recomputed by the
+        next node).
+        """
+        locals_in_order = sorted(remaining)
+        sub_workload = Workload(tuple(remaining[local] for local in locals_in_order))
+        sub_cancel: CancelMap = cancel
+        if isinstance(cancel, Mapping):
+            sub_cancel = {
+                sub_index: token
+                for sub_index, local in enumerate(locals_in_order)
+                if (token := cancel.get(offset + local)) is not None
+            }
+        iterator = node.serve_iter(sub_workload, part.database, cancel=sub_cancel)
+        try:
+            for outcome in iterator:
+                if node.killed:
+                    return
+                local = locals_in_order[outcome.index]
+                if local in remaining:
+                    del remaining[local]
+                    yield replace(outcome, index=offset + local)
+        finally:
+            close = getattr(iterator, "close", None)
+            if close is not None:
+                close()
+
+    def _pick_node(self, fingerprint: str, tried: set[int]) -> Node | None:
+        """The best untried live node for a key, auto-replacing a dead fleet.
+
+        When every registered node is dead or already failed this part and
+        the manager has a launcher, one dead node is replaced (under its own
+        id, preserving everyone else's routing) and serving continues there.
+        """
+        for _ in range(2):
+            live = [
+                node_id
+                for node_id in self._manager.live_ids()
+                if id(self._manager.node(node_id)) not in tried
+            ]
+            if live:
+                return self._manager.node(self._router.route(fingerprint, live))
+            if self._manager.launcher is None:
+                return None
+            dead = [
+                node_id
+                for node_id in self._manager.node_ids()
+                if not self._manager.node(node_id).alive
+            ]
+            if not dead:
+                return None
+            # Replace the node that rendezvous-owns this key among the dead,
+            # so the replacement is also the natural owner going forward.
+            try:
+                self._manager.replace(self._router.route(fingerprint, dead))
+            except Exception:
+                return None
+        return None
+
+
+class ThreadExchange(RoutedExchange):
+    """N in-process nodes, each with its own warm pools, routed by fingerprint.
+
+    Args:
+        nodes: fleet size to spawn (ignored when a pre-populated ``manager``
+            is supplied).
+        manager: bring your own fleet; otherwise one is built from a
+            :class:`~repro.service.exchange.manager.ThreadNodeLauncher` with
+            the remaining arguments.
+        max_workers / parallel / cache: per-node server configuration (see
+            :class:`~repro.service.exchange.nodes.ThreadNode`); only used
+            when the exchange builds its own launcher.
+    """
+
+    def __init__(
+        self,
+        nodes: int = 2,
+        *,
+        manager: NodeManager | None = None,
+        router: Router | None = None,
+        max_failovers: int = 3,
+        max_workers: int | None = None,
+        parallel: bool = True,
+        cache: LanguageCache | None = None,
+    ) -> None:
+        if manager is None:
+            manager = NodeManager(
+                ThreadNodeLauncher(
+                    max_workers=max_workers, parallel=parallel, cache=cache
+                )
+            )
+        elif max_workers is not None or cache is not None or not parallel:
+            raise ValueError(
+                "node configuration arguments only apply when ThreadExchange "
+                "builds its own launcher; configure the supplied manager's "
+                "launcher instead"
+            )
+        if not manager.node_ids():
+            if nodes < 1:
+                raise ValueError(f"a ThreadExchange needs >= 1 node (got {nodes})")
+            manager.spawn(nodes)
+        super().__init__(manager, router=router, max_failovers=max_failovers)

@@ -26,6 +26,7 @@ memoized analyses instead of a freshly unpickled copy per task.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Iterable
 from dataclasses import replace
 
@@ -35,6 +36,7 @@ from ..languages.core import Language
 from ..resilience.engine import reforce_planned_method, resilience, warm_database
 from ..resilience.store import AnalysisStore
 from .cache import LanguageCache
+from .cancellation import DEADLINE_STATE, FLAG_LIVE, FLAG_STATES
 from .outcome import BUDGET_EXCEEDED, ERROR, OK, QueryOutcome
 from .scheduler import ScheduledQuery
 from .workload import QueryLike, QuerySpec, Workload
@@ -85,15 +87,28 @@ def _execute(item: ScheduledQuery, database: AnyDatabase) -> QueryOutcome:
     )
 
 
+def cancelled_outcome(item: ScheduledQuery, status: str, reason: str) -> QueryOutcome:
+    """The structured outcome of a query skipped by a tripped cancel token."""
+    return QueryOutcome(
+        index=item.index,
+        query=item.spec.display_name(),
+        status=status,
+        method=item.planned_method,
+        error=reason,
+    )
+
+
 # ---------------------------------------------------------------------- workers
 
 _WORKER_DATABASE: AnyDatabase | None = None
 _WORKER_LANGUAGES: dict[str, Language] = {}
+_WORKER_CANCEL_FLAGS = None
 
 
-def _worker_init(database: AnyDatabase) -> None:
-    global _WORKER_DATABASE
+def _worker_init(database: AnyDatabase, cancel_flags=None) -> None:
+    global _WORKER_DATABASE, _WORKER_CANCEL_FLAGS
     _WORKER_DATABASE = database
+    _WORKER_CANCEL_FLAGS = cancel_flags
     _WORKER_LANGUAGES.clear()
     warm_database(database)
 
@@ -120,9 +135,46 @@ def _worker_run(item: ScheduledQuery) -> QueryOutcome:
     return _execute(_intern_scheduled(item), _WORKER_DATABASE)
 
 
-def _worker_run_many(items: list[ScheduledQuery]) -> list[QueryOutcome]:
-    """Run a chunk of scheduled queries in one IPC round-trip."""
-    return [_worker_run(item) for item in items]
+def _worker_cancel_state(entry: tuple[int | None, float | None], now: float):
+    """Decode one control entry into a fired ``(status, reason)`` or ``None``.
+
+    ``entry`` is ``(flag_slot, deadline_at)``: the slot indexes the shared
+    cancel-flag array inherited at pool fork (``None`` when unbound or on
+    non-fork platforms); the deadline is a parent ``time.monotonic()`` instant,
+    comparable here because ``CLOCK_MONOTONIC`` is system-wide on Linux.
+    """
+    slot, deadline_at = entry
+    if slot is not None and _WORKER_CANCEL_FLAGS is not None:
+        code = _WORKER_CANCEL_FLAGS[slot]
+        if code != FLAG_LIVE:
+            return FLAG_STATES.get(code, FLAG_STATES[1])
+    if deadline_at is not None and now > deadline_at:
+        return DEADLINE_STATE
+    return None
+
+
+def _worker_run_many(
+    items: list[ScheduledQuery],
+    control: dict[int, tuple[int | None, float | None]] | None = None,
+) -> list[QueryOutcome]:
+    """Run a chunk of scheduled queries in one IPC round-trip.
+
+    ``control`` (workload index -> cancel-control entry) makes the chunk loop
+    a cancellation check point: the token state is re-read *between queries*,
+    so a workload cancelled or expired while its chunk is already on a worker
+    stops mid-chunk, finishing the tail as structured skipped outcomes.
+    """
+    if not control:
+        return [_worker_run(item) for item in items]
+    outcomes = []
+    for item in items:
+        entry = control.get(item.index)
+        state = _worker_cancel_state(entry, time.monotonic()) if entry else None
+        if state is not None:
+            outcomes.append(cancelled_outcome(item, *state))
+        else:
+            outcomes.append(_worker_run(item))
+    return outcomes
 
 
 # ------------------------------------------------------------------ entry point

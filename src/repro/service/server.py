@@ -29,10 +29,11 @@ single crash usually costs latency, not answers, and never the server.
 from __future__ import annotations
 
 import os
-from collections.abc import Iterable, Iterator
+import time
+from collections.abc import Iterable, Iterator, Mapping
 from concurrent.futures import FIRST_COMPLETED, CancelledError, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, fields
 
 from ..exceptions import ReproError
 from ..graphdb.database import BagGraphDatabase, GraphDatabase
@@ -40,12 +41,22 @@ from ..resilience.engine import warm_database
 from ..resilience.result import ResilienceResult
 from ..resilience.store import AnalysisStore
 from .cache import LanguageCache
+from .cancellation import CancellationToken, cancel_lookup, make_cancel_flags
 from .outcome import ERROR, OK, QueryOutcome
 from .scheduler import ScheduledQuery, plan_workload, runs_exact_class
-from .serve import _execute, _worker_init, _worker_run_many
+from .serve import _execute, _worker_init, _worker_run_many, cancelled_outcome
 from .workload import QueryLike, QuerySpec, Workload
 
 AnyDatabase = GraphDatabase | BagGraphDatabase
+
+#: Width of the shared cancel-flag array each server allocates: the number of
+#: distinct workload tokens one serve call can bind for worker-side checks.
+#: Tokens beyond it (or on non-fork platforms) still get parent-side and
+#: deadline checks — binding is an optimization, never a correctness need.
+CANCEL_SLOTS = 128
+
+#: ``cancel=`` argument shape accepted by the serve entry points.
+CancelArg = CancellationToken | Mapping[int, CancellationToken] | None
 
 
 @dataclass(frozen=True)
@@ -79,6 +90,39 @@ class PoolStats:
         payload = asdict(self)
         payload["worker_pids"] = list(self.worker_pids)
         return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PoolStats":
+        """Rebuild a snapshot from :meth:`as_dict` output (the wire format)."""
+        data = {field.name: payload[field.name] for field in fields(cls)}
+        data["worker_pids"] = tuple(data["worker_pids"])
+        return cls(**data)
+
+    @classmethod
+    def aggregate(cls, parts: Iterable["PoolStats"]) -> "PoolStats":
+        """Combine per-node snapshots into one fleet-wide snapshot.
+
+        Counters sum; ``pool_width`` sums (total live workers across nodes);
+        ``worker_pids`` concatenates sorted.  Aggregating a single snapshot is
+        the identity, which keeps the one-node metrics surface unchanged.
+        """
+        pools_created = pool_width = chunks_dispatched = chunks_retried = crashes = 0
+        pids: list[int] = []
+        for part in parts:
+            pools_created += part.pools_created
+            pool_width += part.pool_width
+            chunks_dispatched += part.chunks_dispatched
+            chunks_retried += part.chunks_retried
+            crashes += part.crashes
+            pids.extend(part.worker_pids)
+        return cls(
+            pools_created=pools_created,
+            pool_width=pool_width,
+            worker_pids=tuple(sorted(pids)),
+            chunks_dispatched=chunks_dispatched,
+            chunks_retried=chunks_retried,
+            crashes=crashes,
+        )
 
 
 class ResilienceServer:
@@ -134,6 +178,11 @@ class ResilienceServer:
         self._chunks_dispatched = 0
         self._chunks_retried = 0
         self._crashes = 0
+        # Shared cancel-flag bytes, inherited by workers at pool fork (fork
+        # start method only — ``None`` elsewhere).  Allocated up front so
+        # every pool this server ever forks shares the same mapping.
+        self._cancel_flags = make_cancel_flags(CANCEL_SLOTS)
+        self._free_slots = list(range(CANCEL_SLOTS - 1, -1, -1))
 
     # ------------------------------------------------------------------ accessors
 
@@ -217,7 +266,7 @@ class ResilienceServer:
             self._pool = ProcessPoolExecutor(
                 max_workers=width,
                 initializer=_worker_init,
-                initargs=(self._database,),
+                initargs=(self._database, self._cancel_flags),
             )
         return self._pool
 
@@ -239,6 +288,7 @@ class ResilienceServer:
         workload: Workload | Iterable[QuerySpec | QueryLike],
         *,
         database: AnyDatabase | None = None,
+        cancel: CancelArg = None,
     ) -> list[QueryOutcome]:
         """Serve one workload; outcomes in workload order.
 
@@ -248,7 +298,7 @@ class ResilienceServer:
         server's own database, and a different one raises instead of silently
         answering from the warm copy.
         """
-        outcomes = list(self.serve_iter(workload, database=database))
+        outcomes = list(self.serve_iter(workload, database=database, cancel=cancel))
         outcomes.sort(key=lambda outcome: outcome.index)
         return outcomes
 
@@ -257,6 +307,7 @@ class ResilienceServer:
         workload: Workload | Iterable[QuerySpec | QueryLike],
         *,
         database: AnyDatabase | None = None,
+        cancel: CancelArg = None,
     ) -> Iterator[QueryOutcome]:
         """Yield outcomes as they complete (planning failures first).
 
@@ -265,6 +316,15 @@ class ResilienceServer:
         execution order is the scheduler's flow-first order).  Flow-tractable
         queries are batched several to a task, so their outcomes stream at
         chunk granularity; exact queries stream one by one.
+
+        ``cancel`` threads cooperative cancellation through execution: one
+        :class:`~repro.service.cancellation.CancellationToken` covering the
+        whole workload, or a mapping of workload index to token (the merged
+        async round keeps a token per admission).  A tripped token's
+        not-yet-executed queries — including the tail of a chunk already on a
+        worker — surface as structured skipped outcomes instead of running;
+        already-completed outcomes of the call are unaffected, so the
+        one-outcome-per-query contract survives cancellation.
         """
         self._check_serveable(database)
         fleet = Workload.coerce(workload)
@@ -292,17 +352,40 @@ class ResilienceServer:
                 to_run.append(item)
             else:
                 hits.append(self._hit_outcome(item, cached))
-        return self._stream(to_run, failed + hits)
+        return self._stream(to_run, failed + hits, cancel)
+
+    def _tokens_for(
+        self, scheduled: list[ScheduledQuery], cancel: CancelArg
+    ) -> dict[int, CancellationToken]:
+        """Map each scheduled item's workload index to its cancel token."""
+        lookup = cancel_lookup(cancel)
+        if lookup is None:
+            return {}
+        tokens: dict[int, CancellationToken] = {}
+        for item in scheduled:
+            token = lookup(item.index)
+            if token is not None:
+                tokens[item.index] = token
+        return tokens
 
     def _stream(
-        self, scheduled: list[ScheduledQuery], failed: list[QueryOutcome]
+        self,
+        scheduled: list[ScheduledQuery],
+        failed: list[QueryOutcome],
+        cancel: CancelArg = None,
     ) -> Iterator[QueryOutcome]:
         yield from failed
         if not scheduled:
             return
+        tokens = self._tokens_for(scheduled, cancel)
         if not self._parallel or self._max_workers == 1 or len(scheduled) == 1:
             warm_database(self._database)
             for item in scheduled:
+                token = tokens.get(item.index)
+                state = token.state() if token is not None else None
+                if state is not None:
+                    yield cancelled_outcome(item, *state)
+                    continue
                 outcome = _execute(item, self._database)
                 self._record_outcome(item, outcome)
                 yield outcome
@@ -316,6 +399,10 @@ class ResilienceServer:
             )
             return
         self._ensure_pool(len(scheduled))
+        # Bind each distinct token to a shared flag byte so the in-flight
+        # chunk loop on the workers sees explicit cancellations; the control
+        # map ships (slot, deadline) per query with every chunk.
+        control, bound_tokens = self._bind_tokens(tokens)
         # Batch the cheap flow queries so they don't pay one IPC round-trip
         # (plus a Language pickle) each, but hand the potentially exponential
         # exact queries out one at a time — chunking them would pack the tail
@@ -337,7 +424,7 @@ class ResilienceServer:
         pending: dict[Future, tuple[list[ScheduledQuery], ProcessPoolExecutor, int]] = {}
 
         def dispatch(chunk: list[ScheduledQuery], attempt: int) -> Future | None:
-            future = self._submit(chunk, len(scheduled))
+            future = self._submit(chunk, len(scheduled), control)
             if future is not None:
                 pending[future] = (chunk, self._pool, attempt)
             return future
@@ -352,6 +439,21 @@ class ResilienceServer:
 
         try:
             for chunk in tasks:
+                if tokens:
+                    # Dispatch-time check point: a token tripped after
+                    # planning stops its queries from ever reaching the pool.
+                    live: list[ScheduledQuery] = []
+                    now = time.monotonic()
+                    for item in chunk:
+                        token = tokens.get(item.index)
+                        state = token.state(now) if token is not None else None
+                        if state is not None:
+                            yield cancelled_outcome(item, *state)
+                        else:
+                            live.append(item)
+                    if not live:
+                        continue
+                    chunk = live
                 if self._closed:
                     # The generator was resumed after close(): never fork a
                     # new pool on a closed server, fail the work structurally.
@@ -410,8 +512,49 @@ class ResilienceServer:
             # and on errors alike: never leave orphaned tasks burning workers.
             for future in pending:
                 future.cancel()
+            self._unbind_tokens(bound_tokens)
 
-    def _submit(self, chunk: list[ScheduledQuery], task_count: int) -> Future | None:
+    def _bind_tokens(
+        self, tokens: dict[int, CancellationToken]
+    ) -> tuple[dict[int, tuple[int | None, float | None]], list[tuple[CancellationToken, int]]]:
+        """Bind distinct tokens to flag slots; build the per-query control map.
+
+        Returns ``(control, bound)`` where ``control`` maps workload index to
+        ``(slot, deadline_at)`` for every query that needs a worker-side check
+        and ``bound`` records the slot leases to release afterwards.  Slot
+        exhaustion (or a missing flag array) degrades gracefully: those tokens
+        keep parent-side checks and any deadline still ships with the chunk.
+        """
+        control: dict[int, tuple[int | None, float | None]] = {}
+        bound: list[tuple[CancellationToken, int]] = []
+        if not tokens:
+            return control, bound
+        slots_by_token: dict[int, int | None] = {}
+        for index, token in tokens.items():
+            key = id(token)
+            if key not in slots_by_token:
+                slot: int | None = None
+                if self._cancel_flags is not None and self._free_slots:
+                    slot = self._free_slots.pop()
+                    token.bind_flag(self._cancel_flags, slot)
+                    bound.append((token, slot))
+                slots_by_token[key] = slot
+            control[index] = (slots_by_token[key], token.deadline_at)
+        return control, bound
+
+    def _unbind_tokens(self, bound: list[tuple[CancellationToken, int]]) -> None:
+        for token, slot in bound:
+            token.unbind_flag()
+            if self._cancel_flags is not None:
+                self._cancel_flags[slot] = 0
+            self._free_slots.append(slot)
+
+    def _submit(
+        self,
+        chunk: list[ScheduledQuery],
+        task_count: int,
+        control: dict[int, tuple[int | None, float | None]] | None = None,
+    ) -> Future | None:
         """Submit one task, replacing the pool and retrying once if it broke.
 
         A worker crash breaks a :class:`ProcessPoolExecutor` permanently and
@@ -420,10 +563,15 @@ class ResilienceServer:
         Returns ``None`` only if even a freshly created pool cannot accept
         work.
         """
+        chunk_control = None
+        if control:
+            chunk_control = {
+                item.index: control[item.index] for item in chunk if item.index in control
+            } or None
         for _ in range(2):
             pool = self._ensure_pool(task_count)
             try:
-                future = pool.submit(_worker_run_many, chunk)
+                future = pool.submit(_worker_run_many, chunk, chunk_control)
             except (BrokenProcessPool, RuntimeError) as error:
                 if isinstance(error, BrokenProcessPool):
                     self._crashes += 1

@@ -18,10 +18,14 @@ subsystem instead of one test file's private plumbing:
 * :func:`assert_outcomes_identical` — the comparator, with a per-index diff
   on mismatch.
 
-Registering a new execution mode (how PR 3's streaming and this PR's async
-variants were added) means one entry in ``EXECUTION_VARIANTS`` plus one branch
-in :func:`variant_session`; the parametrized conformance test picks it up for
-every cache variant automatically.
+Registering a new execution mode (how PR 3's streaming, PR 5's async and this
+PR's distributed variants were added) means one entry in
+``EXECUTION_VARIANTS`` plus one branch in :class:`VariantSession`; the
+parametrized conformance test picks it up for every cache variant
+automatically.  The ``distributed-*`` variants run the async front-end over a
+fingerprint-routed :class:`~repro.service.ThreadExchange` fleet — the
+``node-kill`` one kills the owning node two outcomes into the stream, so the
+identity assertion doubles as a no-loss/no-duplication failover proof.
 """
 
 from __future__ import annotations
@@ -36,6 +40,7 @@ from repro.service import (
     QueryOutcome,
     QuerySpec,
     ResilienceServer,
+    ThreadExchange,
     Workload,
     resilience_serve,
 )
@@ -67,6 +72,9 @@ EXECUTION_VARIANTS = (
     "streaming",
     "async-single-workload",
     "async-3-concurrent-workloads-merged",
+    "distributed-2-nodes",
+    "distributed-4-nodes",
+    "distributed-2-nodes-node-kill",
 )
 PASSES = 2
 
@@ -140,13 +148,24 @@ class VariantSession:
         self.database = database
         self.shared_cache = shared_cache
         self.workload = Workload.coerce(MATRIX_QUERIES)
-        self.shares_pool = execution != "serial" and shared_cache is not None
+        # The kill variant destroys a node (and its pool) every pass, so warm
+        # pids cannot be stable across passes; it still shares the cache.
+        self.kill_mid_pass = execution.endswith("node-kill")
+        self.shares_pool = (
+            execution != "serial"
+            and shared_cache is not None
+            and not self.kill_mid_pass
+        )
         self._server: ResilienceServer | None = None
         self._async_server: AsyncResilienceServer | None = None
+        self._exchange: ThreadExchange | None = None
         if self.shares_pool:
             self._open_servers(shared_cache)
 
     # ------------------------------------------------------------------ lifecycle
+
+    def _node_count(self) -> int:
+        return int(self.execution.split("-")[1])
 
     def _open_servers(self, cache: LanguageCache | None) -> None:
         if self.execution in ("warm-pool", "streaming"):
@@ -155,14 +174,24 @@ class VariantSession:
             self._async_server = AsyncResilienceServer(
                 ResilienceServer(self.database, max_workers=2, cache=cache)
             )
+        elif self.execution.startswith("distributed"):
+            # A fingerprint-routed in-process fleet behind the same async
+            # front-end; all nodes share the variant's cache.
+            self._exchange = ThreadExchange(
+                nodes=self._node_count(), max_workers=2, cache=cache
+            )
+            self._async_server = AsyncResilienceServer(
+                self._exchange, database=self.database
+            )
 
     def _close_servers(self) -> None:
         if self._server is not None:
             self._server.close()
             self._server = None
         if self._async_server is not None:
-            self._async_server.close()
+            self._async_server.close()  # owns (and closes) any exchange
             self._async_server = None
+        self._exchange = None
 
     def close(self) -> None:
         self._close_servers()
@@ -186,7 +215,12 @@ class VariantSession:
         if not self.shares_pool and self.execution != "serial":
             # The uncached configuration proves the *execution strategy alone*
             # never changes results: fresh cache, fresh server, every pass.
-            self._open_servers(fresh_reference_cache())
+            # (The kill variant also lands here with a shared cache — its
+            # fleet is rebuilt per pass, but the cache persists across them.)
+            self._open_servers(
+                self.shared_cache if self.shared_cache is not None
+                else fresh_reference_cache()
+            )
             try:
                 return self._run_pass_on_open_servers(cache=None)
             finally:
@@ -211,6 +245,10 @@ class VariantSession:
             return asyncio.run(self._submit_and_collect(1))
         if self.execution == "async-3-concurrent-workloads-merged":
             return asyncio.run(self._submit_and_collect(CONCURRENT_WORKLOADS))
+        if self.kill_mid_pass:
+            return asyncio.run(self._submit_and_collect_with_kill())
+        if self.execution.startswith("distributed"):
+            return asyncio.run(self._submit_and_collect(CONCURRENT_WORKLOADS))
         raise AssertionError(self.execution)
 
     async def _submit_and_collect(self, count: int) -> list[list[QueryOutcome]]:
@@ -229,6 +267,25 @@ class VariantSession:
             await self._async_server.submit(self.workload) for _ in range(count)
         ]
         return list(await asyncio.gather(*(collect(iterator) for iterator in iterators)))
+
+    async def _submit_and_collect_with_kill(self) -> list[list[QueryOutcome]]:
+        """Serve the matrix, killing the owning node after two outcomes land.
+
+        The router re-routes the unserved tail to a surviving (or launcher-
+        replaced) node; the conformance assertion then proves the failover
+        lost nothing, duplicated nothing, and changed no outcome.
+        """
+        iterator = await self._async_server.submit(self.workload)
+        outcomes: list[QueryOutcome] = []
+        killed = False
+        async for outcome in iterator:
+            outcomes.append(outcome)
+            if not killed and len(outcomes) == 2:
+                owner = self._exchange.route_for(self.database)
+                self._exchange.manager.kill(owner)
+                killed = True
+        assert killed, "the matrix must be long enough to kill mid-stream"
+        return [_sorted(outcomes)]
 
 
 def variant_session(

@@ -1,11 +1,18 @@
 """Async front-end tests: admission control, fault injection, metrics.
 
-Four concerns the conformance suite doesn't cover:
+Concerns the conformance suite doesn't cover:
 
 * **admission control** — priority classes drain in order, FIFO within a
   class, depth-bounded rejection and deadline expiry produce structured
   ``admission-rejected`` outcomes, and (hypothesis) random interleavings of
   workloads lose nothing and leak nothing across iterators;
+* **weighted fair shares** — a workload's round cap scales with its weight
+  (``max(1, round(round_share * weight))``), per-class defaults apply, and
+  (hypothesis) no positive weight can starve: every workload progresses in
+  a predictable, bounded number of rounds;
+* **cancellation** — a consumer cancel or an expired deadline cuts the
+  unserved tail cooperatively at every check point (serial loop, chunk
+  dispatch, and inside an in-flight worker chunk) with structured outcomes;
 * **fault injection** — a worker crash mid-stream surfaces ``error``
   outcomes to exactly the affected workload's iterator while
   concurrently-admitted workloads are served correctly, and a closed server
@@ -14,14 +21,17 @@ Four concerns the conformance suite doesn't cover:
   (async ``break`` or a GC'd sync generator) neither wedges later serving
   nor keeps burning pool chunks on the abandoned tail;
 * **metrics** — the programmatic :class:`~repro.service.ServerMetrics`
-  snapshot and the HTTP endpoint's JSON agree, and the admission/cache/pool
-  counters actually move.
+  snapshot and the HTTP endpoint's JSON agree, the admission/cache/pool
+  counters actually move, and the content-negotiated Prometheus text
+  exposition parses with coherent per-node and histogram series.
 """
 
 import asyncio
 import gc
 import json
+import math
 import os
+import time
 import urllib.error
 import urllib.request
 
@@ -39,9 +49,11 @@ from repro.service import (
     OK,
     AsyncResilienceServer,
     CacheStats,
+    CancellationToken,
     LanguageCache,
     QuerySpec,
     ResilienceServer,
+    ThreadExchange,
     Workload,
     resilience_serve,
 )
@@ -404,6 +416,258 @@ class TestAdmissionProperties:
         assert delivered == sum(len(specs) for specs, _ in submissions)
 
 
+# --------------------------------------------------------------- weighted shares
+
+
+class TestWeightedShares:
+    @staticmethod
+    def _rounds_per_seq(log):
+        rounds = {}
+        for _, seq in log:
+            rounds[seq] = rounds.get(seq, 0) + 1
+        return rounds
+
+    def test_weight_scales_the_round_cap(self, database):
+        # round_share=2: the heavy workload (weight 2.0, cap 4) crosses its 8
+        # specs in 2 rounds; its default-weight peer (cap 2) needs 4.
+        async def scenario():
+            server = AsyncResilienceServer(
+                ResilienceServer(database, parallel=False),
+                round_share=2,
+                autostart=False,
+            )
+            with server:
+                heavy = await server.submit(["aa"] * 8, weight=2.0)
+                light = await server.submit(["aa"] * 8)
+                server.start()
+                await asyncio.gather(collect(heavy), collect(light))
+                return server.drain_log()
+
+        rounds = self._rounds_per_seq(run(scenario()))
+        assert rounds == {1: 2, 2: 4}
+
+    def test_share_weights_set_the_class_default(self, database):
+        async def scenario():
+            server = AsyncResilienceServer(
+                ResilienceServer(database, parallel=False),
+                round_share=2,
+                share_weights={7: 3.0},
+                autostart=False,
+            )
+            with server:
+                boosted = await server.submit(["aa"] * 6, priority=7)
+                plain = await server.submit(["aa"] * 6, priority=8)
+                server.start()
+                await asyncio.gather(collect(boosted), collect(plain))
+                return server.drain_log()
+
+        rounds = self._rounds_per_seq(run(scenario()))
+        assert rounds == {1: 1, 2: 3}  # cap 6 in one round vs cap 2 in three
+
+    def test_tiny_weight_floors_at_one_spec_per_round(self, database):
+        async def scenario():
+            server = AsyncResilienceServer(
+                ResilienceServer(database, parallel=False),
+                round_share=4,
+                autostart=False,
+            )
+            with server:
+                trickle = await server.submit(["aa"] * 5, weight=0.01)
+                server.start()
+                outcomes = await collect(trickle)
+                return outcomes, server.drain_log()
+
+        outcomes, log = run(scenario())
+        assert all(outcome.ok for outcome in outcomes) and len(outcomes) == 5
+        assert self._rounds_per_seq(log) == {1: 5}, "floor of one spec per round"
+
+    def test_invalid_weights_raise(self, database):
+        with pytest.raises(ValueError):
+            AsyncResilienceServer(
+                ResilienceServer(database, parallel=False), share_weights={0: 0.0}
+            )
+
+        async def bad_weight():
+            async with AsyncResilienceServer(
+                ResilienceServer(database, parallel=False)
+            ) as server:
+                await server.submit(MIXED, weight=-1.0)
+
+        with pytest.raises(ValueError):
+            run(bad_weight())
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        configs=st.lists(
+            st.tuples(
+                st.integers(1, 6),
+                st.floats(0.01, 4.0, allow_nan=False, allow_infinity=False),
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        round_share=st.integers(1, 3),
+    )
+    def test_no_positive_weight_starves(self, configs, round_share):
+        """Every workload completes, and in exactly the bounded number of
+        rounds the weighted cap (with its floor of 1) predicts — the
+        no-starvation guarantee as an exact drain-log property."""
+        database = generators.random_labelled_graph(4, 9, "abxy", seed=7)
+
+        async def scenario_run():
+            server = AsyncResilienceServer(
+                ResilienceServer(database, parallel=False),
+                round_share=round_share,
+                max_queue_depth=16,
+                autostart=False,
+            )
+            with server:
+                iterators = [
+                    await server.submit(["aa"] * size, weight=weight)
+                    for size, weight in configs
+                ]
+                server.start()
+                results = await asyncio.gather(*(collect(it) for it in iterators))
+                return results, server.drain_log()
+
+        results, log = run(scenario_run())
+        for (size, _), outcomes in zip(configs, results):
+            assert sorted(outcome.index for outcome in outcomes) == list(range(size))
+            assert all(outcome.ok for outcome in outcomes)
+        rounds = TestWeightedShares._rounds_per_seq(log)
+        for seq, (size, weight) in enumerate(configs, start=1):
+            cap = max(1, round(round_share * weight))
+            assert rounds[seq] == math.ceil(size / cap)
+
+
+# ----------------------------------------------------------------- cancellation
+
+
+class TestCancellation:
+    def test_stream_cancel_cuts_every_unserved_query(self, database):
+        # Cancel before the drain starts: deterministically, every query is
+        # still unserved, so the token turns the whole workload into
+        # structured "error" outcomes instead of serving stale work.
+        async def scenario():
+            server = AsyncResilienceServer(
+                ResilienceServer(database, parallel=False), autostart=False
+            )
+            with server:
+                stream = await server.submit(MIXED)
+                stream.cancel()
+                server.start()
+                return await collect(stream)
+
+        outcomes = run(scenario())
+        assert sorted(outcome.index for outcome in outcomes) == list(range(len(MIXED)))
+        assert all(outcome.status == ERROR for outcome in outcomes)
+        assert all("WorkloadCancelled" in outcome.error for outcome in outcomes)
+
+    def test_stream_cancel_threads_through_a_routed_exchange(self, database):
+        # Same contract when the round crosses the exchange layer: the token
+        # map is remapped into each node's sub-workload.
+        async def scenario():
+            server = AsyncResilienceServer(
+                ThreadExchange(nodes=2, max_workers=2, parallel=False),
+                database=database,
+                autostart=False,
+            )
+            with server:
+                stream = await server.submit(MIXED)
+                stream.cancel()
+                server.start()
+                return await collect(stream)
+
+        outcomes = run(scenario())
+        assert sorted(outcome.index for outcome in outcomes) == list(range(len(MIXED)))
+        assert all("WorkloadCancelled" in outcome.error for outcome in outcomes)
+
+    def test_token_cancels_the_serial_stream_mid_iteration(self, database):
+        # The serial path is pull-based, so cancelling between next() calls is
+        # a deterministic mid-execution cancellation.
+        token = CancellationToken()
+        with ResilienceServer(database, parallel=False) as server:
+            iterator = server.serve_iter(MIXED, cancel=token)
+            served = [next(iterator), next(iterator)]
+            token.cancel("WorkloadCancelled: enough")
+            tail = list(iterator)
+        assert all(outcome.ok for outcome in served)
+        assert len(tail) == len(MIXED) - 2
+        assert all(
+            outcome.status == ERROR and "WorkloadCancelled: enough" in outcome.error
+            for outcome in tail
+        )
+        indices = sorted(outcome.index for outcome in served + tail)
+        assert indices == list(range(len(MIXED)))
+
+    def test_deadline_token_rejects_the_tail_mid_stream(self, database):
+        token = CancellationToken(deadline_at=time.monotonic() + 0.05)
+        with ResilienceServer(database, parallel=False) as server:
+            iterator = server.serve_iter(MIXED, cancel=token)
+            first = next(iterator)
+            time.sleep(0.06)
+            tail = list(iterator)
+        assert first.ok
+        assert all(outcome.status == ADMISSION_REJECTED for outcome in tail)
+        assert all("DeadlineExceeded" in outcome.error for outcome in tail)
+
+    def test_parallel_dispatch_skips_cancelled_items(self, database):
+        # Chunk dispatch is the second check point: a token cancelled before
+        # the generator first runs means nothing reaches the pool.
+        token = CancellationToken()
+        with ResilienceServer(database, max_workers=2) as server:
+            iterator = server.serve_iter(MIXED, cancel=token)
+            token.cancel("WorkloadCancelled: before dispatch")
+            outcomes = sorted_outcomes(iterator)
+        assert [outcome.index for outcome in outcomes] == list(range(len(MIXED)))
+        assert all(
+            outcome.status == ERROR and "WorkloadCancelled" in outcome.error
+            for outcome in outcomes
+        )
+        assert server.pool_stats().chunks_dispatched == 0
+
+    def test_worker_chunk_checks_cancellation_between_queries(self, database):
+        # The third check point, exercised in-process: a chunk already "on a
+        # worker" re-reads the shared flag byte (and the deadline) between
+        # queries and finishes the tail as structured skipped outcomes.
+        from repro.service import plan_workload
+        from repro.service.cancellation import FLAG_CANCELLED, make_cancel_flags
+        from repro.service.serve import _worker_init, _worker_run_many
+
+        scheduled, failed = plan_workload(Workload.coerce(["aa", "ab", "ax*b"]))
+        assert not failed
+        flags = make_cancel_flags(4)
+        assert flags is not None, "fork platform expected in CI"
+        _worker_init(database, flags)
+        try:
+            flags[2] = FLAG_CANCELLED
+            control = {
+                item.index: ((2, None) if item.index >= 1 else (3, None))
+                for item in scheduled
+            }
+            flagged = _worker_run_many(scheduled, control)
+            by_index = {outcome.index: outcome for outcome in flagged}
+            assert by_index[0].ok
+            for index in (1, 2):
+                assert by_index[index].status == ERROR
+                assert "WorkloadCancelled" in by_index[index].error
+            # Deadline entries trip the same loop with the rejection status.
+            expired = _worker_run_many(
+                scheduled,
+                {item.index: (None, time.monotonic() - 1.0) for item in scheduled},
+            )
+            assert all(outcome.status == ADMISSION_REJECTED for outcome in expired)
+            assert all("DeadlineExceeded" in outcome.error for outcome in expired)
+        finally:
+            _worker_init(database, None)
+
+    def test_explicit_cancel_beats_a_passed_deadline(self):
+        token = CancellationToken(deadline_at=time.monotonic() - 1.0)
+        token.cancel("WorkloadCancelled: explicit")
+        status, reason = token.state()
+        assert status == ERROR and "explicit" in reason
+
+
 # --------------------------------------------------------------- fault injection
 
 
@@ -633,3 +897,116 @@ class TestMetrics:
         assert histogram.quantile(1.0) == 10.0  # overflow reports the top bound
         with pytest.raises(ValueError):
             histogram.quantile(1.5)
+
+
+def parse_prometheus(text):
+    """Parse a text exposition into ``{series: value}`` + declared types.
+
+    Raises (failing the test) on any line that is neither a comment nor a
+    well-formed ``name{labels} value`` sample — the scrape-parses guarantee.
+    """
+    samples, types = {}, {}
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        series, value = line.rsplit(" ", 1)
+        assert series not in samples, f"duplicate series {series}"
+        samples[series] = float(value)
+    return samples, types
+
+
+class TestPrometheusExposition:
+    def test_scrape_parses_with_coherent_series(self, database):
+        async def scenario():
+            async with AsyncResilienceServer(
+                ResilienceServer(database, max_workers=2)
+            ) as server:
+                for _ in range(2):
+                    await collect(await server.submit(MIXED))
+                endpoint = server.metrics_endpoint(port=0)
+                request = urllib.request.Request(f"{endpoint.url}?format=prometheus")
+                with urllib.request.urlopen(request, timeout=10) as response:
+                    param_type = response.headers["Content-Type"]
+                    text = response.read().decode("utf-8")
+                # The Accept header negotiates the same representation.
+                request = urllib.request.Request(
+                    endpoint.url, headers={"Accept": "text/plain"}
+                )
+                with urllib.request.urlopen(request, timeout=10) as response:
+                    accept_type = response.headers["Content-Type"]
+                # And the default stays JSON.
+                with urllib.request.urlopen(endpoint.url, timeout=10) as response:
+                    default_type = response.headers["Content-Type"]
+                endpoint.close()
+                return text, param_type, accept_type, default_type, server.metrics()
+
+        text, param_type, accept_type, default_type, metrics = run(scenario())
+        assert param_type == "text/plain; version=0.0.4; charset=utf-8"
+        assert accept_type == param_type
+        assert default_type == "application/json"
+
+        samples, types = parse_prometheus(text)
+        # Every sample belongs to a declared family (histogram children map
+        # back to their base name).
+        for series in samples:
+            name = series.split("{", 1)[0]
+            base = name
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name.endswith(suffix) and name.removesuffix(suffix) in types:
+                    base = name.removesuffix(suffix)
+            assert base in types, f"undeclared family for {series}"
+        assert types["repro_latency_seconds"] == "histogram"
+
+        assert samples['repro_outcomes_total{status="ok"}'] == 2 * len(MIXED)
+        assert samples['repro_admission_admitted_total{priority="0"}'] == 2
+        assert samples["repro_admission_depth"] == 0
+        assert samples["repro_cache_result_hits_total"] == metrics.cache.result_hits
+        assert samples["repro_pool_pool_width"] == 2
+
+        # Histogram coherence: cumulative buckets are monotone, +Inf equals
+        # the count sample, the sum is present.
+        buckets = [
+            (series, value)
+            for series, value in samples.items()
+            if series.startswith('repro_latency_seconds_bucket{status="ok",')
+        ]
+        values = [value for _, value in buckets]
+        assert values == sorted(values), "cumulative le buckets must be monotone"
+        assert buckets[-1][0].endswith('le="+Inf"}')
+        assert values[-1] == samples['repro_latency_seconds_count{status="ok"}']
+        assert values[-1] == 2 * len(MIXED)
+        assert 'repro_latency_seconds_sum{status="ok"}' in samples
+
+    def test_per_node_series_carry_node_labels(self, database):
+        async def scenario():
+            async with AsyncResilienceServer(
+                ThreadExchange(nodes=2, max_workers=2, parallel=False),
+                database=database,
+            ) as server:
+                await collect(await server.submit(MIXED))
+                return server.metrics().to_prometheus()
+
+        samples, _ = parse_prometheus(run(scenario()))
+        assert samples['repro_node_alive{node="node-0"}'] == 1
+        assert samples['repro_node_alive{node="node-1"}'] == 1
+        served = [
+            samples[f'repro_node_envelopes_served_total{{node="node-{i}"}}']
+            for i in range(2)
+        ]
+        assert sum(served) == 1, "one merged round, routed to one node"
+        # The single-node default labels its one node "local".
+        async def local_scenario():
+            async with AsyncResilienceServer(
+                ResilienceServer(database, parallel=False)
+            ) as server:
+                await collect(await server.submit(MIXED))
+                return server.metrics().to_prometheus()
+
+        local_samples, _ = parse_prometheus(run(local_scenario()))
+        assert local_samples['repro_node_alive{node="local"}'] == 1

@@ -3,11 +3,13 @@
 One fixed query × database matrix runs through every cache variant
 {uncached, string-cache, canonical-cache, disk-cache} crossed with every
 registered execution variant {serial, warm-pool, streaming,
-async-single-workload, async-3-concurrent-workloads-merged}, and every
-combination must produce outcomes *identical* to the uncached serial
-reference — values, contingency sets, methods, statuses, node counts,
-everything.  Caches, pools and the async front-end are execution strategies;
-the serial uncached path is the semantics.
+async-single-workload, async-3-concurrent-workloads-merged,
+distributed-2-nodes, distributed-4-nodes, distributed-2-nodes-node-kill},
+and every combination must produce outcomes *identical* to the uncached
+serial reference — values, contingency sets, methods, statuses, node counts,
+everything.  Caches, pools, the async front-end and the routed node fleet
+(including mid-stream node death and failover) are execution strategies; the
+serial uncached path is the semantics.
 
 The matrix, variant registry, comparator and per-variant session plumbing
 live in :mod:`conformance_harness` so new execution modes register once and

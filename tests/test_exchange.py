@@ -1,0 +1,311 @@
+"""Edge-case suite for the exchange layer (router, fleet, failover, HTTP).
+
+The conformance suite pins the big claim — distributed serving is
+outcome-identical to the uncached serial reference.  This file pins the
+sharp edges around that claim: rendezvous routing stability under fleet
+membership changes, scatter/gather index remapping for multi-database
+envelopes, mid-stream node death (no outcome lost, duplicated, or leaked
+into another envelope's stream), strict registration, drain vs kill
+semantics, identity-preserving replacement, and the HTTP transport's wire
+behavior (including its stats round-trip).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.graphdb import generators
+from repro.service import (
+    EnvelopePart,
+    LanguageCache,
+    LocalExchange,
+    NodeManager,
+    Router,
+    ThreadExchange,
+    Workload,
+    WorkloadEnvelope,
+    resilience_serve,
+)
+from repro.service.exchange import (
+    HttpExchange,
+    HttpNodeLauncher,
+    NodeStats,
+    ThreadNode,
+    ThreadNodeLauncher,
+)
+
+QUERIES = ("ax*b", "ab|bc", "aa", "(ab)*a", "ε|a", "((")
+
+
+@pytest.fixture(scope="module")
+def set_db():
+    return generators.random_labelled_graph(5, 14, "abxy", seed=3)
+
+
+@pytest.fixture(scope="module")
+def bag_db():
+    return generators.random_labelled_graph(4, 10, "abx", seed=5).to_bag(2)
+
+
+def reference(database):
+    return resilience_serve(
+        Workload.coerce(QUERIES),
+        database,
+        parallel=False,
+        cache=LanguageCache(canonical=False),
+    )
+
+
+def sorted_outcomes(outcomes):
+    return sorted(outcomes, key=lambda outcome: outcome.index)
+
+
+# --------------------------------------------------------------------- router
+
+
+def test_router_is_deterministic_and_total():
+    router = Router()
+    nodes = [f"node-{i}" for i in range(5)]
+    keys = [f"fingerprint-{i}" for i in range(100)]
+    first = {key: router.route(key, nodes) for key in keys}
+    second = {key: router.route(key, list(reversed(nodes))) for key in keys}
+    assert first == second, "routing must not depend on candidate order"
+    assert set(first.values()) == set(nodes), (
+        "100 keys over 5 nodes should touch every node"
+    )
+
+
+def test_router_leave_moves_only_the_dead_nodes_keys():
+    router = Router()
+    nodes = [f"node-{i}" for i in range(4)]
+    keys = [f"db-{i}" for i in range(200)]
+    before = {key: router.route(key, nodes) for key in keys}
+    survivors = [node for node in nodes if node != "node-2"]
+    after = {key: router.route(key, survivors) for key in keys}
+    for key in keys:
+        if before[key] != "node-2":
+            assert after[key] == before[key], (
+                f"{key} moved off a surviving node when node-2 left"
+            )
+    assert any(before[key] == "node-2" for key in keys)
+
+
+def test_router_join_moves_keys_only_to_the_new_node():
+    router = Router()
+    nodes = [f"node-{i}" for i in range(3)]
+    keys = [f"db-{i}" for i in range(200)]
+    before = {key: router.route(key, nodes) for key in keys}
+    after = {key: router.route(key, nodes + ["node-3"]) for key in keys}
+    moved = {key for key in keys if after[key] != before[key]}
+    assert moved, "a join must take over some keys"
+    assert all(after[key] == "node-3" for key in moved), (
+        "keys may only move to the joining node"
+    )
+
+
+def test_router_ranking_is_consistent_with_route():
+    router = Router()
+    nodes = [f"node-{i}" for i in range(4)]
+    ranking = router.ranking("some-fingerprint", nodes)
+    assert sorted(ranking) == sorted(nodes)
+    assert ranking[0] == router.route("some-fingerprint", nodes)
+
+
+def test_router_rejects_an_empty_fleet():
+    with pytest.raises(ReproError):
+        Router().route("fingerprint", [])
+
+
+# ------------------------------------------------------------ fleet lifecycle
+
+
+def test_duplicate_registration_of_a_live_id_raises(set_db):
+    manager = NodeManager(ThreadNodeLauncher(max_workers=2))
+    manager.spawn(1)
+    with pytest.raises(ReproError, match="duplicate node registration"):
+        manager.register(ThreadNode("node-0", max_workers=2))
+    manager.close()
+
+
+def test_dead_node_id_can_be_reregistered():
+    manager = NodeManager()
+    first = ThreadNode("node-0", max_workers=2)
+    manager.register(first)
+    first.kill()
+    replacement = ThreadNode("node-0", max_workers=2)
+    manager.register(replacement)
+    assert manager.node("node-0") is replacement
+    manager.close()
+
+
+def test_drain_excludes_a_node_from_routing_but_keeps_it_alive(set_db):
+    with ThreadExchange(nodes=2, max_workers=2, parallel=False) as exchange:
+        owner = exchange.route_for(set_db)
+        exchange.manager.drain(owner)
+        assert owner not in exchange.manager.live_ids()
+        assert exchange.manager.node(owner).alive, "drain is not kill"
+        # New work routes to the remaining node and still serves correctly.
+        outcomes = sorted_outcomes(
+            exchange.submit(WorkloadEnvelope.single(Workload.coerce(QUERIES), set_db))
+        )
+        assert outcomes == reference(set_db)
+        other = next(
+            node_id for node_id in exchange.nodes() if node_id != owner
+        )
+        assert exchange.manager.node(other).stats().envelopes_served == 1
+        assert exchange.manager.node(owner).stats().envelopes_served == 0
+
+
+def test_replace_keeps_the_node_id_and_routing(set_db):
+    with ThreadExchange(nodes=3, max_workers=2, parallel=False) as exchange:
+        owner = exchange.route_for(set_db)
+        old = exchange.manager.node(owner)
+        replacement = exchange.manager.replace(owner)
+        assert replacement.node_id == owner
+        assert old.killed and not old.alive
+        assert exchange.route_for(set_db) == owner, (
+            "identity-preserving replacement keeps the rendezvous keys"
+        )
+        outcomes = sorted_outcomes(
+            exchange.submit(WorkloadEnvelope.single(Workload.coerce(QUERIES), set_db))
+        )
+        assert outcomes == reference(set_db)
+
+
+# -------------------------------------------------------------- thread fleet
+
+
+def test_multi_database_envelope_scatters_with_correct_index_remapping(
+    set_db, bag_db
+):
+    workload = Workload.coerce(QUERIES)
+    envelope = WorkloadEnvelope(
+        parts=(
+            EnvelopePart(workload=workload, database=set_db),
+            EnvelopePart(workload=workload, database=bag_db),
+        )
+    )
+    with ThreadExchange(nodes=2, max_workers=2, parallel=False) as exchange:
+        outcomes = sorted_outcomes(exchange.submit(envelope))
+    assert [outcome.index for outcome in outcomes] == list(range(2 * len(QUERIES)))
+    from dataclasses import replace
+
+    first = outcomes[: len(QUERIES)]
+    second = [
+        replace(outcome, index=outcome.index - len(QUERIES))
+        for outcome in outcomes[len(QUERIES):]
+    ]
+    assert first == reference(set_db)
+    assert second == reference(bag_db)
+
+
+def test_node_crash_mid_stream_loses_and_leaks_nothing(set_db):
+    """Kill the owner mid-stream: every index arrives exactly once, correct,
+    and a subsequent envelope's stream is untouched by the corpse."""
+    with ThreadExchange(nodes=2, max_workers=2, parallel=False) as exchange:
+        owner = exchange.route_for(set_db)
+        iterator = exchange.submit(
+            WorkloadEnvelope.single(Workload.coerce(QUERIES), set_db)
+        )
+        outcomes = []
+        for outcome in iterator:
+            outcomes.append(outcome)
+            if len(outcomes) == 2:
+                exchange.manager.kill(owner)
+        indices = sorted(outcome.index for outcome in outcomes)
+        assert indices == list(range(len(QUERIES))), "no outcome lost or duplicated"
+        assert sorted_outcomes(outcomes) == reference(set_db)
+        # The next envelope serves on the survivor, uncontaminated.
+        again = sorted_outcomes(
+            exchange.submit(WorkloadEnvelope.single(Workload.coerce(QUERIES), set_db))
+        )
+        assert again == reference(set_db)
+        assert exchange.heartbeat()[owner] is False
+
+
+def test_whole_fleet_death_without_launcher_fails_structurally(set_db):
+    manager = NodeManager()
+    manager.register(ThreadNode("only", max_workers=2, parallel=False))
+    from repro.service.exchange import RoutedExchange
+
+    with RoutedExchange(manager) as exchange:
+        exchange.manager.kill("only")
+        outcomes = sorted_outcomes(
+            exchange.submit(WorkloadEnvelope.single(Workload.coerce(QUERIES), set_db))
+        )
+        assert [outcome.index for outcome in outcomes] == list(range(len(QUERIES)))
+        assert all(outcome.status == "error" for outcome in outcomes)
+        assert all("NodeLost" in outcome.error for outcome in outcomes)
+
+
+def test_whole_fleet_death_with_launcher_auto_replaces(set_db):
+    with ThreadExchange(nodes=2, max_workers=2, parallel=False) as exchange:
+        for node_id in exchange.nodes():
+            exchange.manager.kill(node_id)
+        outcomes = sorted_outcomes(
+            exchange.submit(WorkloadEnvelope.single(Workload.coerce(QUERIES), set_db))
+        )
+        assert outcomes == reference(set_db)
+        assert exchange.route_for(set_db) in exchange.manager.live_ids()
+
+
+def test_closed_exchange_refuses_submissions(set_db):
+    exchange = ThreadExchange(nodes=1, max_workers=2, parallel=False)
+    exchange.close()
+    with pytest.raises(ReproError):
+        exchange.submit(WorkloadEnvelope.single(Workload.coerce(["aa"]), set_db))
+
+
+def test_local_exchange_multi_part_remaps_indices(set_db):
+    workload = Workload.coerce(QUERIES)
+    envelope = WorkloadEnvelope(
+        parts=(
+            EnvelopePart(workload=workload, database=set_db),
+            EnvelopePart(workload=Workload.coerce(["aa"]), database=set_db),
+        )
+    )
+    with LocalExchange(set_db, parallel=False) as exchange:
+        outcomes = sorted_outcomes(exchange.submit(envelope))
+    assert [outcome.index for outcome in outcomes] == list(range(len(QUERIES) + 1))
+    assert outcomes[: len(QUERIES)] == reference(set_db)
+
+
+# ---------------------------------------------------------------- HTTP fleet
+
+
+def test_http_exchange_end_to_end_and_stats_roundtrip(set_db):
+    with HttpExchange(nodes=2, max_workers=2, parallel=False) as exchange:
+        outcomes = sorted_outcomes(
+            exchange.submit(WorkloadEnvelope.single(Workload.coerce(QUERIES), set_db))
+        )
+        assert outcomes == reference(set_db)
+        snapshots = exchange.stats()
+        assert {snapshot.node_id for snapshot in snapshots} == {"node-0", "node-1"}
+        assert all(snapshot.alive for snapshot in snapshots)
+        assert sum(snapshot.envelopes_served for snapshot in snapshots) == 1
+        assert sum(snapshot.databases for snapshot in snapshots) == 1
+        for snapshot in snapshots:
+            rebuilt = NodeStats.from_dict(snapshot.as_dict())
+            assert rebuilt == snapshot
+
+
+def test_http_node_kill_fails_over_to_the_survivor(set_db):
+    manager = NodeManager(HttpNodeLauncher(max_workers=2, parallel=False))
+    from repro.service.exchange import RoutedExchange
+
+    with RoutedExchange(manager) as exchange:
+        manager.spawn(2)
+        owner = exchange.route_for(set_db)
+        iterator = exchange.submit(
+            WorkloadEnvelope.single(Workload.coerce(QUERIES), set_db)
+        )
+        outcomes = []
+        for outcome in iterator:
+            outcomes.append(outcome)
+            if len(outcomes) == 1:
+                exchange.manager.kill(owner)
+        indices = sorted(outcome.index for outcome in outcomes)
+        assert indices == list(range(len(QUERIES)))
+        assert sorted_outcomes(outcomes) == reference(set_db)
+        assert exchange.heartbeat()[owner] is False

@@ -29,11 +29,18 @@ BENCH_DIR = REPO_ROOT / "benchmarks"
 # Benchmarks a full (unfiltered) smoke pass must always include: these are the
 # only CI coverage of their subsystem's end-to-end path (the service benchmark
 # exercises the process-pool serving path; the async benchmark exercises the
-# admission-controlled front-end and emits BENCH_async.json; the flow-core
-# benchmark emits the BENCH_flow.json artefact ci.sh's regression guard
-# reads), so their absence is an error, not a silently smaller run.
+# admission-controlled front-end and emits BENCH_async.json; the distributed
+# benchmark exercises the fingerprint-routed exchange and emits
+# BENCH_distributed.json; the flow-core benchmark emits the BENCH_flow.json
+# artefact ci.sh's regression guard reads), so their absence is an error, not
+# a silently smaller run.
 REQUIRED_BENCHMARKS = frozenset(
-    {"bench_resilience_serve.py", "bench_async_serve.py", "bench_flow_core.py"}
+    {
+        "bench_resilience_serve.py",
+        "bench_async_serve.py",
+        "bench_distributed.py",
+        "bench_flow_core.py",
+    }
 )
 
 

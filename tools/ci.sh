@@ -65,6 +65,54 @@ PY
 echo "ci: async conformance variants (single workload + 3 concurrent merged)"
 python -m pytest -q tests/test_conformance.py -k "async"
 
+echo "ci: distributed conformance variants (2/4-node fleets + mid-stream node kill)"
+python -m pytest -q tests/test_conformance.py -k "distributed"
+
+echo "ci: multi-node kill/recovery soak (routed fleet, kill + auto-replace per round)"
+python - <<'PY'
+import asyncio
+
+from repro.graphdb import generators
+from repro.service import AsyncResilienceServer, ThreadExchange, resilience_serve
+
+database = generators.random_labelled_graph(5, 14, "abcdexy", seed=3)
+workload = ["ax*b", "ab|bc", "abc|be", "aa", "ab", "ε|a"] * 2
+reference = resilience_serve(workload, database, parallel=False)
+
+
+async def soak():
+    exchange = ThreadExchange(nodes=2, max_workers=2)
+    async with AsyncResilienceServer(exchange, database=database) as server:
+
+        async def collect(iterator):
+            return sorted([o async for o in iterator], key=lambda o: o.index)
+
+        kills = 0
+        for round_number in range(3):
+            iterators = [await server.submit(workload) for _ in range(2)]
+            if round_number:
+                # Kill the node that owns the database while its round is in
+                # flight; the exchange must fail over (and, next round,
+                # auto-replace the corpse) without losing an outcome.
+                exchange.manager.kill(exchange.route_for(database))
+                kills += 1
+            for outcomes in await asyncio.gather(*(collect(it) for it in iterators)):
+                assert outcomes == reference, f"round {round_number} diverged after kill"
+        metrics = server.metrics()
+        delivered = sum(metrics.outcome_counts().values())
+        assert delivered == 6 * len(workload), f"outcome loss across kills: {delivered}"
+        assert kills == 2 and all(metrics.to_prometheus().splitlines()), "exposition emits"
+        alive = sum(1 for snapshot in metrics.nodes if snapshot.alive)
+        assert alive >= 1, "a replacement node must be serving after the kills"
+        print(
+            f"ci: kill/recovery soak ok (6 workloads, {delivered} outcomes, "
+            f"{kills} kills, {alive}/{len(metrics.nodes)} nodes alive)"
+        )
+
+
+asyncio.run(soak())
+PY
+
 echo "ci: async soak (3 workloads x 2 rounds, one warm pool) + metrics endpoint scrape"
 python - <<'PY'
 import asyncio
@@ -198,6 +246,30 @@ print(
 PY
 else
   echo "ci: BENCH_async.json missing (async benchmark did not run?)" >&2
+  exit 1
+fi
+
+if [ -f BENCH_distributed.json ]; then
+  echo "ci: distributed benchmark artefact check (BENCH_distributed.json)"
+  python - <<'PY'
+import json
+from pathlib import Path
+
+data = json.loads(Path("BENCH_distributed.json").read_text())
+for key in ("routing_overhead", "direct_serve_iter_ms", "routed_submit_ms", "nodes"):
+    assert key in data, f"BENCH_distributed.json missing {key!r}"
+    assert data[key] > 0, f"BENCH_distributed.json {key!r} not positive: {data[key]}"
+# Loose smoke-safe ceiling; the strict 15% bar is asserted by
+# bench_distributed.py itself outside smoke mode.
+assert data["routing_overhead"] <= 2.0, data["routing_overhead"]
+mode = "smoke" if data.get("smoke") else "full"
+print(
+    f"ci: distributed bench ok ({mode}: {data['nodes']} nodes, "
+    f"routing overhead x{data['routing_overhead']:.3f})"
+)
+PY
+else
+  echo "ci: BENCH_distributed.json missing (distributed benchmark did not run?)" >&2
   exit 1
 fi
 
