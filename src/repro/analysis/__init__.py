@@ -1,0 +1,31 @@
+"""Project-specific static analysis: invariants as machine-checked rules.
+
+See ``README.md`` in this package for the rule catalogue, the pragma
+convention, and the baseline workflow.  The public surface:
+
+- :func:`analyze_source` — analyze one module's source text.
+- :func:`analyze_paths` — analyze files/directories (what the CLI runs).
+- :func:`default_checkers` / :func:`rule_catalogue` — the rule registry.
+- :class:`Finding` / :class:`Checker` — the extension points.
+"""
+
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .checkers import checkers_for_rules, default_checkers, rule_catalogue
+from .cli import analyze_paths, iter_python_files, main
+from .core import Checker, Finding, ModuleContext, analyze_source
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "ModuleContext",
+    "analyze_paths",
+    "analyze_source",
+    "apply_baseline",
+    "checkers_for_rules",
+    "default_checkers",
+    "iter_python_files",
+    "load_baseline",
+    "main",
+    "rule_catalogue",
+    "write_baseline",
+]

@@ -1,0 +1,68 @@
+"""Committed JSON baseline for grandfathered findings.
+
+The baseline lets a new rule land with its historical debt recorded
+instead of fixed-or-pragma'd in the same change.  Entries are keyed by
+``(rule, path, snippet)`` — the stripped text of the offending line —
+so they survive line-number drift but expire when the offending code is
+edited.  A baseline entry that matches no current finding is *stale*
+and reported so the file shrinks monotonically; this repo's baseline
+ships empty and is expected to stay that way.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+
+from .core import Finding
+
+BaselineKey = tuple[str, str, str]
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of filtering findings through a baseline."""
+
+    new: list[Finding]
+    suppressed: list[Finding]
+    stale: list[BaselineKey] = field(default_factory=list)
+
+
+def load_baseline(path: str) -> Counter:
+    """Load a baseline file into a key -> count multiset."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    counts: Counter = Counter()
+    for entry in payload.get("entries", ()):
+        key = (entry["rule"], entry["path"], entry["snippet"])
+        counts[key] += int(entry.get("count", 1))
+    return counts
+
+
+def write_baseline(findings: list[Finding], path: str) -> None:
+    """Write the given findings out as a fresh baseline."""
+    counts: Counter = Counter(finding.baseline_key() for finding in findings)
+    entries = [
+        {"rule": rule, "path": file_path, "snippet": snippet, "count": count}
+        for (rule, file_path, snippet), count in sorted(counts.items())
+    ]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"version": 1, "entries": entries}, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def apply_baseline(findings: list[Finding], baseline: Counter) -> BaselineResult:
+    """Split findings into new vs baselined, and spot stale entries."""
+    budget = Counter(baseline)
+    new: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in findings:
+        key = finding.baseline_key()
+        if budget[key] > 0:
+            budget[key] -= 1
+            suppressed.append(finding)
+        else:
+            new.append(finding)
+    stale = sorted(key for key, count in budget.items() if count > 0)
+    return BaselineResult(new=new, suppressed=suppressed, stale=stale)

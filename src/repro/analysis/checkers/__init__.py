@@ -1,0 +1,56 @@
+"""Checker registry: the default rule set, and lookup by rule id."""
+
+from __future__ import annotations
+
+from ..core import Checker
+from .concurrency import ConcurrencyChecker
+from .deadcode import DeadCodeChecker
+from .determinism import DeterminismChecker
+from .errors import ErrorDisciplineChecker
+from .exactness import ExactnessChecker
+from .ipc import IpcChecker
+
+_CHECKER_TYPES: tuple[type[Checker], ...] = (
+    DeterminismChecker,
+    ExactnessChecker,
+    ConcurrencyChecker,
+    IpcChecker,
+    ErrorDisciplineChecker,
+    DeadCodeChecker,
+)
+
+
+def default_checkers() -> list[Checker]:
+    """Fresh instances of every registered checker."""
+    return [checker_type() for checker_type in _CHECKER_TYPES]
+
+
+def rule_catalogue() -> dict[str, tuple[str, str]]:
+    """rule id -> (checker name, description) for every known rule."""
+    catalogue: dict[str, tuple[str, str]] = {}
+    for checker_type in _CHECKER_TYPES:
+        for rule, description in checker_type.rules.items():
+            catalogue[rule] = (checker_type.name, description)
+    return catalogue
+
+
+def checkers_for_rules(rules: set[str]) -> list[Checker]:
+    """Instances of just the checkers owning any of the given rule ids."""
+    return [
+        checker_type()
+        for checker_type in _CHECKER_TYPES
+        if rules & set(checker_type.rules)
+    ]
+
+
+__all__ = [
+    "ConcurrencyChecker",
+    "DeadCodeChecker",
+    "DeterminismChecker",
+    "ErrorDisciplineChecker",
+    "ExactnessChecker",
+    "IpcChecker",
+    "checkers_for_rules",
+    "default_checkers",
+    "rule_catalogue",
+]

@@ -1,0 +1,138 @@
+"""Dead-code rules: unused imports and unreferenced private symbols.
+
+``dead-import`` flags module-level imports never referenced in the
+module.  Names listed in ``__all__`` and the explicit re-export idiom
+(``from x import y as y``) are exempt, as are names referenced only
+inside string annotations (which are parsed and mined for identifiers).
+
+``dead-symbol`` flags module-level ``_private`` functions, classes and
+constants that nothing in their own module references — by convention a
+leading underscore promises "module-internal", so an unreferenced one
+is dead weight (a deliberately-exported private needs a pragma).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..core import Checker, ModuleContext
+
+
+class DeadCodeChecker(Checker):
+    name = "dead-code"
+    rules = {
+        "dead-import": "module-level import never used in this module",
+        "dead-symbol": (
+            "module-level _private symbol never referenced in its module"
+        ),
+    }
+
+    def begin(self, module: ModuleContext) -> None:
+        # local name -> import node, for module-level imports only.
+        self._imports: dict[str, ast.stmt] = {}
+        self._reexports: set[str] = set()
+        # name -> def node for module-level _private symbols.
+        self._private_defs: dict[str, ast.AST] = {}
+        self._used: set[str] = set()
+        self._dunder_all: set[str] = set()
+
+    # -------------------------------------------------------------- gathering
+
+    def visit_Import(self, node: ast.Import, module: ModuleContext) -> None:
+        if not module.at_module_level():
+            return
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            self._imports[local] = node
+
+    def visit_ImportFrom(self, node: ast.ImportFrom, module: ModuleContext) -> None:
+        if not module.at_module_level() or node.module == "__future__":
+            return
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name
+            self._imports[local] = node
+            if alias.asname == alias.name:
+                self._reexports.add(local)
+
+    def visit_Name(self, node: ast.Name, module: ModuleContext) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self._used.add(node.id)
+
+    def visit_Constant(self, node: ast.Constant, module: ModuleContext) -> None:
+        # String annotations ("asyncio.Queue") hide identifier uses; any
+        # parseable string constant contributes its names.  Over-counting a
+        # docstring word as a "use" only ever silences a finding, never
+        # fabricates one, so the trade is safe.
+        if not isinstance(node.value, str) or len(node.value) > 200:
+            return
+        text = node.value.strip()
+        if not text:
+            return
+        try:
+            parsed = ast.parse(text, mode="eval")
+        except (SyntaxError, ValueError):
+            return
+        for sub in ast.walk(parsed):
+            if isinstance(sub, ast.Name):
+                self._used.add(sub.id)
+
+    def visit_Assign(self, node: ast.Assign, module: ModuleContext) -> None:
+        if not module.at_module_level():
+            return
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if target.id == "__all__":
+                    self._collect_all(node.value)
+                elif self._is_private(target.id):
+                    self._private_defs.setdefault(target.id, target)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef, module: ModuleContext) -> None:
+        if module.at_module_level() and self._is_private(node.name):
+            self._private_defs.setdefault(node.name, node)
+
+    def visit_AsyncFunctionDef(
+        self, node: ast.AsyncFunctionDef, module: ModuleContext
+    ) -> None:
+        if module.at_module_level() and self._is_private(node.name):
+            self._private_defs.setdefault(node.name, node)
+
+    def visit_ClassDef(self, node: ast.ClassDef, module: ModuleContext) -> None:
+        if module.at_module_level() and self._is_private(node.name):
+            self._private_defs.setdefault(node.name, node)
+
+    # -------------------------------------------------------------- reporting
+
+    def end(self, module: ModuleContext) -> None:
+        for local, node in self._imports.items():
+            if (
+                local in self._used
+                or local in self._reexports
+                or local in self._dunder_all
+                or local.startswith("_")
+            ):
+                continue
+            module.report("dead-import", node, f"import of {local!r} is unused")
+        for name, node in self._private_defs.items():
+            # A def's own Name-load uses elsewhere keep it; definition sites
+            # are Store contexts so they never self-count.
+            if name in self._used or name in self._dunder_all:
+                continue
+            module.report(
+                "dead-symbol", node, f"module-private {name!r} is never referenced"
+            )
+
+    # ---------------------------------------------------------------- helpers
+
+    @staticmethod
+    def _is_private(name: str) -> bool:
+        return name.startswith("_") and not name.startswith("__")
+
+    def _collect_all(self, value: ast.expr) -> None:
+        if isinstance(value, (ast.List, ast.Tuple, ast.Set)):
+            for element in value.elts:
+                if isinstance(element, ast.Constant) and isinstance(
+                    element.value, str
+                ):
+                    self._dunder_all.add(element.value)

@@ -1,0 +1,85 @@
+"""Error-discipline rules: failures surface structurally, never silently.
+
+The serving stack's contract is that worker failures become structured
+``error`` outcomes, admission failures become typed rejections, and
+programmer errors raise from the :class:`~repro.exceptions.ReproError`
+taxonomy — so operators can tell "the query failed" from "the service
+is broken" from "the caller misused the API".  A bare ``except:``, a
+broad handler whose body only swallows, or a bare ``RuntimeError``
+punches a hole in that contract.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..core import Checker, ModuleContext
+
+_BROAD_TYPES = frozenset({"Exception", "BaseException"})
+
+
+def _only_swallows(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body discards the error without a trace.
+
+    Bodies consisting solely of ``pass``/``continue``/``break`` or a
+    bare/constant ``return`` count as swallowing; any real statement —
+    logging, counters, re-raise, a computed return — does not.
+    """
+    for stmt in handler.body:
+        if isinstance(stmt, (ast.Pass, ast.Continue, ast.Break)):
+            continue
+        if isinstance(stmt, ast.Return):
+            if stmt.value is None or isinstance(stmt.value, ast.Constant):
+                continue
+            return False
+        return False
+    return True
+
+
+class ErrorDisciplineChecker(Checker):
+    name = "error-discipline"
+    rules = {
+        "err-bare-except": (
+            "bare except: catches SystemExit/KeyboardInterrupt too; "
+            "name the exception type"
+        ),
+        "err-swallowed-except": (
+            "broad except whose body silently discards the error; log it, "
+            "convert it to a structured outcome, or pragma why not"
+        ),
+        "err-bare-runtime": (
+            "bare RuntimeError where the ReproError taxonomy applies; "
+            "raise a ReproError subclass instead"
+        ),
+    }
+
+    def visit_ExceptHandler(
+        self, node: ast.ExceptHandler, module: ModuleContext
+    ) -> None:
+        if node.type is None:
+            module.report("err-bare-except", node, "bare except:")
+            if _only_swallows(node):
+                module.report(
+                    "err-swallowed-except", node, "bare except swallows the error"
+                )
+            return
+        broad = (
+            isinstance(node.type, ast.Name) and node.type.id in _BROAD_TYPES
+        )
+        if broad and _only_swallows(node):
+            module.report(
+                "err-swallowed-except",
+                node,
+                f"except {node.type.id} discards the error without a trace",
+            )
+
+    def visit_Raise(self, node: ast.Raise, module: ModuleContext) -> None:
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        if isinstance(exc, ast.Name) and exc.id == "RuntimeError":
+            module.report(
+                "err-bare-runtime",
+                node,
+                "bare RuntimeError raised; use the ReproError taxonomy",
+            )

@@ -1,0 +1,285 @@
+"""Single-walk AST analysis core: findings, checkers, and the driver.
+
+The framework parses each source file exactly once and walks its AST
+exactly once.  Checkers register interest in node types by defining
+``visit_<NodeType>`` methods; the driver dispatches every node to every
+interested checker during the same traversal, so adding a checker never
+adds a pass.  The driver also maintains the shared context checkers need
+(function/class nesting, an import-alias table for resolving dotted call
+targets) so individual rules stay small and purely local.
+
+Findings are value objects keyed for the baseline by ``(rule, path,
+snippet)`` — the stripped source text of the offending line — so a
+baselined finding survives unrelated edits that shift line numbers, but
+dies with the line that caused it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from .pragmas import Pragma, scan_pragmas
+
+#: Rule id used for files that fail to parse.
+PARSE_ERROR_RULE = "parse-error"
+#: Rule id for pragmas that suppressed nothing.
+PRAGMA_UNUSED_RULE = "pragma-unused"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.snippet)
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+
+class Checker:
+    """Base class for pluggable rules.
+
+    Subclasses set :attr:`name`, :attr:`rules` (rule id -> one-line
+    description) and optionally :attr:`scope` — path fragments that must
+    appear in a module's path for the checker to run at all.  Node
+    handlers are methods named ``visit_<NodeType>`` taking ``(node,
+    module)``; :meth:`begin` / :meth:`end` bracket each module for rules
+    that need whole-module state (e.g. dead imports).
+    """
+
+    name: str = "checker"
+    rules: dict[str, str] = {}
+    scope: tuple[str, ...] = ()
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return not self.scope or module.in_scope(*self.scope)
+
+    def begin(self, module: ModuleContext) -> None:
+        pass
+
+    def end(self, module: ModuleContext) -> None:
+        pass
+
+
+class ModuleContext:
+    """Everything checkers may consult while one module is walked."""
+
+    def __init__(
+        self,
+        path: str,
+        source: str,
+        tree: ast.Module,
+        pragmas: dict[int, Pragma],
+    ) -> None:
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.pragmas = pragmas
+        self.findings: list[Finding] = []
+        self.func_stack: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
+        self.class_stack: list[ast.ClassDef] = []
+        #: local name -> dotted origin, e.g. ``monotonic`` -> ``time.monotonic``.
+        self.imports: dict[str, str] = {}
+
+    # ------------------------------------------------------------- predicates
+
+    def in_scope(self, *fragments: str) -> bool:
+        return any(fragment in self.path for fragment in fragments)
+
+    def at_module_level(self) -> bool:
+        return not self.func_stack and not self.class_stack
+
+    def in_async_function(self) -> bool:
+        """True when the *nearest* enclosing function is ``async def``."""
+        return bool(self.func_stack) and isinstance(
+            self.func_stack[-1], ast.AsyncFunctionDef
+        )
+
+    # ------------------------------------------------------------- resolution
+
+    def record_import(self, node: ast.Import | ast.ImportFrom) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                origin = alias.name if alias.asname else alias.name.split(".")[0]
+                self.imports[local] = origin
+        else:
+            if node.module is None or node.level:
+                return  # relative imports resolve inside the package, not stdlib
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                self.imports[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Dotted origin of a name/attribute chain, through import aliases.
+
+        ``from time import monotonic`` makes ``monotonic()`` resolve to
+        ``time.monotonic``; an unimported bare name resolves to itself
+        (which is how builtins like ``float`` and ``id`` surface).
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.imports.get(node.id, node.id)
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+    # -------------------------------------------------------------- reporting
+
+    def report(self, rule: str, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        if self._suppressed(rule, line):
+            return
+        snippet = self.lines[line - 1].strip() if 0 < line <= len(self.lines) else ""
+        self.findings.append(Finding(rule, self.path, line, col, message, snippet))
+
+    def _suppressed(self, rule: str, line: int) -> bool:
+        """A pragma applies on the finding's line, the line above, or at the
+        top of a contiguous comment block directly above (so a pragma can
+        open a multi-line justification)."""
+        candidates = [line, line - 1]
+        cursor = line - 1
+        while 0 < cursor <= len(self.lines) and self.lines[
+            cursor - 1
+        ].lstrip().startswith("#"):
+            candidates.append(cursor)
+            cursor -= 1
+        for candidate in candidates:
+            pragma = self.pragmas.get(candidate)
+            if pragma is not None and pragma.allows(rule):
+                pragma.used = True
+                return True
+        return False
+
+
+def _build_dispatch(
+    checkers: list[Checker],
+) -> dict[type, list]:
+    dispatch: dict[type, list] = {}
+    for checker in checkers:
+        for attr in dir(checker):
+            if not attr.startswith("visit_"):
+                continue
+            node_type = getattr(ast, attr[len("visit_") :], None)
+            if node_type is None:
+                raise TypeError(f"{checker.name}: unknown AST node in {attr}")
+            dispatch.setdefault(node_type, []).append(getattr(checker, attr))
+    return dispatch
+
+
+def _walk(node: ast.AST, module: ModuleContext, dispatch: dict[type, list]) -> None:
+    if isinstance(node, (ast.Import, ast.ImportFrom)):
+        module.record_import(node)
+    for handler in dispatch.get(type(node), ()):
+        handler(node, module)
+    is_func = isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+    is_class = isinstance(node, ast.ClassDef)
+    if is_func:
+        module.func_stack.append(node)
+    elif is_class:
+        module.class_stack.append(node)
+    try:
+        for child in ast.iter_child_nodes(node):
+            _walk(child, module, dispatch)
+    finally:
+        if is_func:
+            module.func_stack.pop()
+        elif is_class:
+            module.class_stack.pop()
+
+
+def analyze_source(
+    source: str,
+    path: str,
+    checkers: list[Checker] | None = None,
+    *,
+    report_unused_pragmas: bool = True,
+) -> list[Finding]:
+    """Analyze one module's source, returning sorted findings.
+
+    ``path`` is the (posix) path used both for scope matching and in the
+    findings themselves.  ``checkers`` defaults to the full registry;
+    pass a subset to run specific rules (unused-pragma reporting is then
+    suppressed automatically, since a pragma for an unselected rule is
+    not evidence of rot).
+    """
+    if checkers is None:
+        from .checkers import default_checkers
+
+        checkers = default_checkers()
+        full_run = True
+    else:
+        full_run = False
+
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        line = error.lineno or 1
+        return [
+            Finding(
+                PARSE_ERROR_RULE,
+                path,
+                line,
+                (error.offset or 1) - 1,
+                f"could not parse: {error.msg}",
+                "",
+            )
+        ]
+
+    pragmas, pragma_findings = scan_pragmas(source, path)
+    module = ModuleContext(path, source, tree, pragmas)
+    active = [checker for checker in checkers if checker.applies_to(module)]
+    dispatch = _build_dispatch(active)
+    for checker in active:
+        checker.begin(module)
+    _walk(tree, module, dispatch)
+    for checker in active:
+        checker.end(module)
+
+    findings = module.findings + pragma_findings
+    if report_unused_pragmas and full_run:
+        for pragma in pragmas.values():
+            if not pragma.used:
+                snippet = (
+                    module.lines[pragma.line - 1].strip()
+                    if 0 < pragma.line <= len(module.lines)
+                    else ""
+                )
+                findings.append(
+                    Finding(
+                        PRAGMA_UNUSED_RULE,
+                        path,
+                        pragma.line,
+                        0,
+                        "pragma suppressed nothing; remove it or fix its rule list",
+                        snippet,
+                    )
+                )
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings

@@ -1,0 +1,95 @@
+"""Inline suppression pragmas: ``# repro: allow[rule] -- reason``.
+
+A pragma suppresses matching findings on its own line and on the line
+directly below it (so it can trail the offending statement or sit on its
+own line above).  Several rules may be listed, comma-separated; ``*``
+allows everything.  The reason after ``--`` is mandatory: a suppression
+without a recorded justification is itself a finding, as is a pragma
+that looks like one but does not parse.  Unused pragmas are reported by
+the driver on full runs so stale suppressions rot visibly.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+#: Rule id for pragmas that do not parse or lack a reason.
+PRAGMA_SYNTAX_RULE = "pragma-syntax"
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rules>[^\]]*)\]\s*(?:--\s*(?P<reason>.*\S))?\s*$"
+)
+_LOOKS_LIKE_PRAGMA_RE = re.compile(r"#\s*repro:")
+
+
+@dataclass
+class Pragma:
+    """One parsed suppression comment."""
+
+    line: int
+    rules: frozenset[str]
+    reason: str
+    used: bool = field(default=False, compare=False)
+
+    def allows(self, rule: str) -> bool:
+        return rule in self.rules or "*" in self.rules
+
+
+def scan_pragmas(source: str, path: str):
+    """Extract pragmas from comments; malformed ones become findings.
+
+    Returns ``(pragmas, findings)`` where ``pragmas`` maps line number to
+    :class:`Pragma` and ``findings`` is a list of
+    :class:`~repro.analysis.core.Finding` for malformed pragmas.
+    """
+    from .core import Finding
+
+    pragmas: dict[int, Pragma] = {}
+    findings: list[Finding] = []
+    lines = source.splitlines()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        tokens = []
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        comment = token.string
+        if not _LOOKS_LIKE_PRAGMA_RE.search(comment):
+            continue
+        line = token.start[0]
+        snippet = lines[line - 1].strip() if 0 < line <= len(lines) else ""
+        match = _PRAGMA_RE.search(comment)
+        if match is None:
+            findings.append(
+                Finding(
+                    PRAGMA_SYNTAX_RULE,
+                    path,
+                    line,
+                    token.start[1],
+                    "malformed pragma; expected `# repro: allow[rule] -- reason`",
+                    snippet,
+                )
+            )
+            continue
+        rules = frozenset(
+            rule.strip() for rule in match.group("rules").split(",") if rule.strip()
+        )
+        reason = match.group("reason")
+        if not rules or not reason:
+            findings.append(
+                Finding(
+                    PRAGMA_SYNTAX_RULE,
+                    path,
+                    line,
+                    token.start[1],
+                    "pragma needs a non-empty rule list and a `-- reason`",
+                    snippet,
+                )
+            )
+            continue
+        pragmas[line] = Pragma(line=line, rules=rules, reason=reason)
+    return pragmas, findings

@@ -1,0 +1,53 @@
+"""Human and JSON reporters for analysis results."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from .baseline import BaselineResult
+from .core import Finding
+
+
+def render_human(result: BaselineResult, *, files_scanned: int) -> str:
+    """Compiler-style report: one line per finding, then a summary."""
+    out: list[str] = []
+    for finding in result.new:
+        out.append(finding.render())
+        if finding.snippet:
+            out.append(f"    {finding.snippet}")
+    for key in result.stale:
+        rule, path, snippet = key
+        out.append(f"{path}: stale baseline entry for {rule}: {snippet!r}")
+    counts = Counter(finding.rule for finding in result.new)
+    if counts:
+        by_rule = ", ".join(f"{rule}={count}" for rule, count in sorted(counts.items()))
+        out.append(
+            f"{len(result.new)} finding(s) in {files_scanned} file(s) [{by_rule}]"
+        )
+    else:
+        out.append(f"clean: 0 findings in {files_scanned} file(s)")
+    if result.suppressed:
+        out.append(f"({len(result.suppressed)} finding(s) covered by the baseline)")
+    if result.stale:
+        out.append(f"({len(result.stale)} stale baseline entr(y/ies))")
+    return "\n".join(out)
+
+
+def render_json(result: BaselineResult, *, files_scanned: int) -> str:
+    payload = {
+        "files_scanned": files_scanned,
+        "findings": [finding.as_dict() for finding in result.new],
+        "baselined": [finding.as_dict() for finding in result.suppressed],
+        "stale_baseline": [
+            {"rule": rule, "path": path, "snippet": snippet}
+            for rule, path, snippet in result.stale
+        ],
+        "counts": dict(Counter(finding.rule for finding in result.new)),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def findings_to_result(findings: list[Finding]) -> BaselineResult:
+    """Wrap raw findings as a no-baseline result (for API callers)."""
+    return BaselineResult(new=list(findings), suppressed=[])

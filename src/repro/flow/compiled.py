@@ -265,6 +265,8 @@ class FlowGraphBuilder:
             integral = True
         else:
             integral = all(
+                # repro: allow[exact-float-cast] -- integrality scan only: it
+                # classifies capacities; no result value flows from this float
                 capacity == INFINITY or float(capacity).is_integer()
                 for capacity in raw_capacity[::2]
             )
@@ -507,6 +509,8 @@ def min_cut_compiled(graph: CompiledFlowGraph) -> CompiledCut:
         if seen[arc_head[arc_rev[position]]] and not seen[arc_head[position]]:
             if original[position] > 0:
                 cut_edges.append(edge)
+    # repro: allow[exact-float-cast] -- sanctioned result snap: integral optima
+    # are reported as floats exactly as the reference solver formats them
     value = float(total) if graph.integral else total
     return CompiledCut(
         value,
@@ -537,7 +541,7 @@ def solve_min_cut(graph: CompiledFlowGraph, solver: str | None = None) -> Compil
     result = min_cut(network)
     if result.value == INFINITY:
         return _INFINITE_CUT
-    edge_ids = {id(edge): index for index, edge in enumerate(network.edges)}
+    edge_ids = {id(edge): index for index, edge in enumerate(network.edges)}  # repro: allow[det-id] -- identity map from edge objects to their positions; ids are keys, never ordered or emitted
     cut_edges = tuple(edge_ids[id(edge)] for edge in result.cut_edges)
     return CompiledCut(
         result.value,

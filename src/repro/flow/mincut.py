@@ -182,6 +182,8 @@ def min_cut(network: FlowNetwork) -> MinCutResult:
     # through float arithmetic and are reported unsnapped: rounding with
     # ``math.isclose`` can mis-round a genuinely fractional optimum.
     integral = all(
+        # repro: allow[exact-float-cast] -- integrality scan only: it
+        # classifies capacities ahead of the sanctioned result snap below
         edge.capacity == INFINITY or float(edge.capacity).is_integer()
         for edge in edges
         if edge.capacity > 0
@@ -204,6 +206,8 @@ def min_cut(network: FlowNetwork) -> MinCutResult:
         if edge.capacity > 0 and edge.source in reachable and edge.target not in reachable
     )
     if integral:
+        # repro: allow[exact-float-cast] -- sanctioned result snap: mirrors
+        # the reference solver's float output format for integral optima
         value = float(value)
     return MinCutResult(value, cut_edges, reachable, value)
 

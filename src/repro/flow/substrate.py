@@ -183,6 +183,8 @@ def compile_product_graph(read_once_automaton, index: DatabaseIndex) -> Compiled
         return cached
     substrate.graphs_compiled += 1
     plan = compile_automaton(read_once_automaton)
+    # repro: allow[det-repr-sort] -- canonical state numbering: automaton
+    # states are frozen value types whose reprs are address-free
     states = sorted(read_once_automaton.states, key=repr)
     num_db_nodes = substrate.num_db_nodes
     # State-major product ids: state j occupies the contiguous id block
@@ -211,15 +213,18 @@ def compile_product_graph(read_once_automaton, index: DatabaseIndex) -> Compiled
             label_facts,
         )
     extend_infinite = builder.extend_infinite
+    # repro: allow[det-repr-sort] -- canonical edge order over frozen value types
     for q_source, _, q_target in sorted(read_once_automaton.epsilon_transitions, key=repr):
         source_offset = state_offset[q_source]
         target_offset = state_offset[q_target]
         extend_infinite(
             (source_offset + node, target_offset + node) for node in range(num_db_nodes)
         )
+    # repro: allow[det-repr-sort] -- canonical edge order over frozen value types
     for state in sorted(read_once_automaton.initial, key=repr):
         offset = state_offset[state]
         extend_infinite((_SOURCE_ID, offset + node) for node in range(num_db_nodes))
+    # repro: allow[det-repr-sort] -- canonical edge order over frozen value types
     for state in sorted(read_once_automaton.final, key=repr):
         offset = state_offset[state]
         extend_infinite((offset + node, _TARGET_ID) for node in range(num_db_nodes))

@@ -21,6 +21,8 @@ from typing import Hashable
 Node = Hashable
 
 
+# repro: allow[ipc-cache-pickle] -- never pickled directly: GraphDatabase's
+# __getstate__ drops its index and workers rebuild it on first use
 class DatabaseIndex:
     """An immutable index over the facts of one database.
 

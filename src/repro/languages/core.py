@@ -18,6 +18,8 @@ from .regex import regex_to_automaton
 from .words import mirror as mirror_word
 
 
+# repro: allow[ipc-cache-pickle] -- memoized derivations ship with the pickle
+# on purpose: workers reuse the expensive infix-free analysis (see serve.py)
 class Language:
     """A regular language over single-character letters.
 

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from ..exceptions import NotApplicableError
 from ..flow.compiled import solve_min_cut
-from ..flow.mincut import min_cut
 from ..flow.network import FlowNetwork
 from ..flow.substrate import compile_bcl_graph
 from ..graphdb.database import BagGraphDatabase, Fact, GraphDatabase, as_bag

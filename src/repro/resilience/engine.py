@@ -283,7 +283,7 @@ class LanguageCache:
         canonical layer on, the classification runs once per *equivalence
         class* — and not at all when the on-disk store already holds it.
         """
-        key = id(language)
+        key = id(language)  # repro: allow[det-id] -- identity memo key per live instance; never ordered, never emitted
         cached = self._methods.get(key)
         if cached is None:
             cached = (language, self._classify(language))

@@ -86,6 +86,8 @@ def resilience_exact(
     removal_stack: list[int] = []
 
     state = _SearchState(best_value=math.inf, best_set=None)
+    # repro: allow[det-wallclock] -- max_seconds is an explicit wall-clock
+    # budget in the public API; it aborts the search, never shapes a result
     deadline = None if max_seconds is None else perf_counter() + max_seconds
 
     def branch(cost: float) -> None:
@@ -96,7 +98,7 @@ def resilience_exact(
                 nodes_explored=state.nodes_explored,
                 max_nodes=max_nodes,
             )
-        if deadline is not None and perf_counter() > deadline:
+        if deadline is not None and perf_counter() > deadline:  # repro: allow[det-wallclock] -- explicit max_seconds budget check
             raise SearchBudgetExceeded(
                 f"exact resilience exceeded its {max_seconds:g}s time budget",
                 nodes_explored=state.nodes_explored,

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from ..exceptions import NotLocalError
 from ..flow.compiled import solve_min_cut
-from ..flow.mincut import MinCutResult, min_cut
+from ..flow.mincut import min_cut
 from ..flow.network import FlowNetwork
 from ..flow.substrate import compile_product_graph
 from ..graphdb.database import BagGraphDatabase, Fact, GraphDatabase, as_bag

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from ..exceptions import NotApplicableError
 from ..graphdb.database import Fact, GraphDatabase, Node
-from ..languages.automata import EpsilonNFA, State
+from ..languages.automata import State
 from ..languages.core import Language
 
 Match = frozenset[Fact]

@@ -83,7 +83,7 @@ import time
 from bisect import bisect_left
 from collections import deque
 from collections.abc import AsyncIterator, Iterable, Mapping
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..exceptions import ReproError
@@ -360,6 +360,9 @@ class MetricsEndpoint:
     """
 
     def __init__(self, snapshot, *, host: str = "127.0.0.1", port: int = 0) -> None:
+        # repro: allow[ipc-local-class] -- request handler closing over this
+        # endpoint's snapshot; http.server instantiates it per connection in
+        # this process and it never crosses a pickle boundary
         class Handler(BaseHTTPRequestHandler):
             def do_GET(self) -> None:  # noqa: N802 - http.server API
                 path, _, query = self.path.partition("?")

@@ -249,6 +249,9 @@ class RoutedExchange(Exchange):
             # so the replacement is also the natural owner going forward.
             try:
                 self._manager.replace(self._router.route(fingerprint, dead))
+            # repro: allow[err-swallowed-except] -- replacement is opportunistic:
+            # a failed launch means "no node", which the caller turns into
+            # structured error outcomes for the unserved queries
             except Exception:
                 return None
         return None

@@ -105,6 +105,8 @@ _WORKER_LANGUAGES: dict[str, Language] = {}
 _WORKER_CANCEL_FLAGS = None
 
 
+# repro: allow[dead-symbol] -- worker-protocol entry point: imported by
+# service.server (and the exchange nodes) to initialize their warm pools
 def _worker_init(database: AnyDatabase, cancel_flags=None) -> None:
     global _WORKER_DATABASE, _WORKER_CANCEL_FLAGS
     _WORKER_DATABASE = database
@@ -153,6 +155,8 @@ def _worker_cancel_state(entry: tuple[int | None, float | None], now: float):
     return None
 
 
+# repro: allow[dead-symbol] -- worker-protocol entry point: imported by
+# service.server as the chunk task its pools execute
 def _worker_run_many(
     items: list[ScheduledQuery],
     control: dict[int, tuple[int | None, float | None]] | None = None,

@@ -249,12 +249,13 @@ class ResilienceServer:
         sized for — growth re-forks once, but a small warm-up call must not
         cap throughput for the rest of the session.  The pool never shrinks.
 
-        Raises :class:`RuntimeError` on a closed server (a generator resumed
-        after :meth:`close` must never fork a pool nothing would shut down;
-        :meth:`_submit` turns the refusal into structured outcomes).
+        Raises :class:`~repro.exceptions.ReproError` on a closed server (a
+        generator resumed after :meth:`close` must never fork a pool nothing
+        would shut down; the ``_closed`` guards in :meth:`_stream` make this
+        a backstop, not a path).
         """
         if self._closed:
-            raise RuntimeError("ResilienceServer is closed")
+            raise ReproError("this ResilienceServer is closed")
         width = max(1, min(self._max_workers, task_count))
         if self._pool is not None and (
             getattr(self._pool, "_broken", False) or self._pool_width < width

@@ -7,6 +7,46 @@ import pytest
 from repro.graphdb import GraphDatabase
 from repro.languages import Language
 
+from leak_sanitizer import SANITIZED_MODULES, LeakTracker, sanitizer_enabled
+
+
+def _sanitized(item) -> bool:
+    module = getattr(item, "module", None)
+    if module is None:
+        return False
+    name = getattr(module, "__name__", "").rpartition(".")[2]
+    return name in SANITIZED_MODULES and sanitizer_enabled()
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_setup(item):
+    # Start tracking before fixture setup so resources created by fixtures
+    # are inside the window their finalizers must close by teardown.
+    if _sanitized(item):
+        tracker = LeakTracker()
+        tracker.start()
+        item._leak_tracker = tracker
+    yield
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_teardown(item, nextitem):
+    # The wrapped call runs fixture finalizers; the leak check afterwards
+    # sees the world as the test promised to leave it.
+    yield
+    tracker = getattr(item, "_leak_tracker", None)
+    if tracker is None:
+        return
+    del item._leak_tracker
+    tracker.stop()
+    leaks = tracker.leaks()
+    if leaks:
+        pytest.fail(
+            "leak sanitizer: resources survived the test:\n  "
+            + "\n  ".join(leaks),
+            pytrace=False,
+        )
+
 
 @pytest.fixture
 def local_language() -> Language:

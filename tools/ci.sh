@@ -8,8 +8,31 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="$PWD/src${PYTHONPATH:+:$PYTHONPATH}"
 
+echo "ci: static analysis gate (repro.analysis, strict, empty baseline)"
+python -m repro.analysis src --strict
+
+echo "ci: static analysis negative check (a seeded violation must fail the gate)"
+ANALYSIS_SCRATCH="$(mktemp -d)"
+cat > "$ANALYSIS_SCRATCH/seeded.py" <<'PY'
+def f():
+    try:
+        return 1
+    except:
+        pass
+PY
+if python -m repro.analysis "$ANALYSIS_SCRATCH" --no-baseline --strict > /dev/null; then
+  echo "ci: analysis gate FAILED to flag a seeded bare-except violation" >&2
+  rm -rf "$ANALYSIS_SCRATCH"
+  exit 1
+fi
+rm -rf "$ANALYSIS_SCRATCH"
+echo "ci: analysis negative check ok (seeded violation rejected)"
+
 echo "ci: tier-1 test suite"
 python -m pytest -x -q
+
+echo "ci: leak-sanitized service/exchange suites (threads, processes, sockets, temp dirs)"
+REPRO_LEAK_SANITIZER=on python -m pytest -q tests/test_server.py tests/test_async_server.py tests/test_exchange.py
 
 echo "ci: parallel serving parity check (batch + streamed)"
 python - <<'PY'
