@@ -1,0 +1,131 @@
+"""E-SOAK: the chaos soak trajectory (:mod:`repro.traffic`).
+
+Drives a seeded zipf/bursty traffic trace through the full front-end →
+exchange → node stack over a 2-node fleet while the chaos schedule kills a
+node mid-round, injects a poison workload (worker-killing unpickler) and
+bursts the admission queue — then emits ``BENCH_soak.json`` (read back by
+``tools/bench_smoke.py`` and the CI artefact guard):
+
+* correctness: the run must complete with **zero invariant violations**
+  (exactly one outcome per admitted query, no cross-workload leakage,
+  structured rejections only, full parity with the uncached serial reference
+  for every traffic request, recovery within bound, ``in_flight`` drained to
+  zero) and a clean leak-tracker report;
+* replayability: a second run from the same seed must reproduce the same
+  per-status outcome counts;
+* the trajectory: p50/p99 submit-to-delivery latency per outcome status,
+  admission rejects, deadline expiries, kill recovery time in rounds, and
+  end-to-end throughput.
+"""
+
+import os
+import sys
+from pathlib import Path
+
+from conftest import emit_bench_json, smoke_mode
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tests"))
+
+from faults import poison_workload  # noqa: E402
+from leak_sanitizer import LeakTracker  # noqa: E402
+
+from repro.traffic import (  # noqa: E402
+    ChaosEvent,
+    ChaosSchedule,
+    DatabaseSpec,
+    SoakRunner,
+    TrafficProfile,
+    generate_traffic,
+)
+
+SEED = 20_250_808
+NODES = 2
+REQUESTS_PER_ROUND = 4
+
+
+def profile():
+    return TrafficProfile(
+        seed=SEED,
+        requests=16 if smoke_mode() else 48,
+        databases=(
+            DatabaseSpec(num_nodes=6, num_edges=16, alphabet="abxy"),
+            DatabaseSpec(num_nodes=5, num_edges=12, alphabet="abx", bag_copies=2),
+        ),
+    )
+
+
+def chaos():
+    # Payloads: >= 2 queries (single-query workloads never cross a pickle
+    # boundary) and inequivalent to every catalogue query (equivalence-keyed
+    # node caches would substitute an already-cached clean plan).
+    return ChaosSchedule(
+        (
+            ChaosEvent(
+                round=0, kind="poison", workload=poison_workload(["xxayy", "yybxx"])
+            ),
+            ChaosEvent(round=1, kind="kill", after_outcomes=2),
+            ChaosEvent(round=2, kind="burst", count=4),
+        )
+    )
+
+
+def soak(leak_tracker=None):
+    runner = SoakRunner(
+        generate_traffic(profile()),
+        nodes=NODES,
+        max_workers=2,
+        chaos=chaos(),
+        requests_per_round=REQUESTS_PER_ROUND,
+        leak_tracker=leak_tracker,
+    )
+    return runner.run()
+
+
+def test_chaos_soak_trajectory():
+    report = soak(leak_tracker=LeakTracker())
+    # Hard gates: the soak IS the assertion — SoakRunner raises on any
+    # invariant violation, so reaching here means the run was clean.
+    assert report.violations == () and report.leaks == ()
+    assert report.chaos["kills"] == 1 and report.chaos["poison_workloads"] == 1
+    assert report.recovery["max_rounds"] <= report.recovery["bound"]
+    assert report.parity_checked == report.requests, (
+        "every traffic request must hold parity with the serial reference"
+    )
+    assert report.admission["final_in_flight"] == 0
+    assert report.throughput_rps > 0
+
+    replay = soak()
+    assert replay.by_status == report.by_status, (
+        "a soak must be replayable from its seed"
+    )
+
+    payload = {
+        "smoke": smoke_mode(),
+        "seed": SEED,
+        "requests": report.requests,
+        "rounds": report.rounds,
+        "nodes": NODES,
+        "outcomes": report.outcomes,
+        "by_status": report.by_status,
+        "latency_ms": report.latency,
+        "admission_rejects": report.admission["rejected"],
+        "deadline_expired": report.admission["deadline_expired"],
+        "kills": report.chaos["kills"],
+        "recovery_rounds_max": report.recovery["max_rounds"],
+        "recovery_rounds_bound": report.recovery["bound"],
+        "throughput_rps": report.throughput_rps,
+        "wall_seconds": report.wall_seconds,
+        "parity_checked": report.parity_checked,
+        "violations": len(report.violations),
+        "leaks": len(report.leaks),
+        "replay_by_status_identical": True,
+        "cpus": os.cpu_count(),
+    }
+    path = emit_bench_json("BENCH_soak.json", payload)
+    ok_latency = report.latency.get("ok", {})
+    print(
+        f"\nsoak: {report.requests} requests / {report.rounds} rounds, "
+        f"{report.throughput_rps:.0f} outcomes/s, ok p50 "
+        f"{ok_latency.get('p50', 0):.0f}ms p99 {ok_latency.get('p99', 0):.0f}ms, "
+        f"recovery {report.recovery['max_rounds']} round(s) -> {path.name}"
+    )

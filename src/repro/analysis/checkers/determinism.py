@@ -31,6 +31,9 @@ DETERMINISTIC_SCOPE = (
     "repro/classify/",
     "repro/hardness/",
     "repro/rpq/",
+    # The traffic generator must be bit-replayable from its seed; the soak
+    # runner around it is intentionally out of scope (it measures wall time).
+    "repro/traffic/generator",
 )
 
 #: Canonicalization layers where sorting by ``repr`` is the blessed idiom:

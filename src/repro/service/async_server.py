@@ -175,6 +175,20 @@ class LatencyHistogram:
         buckets["inf"] = self.counts[-1]
         return {"buckets": buckets, "count": self.count, "sum_seconds": self.sum_seconds}
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LatencyHistogram":
+        """Rebuild a histogram from an :meth:`as_dict` snapshot (round-trip
+        exact), so consumers of a :class:`ServerMetrics` snapshot can compute
+        quantiles without reaching into the live server."""
+        histogram = cls()
+        buckets = payload["buckets"]
+        for index, bound in enumerate(LATENCY_BUCKET_BOUNDS):
+            histogram.counts[index] = int(buckets.get(str(bound), 0))
+        histogram.counts[-1] = int(buckets.get("inf", 0))
+        histogram.count = int(payload["count"])
+        histogram.sum_seconds = float(payload["sum_seconds"])
+        return histogram
+
 
 @dataclass(frozen=True)
 class AdmissionStats:
@@ -236,6 +250,27 @@ class ServerMetrics:
     def outcome_counts(self) -> dict[str, int]:
         """Delivered outcomes per status (derived from the latency histograms)."""
         return {status: histogram["count"] for status, histogram in self.latency.items()}
+
+    def latency_quantiles(
+        self, qs: tuple[float, ...] = (0.5, 0.99), *, scale: float = 1.0
+    ) -> dict[str, dict]:
+        """Conservative latency quantiles per outcome status.
+
+        Returns ``{status: {"p50": ..., "p99": ..., "count": n}}`` (keys
+        follow ``qs``) computed from the snapshot's histograms via
+        :meth:`LatencyHistogram.quantile`, so every value is an upper bucket
+        bound — never an underestimate.  ``scale`` multiplies the quantile
+        values (``1e3`` for milliseconds); counts are unscaled.
+        """
+        summary: dict[str, dict] = {}
+        for status, payload in sorted(self.latency.items()):
+            histogram = LatencyHistogram.from_dict(payload)
+            entry: dict[str, float | int] = {
+                f"p{q * 100:g}": histogram.quantile(q) * scale for q in qs
+            }
+            entry["count"] = histogram.count
+            summary[status] = entry
+        return summary
 
     def as_dict(self) -> dict:
         return {

@@ -58,6 +58,34 @@ CANCEL_SLOTS = 128
 #: ``cancel=`` argument shape accepted by the serve entry points.
 CancelArg = CancellationToken | Mapping[int, CancellationToken] | None
 
+#: How long :meth:`ResilienceServer._stream` waits on in-flight futures
+#: before re-poking the pool's management thread (see :func:`_nudge_pool`).
+WAKEUP_NUDGE_SECONDS = 0.25
+
+
+def _nudge_pool(pool: ProcessPoolExecutor | None) -> None:
+    """Poke a pool's management thread awake (CPython < 3.12 lost wakeup).
+
+    Before 3.12 (python/cpython#105829), ``_ThreadWakeup.wakeup`` and
+    ``clear`` race: the management thread can drain the wake byte of a
+    submit it has not yet seen, then block in select with the work item
+    still sitting in ``_pending_work_items`` — a permanent hang unless a
+    later submit or result arrives, which the last chunk of a round never
+    gets.  Re-writing one byte into the (private, hence the defensive
+    ``except``) wakeup pipe makes the management thread re-run its
+    pending-work scan; sent under ``_shutdown_lock`` exactly like
+    ``submit`` does, and harmless when the race never happened.
+    """
+    if pool is None:
+        return
+    try:
+        wakeup = pool._executor_manager_thread_wakeup
+        with pool._shutdown_lock:
+            if not pool._broken and not wakeup._closed:
+                wakeup.wakeup()
+    except (AttributeError, OSError, RuntimeError):  # pragma: no cover
+        pass  # internals moved or the pool is tearing down: nothing to nudge
+
 
 @dataclass(frozen=True)
 class PoolStats:
@@ -488,7 +516,18 @@ class ResilienceServer:
                     )
                 if not pending:
                     break
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                done, _ = wait(
+                    pending, timeout=WAKEUP_NUDGE_SECONDS, return_when=FIRST_COMPLETED
+                )
+                if not done:
+                    # Nothing finished within the nudge window: either the
+                    # chunks are genuinely slow (the nudge is a no-op then)
+                    # or the management thread missed a wakeup and the work
+                    # never reached the call queue.  The orphan sweep above
+                    # guarantees every pending future belongs to the live
+                    # pool, so that is the one to poke.
+                    _nudge_pool(self._pool)
+                    continue
                 for future in done:
                     chunk, pool, attempt = pending.pop(future)
                     try:

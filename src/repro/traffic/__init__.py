@@ -1,0 +1,58 @@
+"""Deterministic production-traffic simulation and chaos soak harness.
+
+The conformance matrix proves the serving stack correct on a fixed workload;
+this package demonstrates it at *scale*: a seeded generator produces a
+zipf-popular query mix over generated databases with bursty open-loop
+arrivals, mixed priorities, weights, deadlines and per-query budgets
+(:mod:`~repro.traffic.generator`); a :class:`~repro.traffic.soak.SoakRunner`
+drives the full front-end → exchange → node stack through that traffic while
+a :class:`~repro.traffic.chaos.ChaosSchedule` injects faults mid-stream
+(node kills, slow workers, poison workloads, admission bursts) and an
+invariant monitor asserts after every round that nothing was lost, leaked,
+or silently wrong (:mod:`~repro.traffic.soak`).
+
+Everything is deterministic from the profile seed, so any failed soak run is
+replayable bit-for-bit: re-generate the trace from the same
+:class:`~repro.traffic.generator.TrafficProfile` and re-run the same
+:class:`~repro.traffic.chaos.ChaosSchedule`.
+"""
+
+from .chaos import (
+    BURST,
+    CHAOS_KINDS,
+    KILL,
+    POISON,
+    SLOW,
+    ChaosEvent,
+    ChaosSchedule,
+)
+from .generator import (
+    DEFAULT_CATALOGUE,
+    HARD_QUERIES,
+    DatabaseSpec,
+    TrafficProfile,
+    TrafficRequest,
+    TrafficTrace,
+    generate_traffic,
+)
+from .soak import InvariantViolation, SoakReport, SoakRunner
+
+__all__ = [
+    "BURST",
+    "CHAOS_KINDS",
+    "KILL",
+    "POISON",
+    "SLOW",
+    "ChaosEvent",
+    "ChaosSchedule",
+    "DEFAULT_CATALOGUE",
+    "HARD_QUERIES",
+    "DatabaseSpec",
+    "InvariantViolation",
+    "SoakReport",
+    "SoakRunner",
+    "TrafficProfile",
+    "TrafficRequest",
+    "TrafficTrace",
+    "generate_traffic",
+]

@@ -1,0 +1,128 @@
+"""Chaos schedules: scripted mid-soak fault injection.
+
+A :class:`ChaosSchedule` is an ordered tuple of :class:`ChaosEvent` items,
+each pinned to a soak *round* (a batch of trace requests the
+:class:`~repro.traffic.soak.SoakRunner` submits together).  Four kinds:
+
+* :data:`KILL` — kill the node owning a database mid-stream, after
+  ``after_outcomes`` outcomes of the round have been delivered.  The exchange
+  must fail the tail over without losing, duplicating or changing an outcome.
+* :data:`POISON` — submit an extra workload built from crash-on-unpickle
+  languages (the ``_CrashOnUnpickle`` pattern in ``tests/faults.py``): every
+  dispatch of its chunk kills a worker process, so the round exercises pool
+  crash/replace while the poison's own outcomes surface as structured
+  ``error`` results.  The payload workload is supplied by the caller — the
+  process-killing helpers deliberately live with the tests, not in ``src``.
+  Payload expressions must not be *equivalent* to any query the trace serves
+  (node caches key languages by equivalence, so a poison language equivalent
+  to an already-cached clean query is substituted by its cached plan and
+  never reaches a worker's unpickler) and the payload needs at least two
+  queries (a single-query workload serves serially in the node's parent
+  process, never crossing a pickle boundary).  The soak's invariant monitor
+  catches both misconfigurations loudly: the poison comes back ``ok`` instead
+  of ``error``.
+* :data:`SLOW` — submit an extra workload of sleep-on-unpickle languages,
+  stalling a worker without killing it (latency-tail pressure, still ``ok``).
+* :data:`BURST` — submit ``count`` extra one-query workloads at round start,
+  pushing the admission queue toward ``max_queue_depth`` so back-pressure
+  surfaces as structured ``admission-rejected`` outcomes.
+
+Events are plain frozen data, so a schedule is as replayable as the traffic
+trace it runs against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ReproError
+from ..service.workload import Workload
+
+KILL = "kill"
+POISON = "poison"
+SLOW = "slow"
+BURST = "burst"
+
+CHAOS_KINDS = frozenset({KILL, POISON, SLOW, BURST})
+
+#: Kinds that inject an extra workload (their event must carry one).
+_PAYLOAD_KINDS = frozenset({POISON, SLOW})
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scheduled fault.
+
+    Attributes:
+        round: 0-based soak round the event fires in.
+        kind: one of :data:`CHAOS_KINDS`.
+        after_outcomes: for :data:`KILL` — how many outcomes of the round to
+            let land before killing the owner node (mid-stream by
+            construction).
+        count: for :data:`BURST` — how many extra one-query workloads to
+            submit at round start.
+        workload: for :data:`POISON` / :data:`SLOW` — the injected workload
+            (typically built from ``tests/faults.py`` helpers).
+        database_key: trace database the event targets; ``None`` means the
+            trace's first database.
+    """
+
+    round: int
+    kind: str
+    after_outcomes: int = 2
+    count: int = 4
+    workload: Workload | None = None
+    database_key: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHAOS_KINDS:
+            raise ReproError(
+                f"unknown chaos kind {self.kind!r}; expected one of "
+                f"{sorted(CHAOS_KINDS)}"
+            )
+        if self.round < 0:
+            raise ReproError(f"chaos round must be >= 0 (got {self.round})")
+        if self.kind == KILL and self.after_outcomes < 1:
+            raise ReproError(
+                f"kill events fire after >= 1 outcomes (got {self.after_outcomes})"
+            )
+        if self.kind == BURST and self.count < 1:
+            raise ReproError(f"burst count must be >= 1 (got {self.count})")
+        if self.kind in _PAYLOAD_KINDS and self.workload is None:
+            raise ReproError(
+                f"{self.kind!r} events need a payload workload (build one with "
+                "the fault helpers in tests/faults.py)"
+            )
+
+    def as_dict(self) -> dict:
+        """JSONL-friendly summary (payload workloads render as a size)."""
+        return {
+            "round": self.round,
+            "kind": self.kind,
+            "after_outcomes": self.after_outcomes if self.kind == KILL else None,
+            "count": self.count if self.kind == BURST else None,
+            "payload_queries": None if self.workload is None else len(self.workload),
+            "database_key": self.database_key,
+        }
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """An ordered, validated set of chaos events."""
+
+    events: tuple[ChaosEvent, ...] = ()
+
+    def for_round(self, round_index: int) -> tuple[ChaosEvent, ...]:
+        return tuple(event for event in self.events if event.round == round_index)
+
+    def kinds(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def last_round(self) -> int:
+        return max((event.round for event in self.events), default=-1)
+
+    def __len__(self) -> int:
+        return len(self.events)

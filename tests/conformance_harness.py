@@ -25,13 +25,17 @@ parametrized conformance test picks it up for every cache variant
 automatically.  The ``distributed-*`` variants run the async front-end over a
 fingerprint-routed :class:`~repro.service.ThreadExchange` fleet — the
 ``node-kill`` one kills the owning node two outcomes into the stream, so the
-identity assertion doubles as a no-loss/no-duplication failover proof.
+identity assertion doubles as a no-loss/no-duplication failover proof.  The
+``soak-replay`` variant drives the matrix through the chaos soak harness
+(:class:`~repro.traffic.SoakRunner`, mid-round node kill included): the
+outcome set of a seeded chaos run must equal the uncached serial reference.
 """
 
 from __future__ import annotations
 
 import asyncio
 
+from faults import adrain_with_kill
 from repro.graphdb import generators
 from repro.service import (
     AnalysisStore,
@@ -43,6 +47,13 @@ from repro.service import (
     ThreadExchange,
     Workload,
     resilience_serve,
+)
+from repro.traffic import (
+    ChaosEvent,
+    ChaosSchedule,
+    SoakRunner,
+    TrafficRequest,
+    TrafficTrace,
 )
 
 #: The fixed query matrix: every dispatch method, duplicate queries,
@@ -75,6 +86,7 @@ EXECUTION_VARIANTS = (
     "distributed-2-nodes",
     "distributed-4-nodes",
     "distributed-2-nodes-node-kill",
+    "soak-replay",
 )
 PASSES = 2
 
@@ -149,12 +161,16 @@ class VariantSession:
         self.shared_cache = shared_cache
         self.workload = Workload.coerce(MATRIX_QUERIES)
         # The kill variant destroys a node (and its pool) every pass, so warm
-        # pids cannot be stable across passes; it still shares the cache.
+        # pids cannot be stable across passes; it still shares the cache.  The
+        # soak-replay variant likewise builds (and kills into) a fresh fleet
+        # per pass through the SoakRunner.
         self.kill_mid_pass = execution.endswith("node-kill")
+        self.soak = execution == "soak-replay"
         self.shares_pool = (
             execution != "serial"
             and shared_cache is not None
             and not self.kill_mid_pass
+            and not self.soak
         )
         self._server: ResilienceServer | None = None
         self._async_server: AsyncResilienceServer | None = None
@@ -212,6 +228,8 @@ class VariantSession:
     # ------------------------------------------------------------------ one pass
 
     def run_pass(self) -> list[list[QueryOutcome]]:
+        if self.soak:
+            return self._run_soak_pass()
         if not self.shares_pool and self.execution != "serial":
             # The uncached configuration proves the *execution strategy alone*
             # never changes results: fresh cache, fresh server, every pass.
@@ -276,16 +294,51 @@ class VariantSession:
         lost nothing, duplicated nothing, and changed no outcome.
         """
         iterator = await self._async_server.submit(self.workload)
-        outcomes: list[QueryOutcome] = []
-        killed = False
-        async for outcome in iterator:
-            outcomes.append(outcome)
-            if not killed and len(outcomes) == 2:
-                owner = self._exchange.route_for(self.database)
-                self._exchange.manager.kill(owner)
-                killed = True
-        assert killed, "the matrix must be long enough to kill mid-stream"
+
+        def kill() -> None:
+            self._exchange.manager.kill(self._exchange.route_for(self.database))
+
+        outcomes = await adrain_with_kill(iterator, kill, after=2)
         return [_sorted(outcomes)]
+
+    def _run_soak_pass(self) -> list[list[QueryOutcome]]:
+        """Chaos soak as a conformance cell: the outcome set of a seeded soak
+        round (mid-stream node kill included) must equal the serial reference.
+
+        Two copies of the matrix travel as one soak round over a fresh
+        2-node fleet (sharing this cell's cache across passes); the chaos
+        schedule kills the owning node two outcomes in, and the SoakRunner's
+        own invariant monitor runs alongside the identity assertion.
+        """
+        requests = tuple(
+            TrafficRequest(
+                seq=seq,
+                offset=0.0,
+                priority=0,
+                weight=1.0,
+                deadline=None,
+                database_key="db",
+                workload=self.workload,
+            )
+            for seq in range(2)
+        )
+        trace = TrafficTrace(requests=requests, databases={"db": self.database})
+        runner = SoakRunner(
+            trace,
+            nodes=2,
+            max_workers=2,
+            cache=self.shared_cache
+            if self.shared_cache is not None
+            else fresh_reference_cache(),
+            chaos=ChaosSchedule(
+                (ChaosEvent(round=0, kind="kill", after_outcomes=2),)
+            ),
+            requests_per_round=2,
+            verify_parity=False,
+            keep_outcomes=True,
+        )
+        runner.run()
+        return [_sorted(outcomes) for outcomes in runner.collected]
 
 
 def variant_session(

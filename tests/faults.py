@@ -1,0 +1,108 @@
+"""Reusable fault-injection helpers shared by the serving test suites.
+
+These deliberately live with the tests rather than in ``src``: they kill and
+stall real worker processes.  Consumers: ``test_async_server.py`` (pool
+crash/replace), ``test_exchange.py`` (mid-stream node kills),
+``test_traffic.py`` and ``benchmarks/bench_soak.py`` (chaos soak payloads),
+and ``conformance_harness.py`` (the kill and soak-replay variants).
+
+* :func:`poison_language` — plans like a normal language in the parent but
+  kills any worker process that unpickles it, so every dispatch of its chunk
+  breaks the pool (first attempt and retry alike) and its outcomes surface as
+  structured ``error`` results.
+* :func:`slow_language` — stalls the unpickling worker for a fixed time and
+  then behaves exactly like the original language: latency-tail pressure
+  without breaking anything, outcomes stay ``ok`` and parity holds.
+* :func:`drain_with_kill` / :func:`adrain_with_kill` — drain an outcome
+  stream, firing a kill callback after exactly N outcomes have landed
+  (mid-stream by construction).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable
+
+from repro.languages import Language
+from repro.service import QueryOutcome, QuerySpec, Workload
+
+
+class _CrashOnUnpickle(Language):
+    """Plans like a normal language in the parent; kills any worker process
+    that unpickles it (``__reduce__`` makes unpickling call ``os._exit``), so
+    every dispatch of its chunk breaks the pool — including the retry."""
+
+    def __reduce__(self):
+        return (os._exit, (1,))
+
+
+def poison_language(expression: str) -> Language:
+    language = Language.from_regex(expression)
+    language.__class__ = _CrashOnUnpickle
+    return language
+
+
+def _sleep_then_parse(expression: str, seconds: float) -> Language:
+    time.sleep(seconds)
+    return Language.from_regex(expression)
+
+
+class _SlowOnUnpickle(Language):
+    """Plans like a normal language in the parent; makes the unpickling
+    worker sleep before reconstructing the real language, so its chunk adds
+    a latency tail without crashing anything."""
+
+    def __reduce__(self):
+        return (_sleep_then_parse, (self._slow_expression, self._slow_seconds))
+
+
+def slow_language(expression: str, seconds: float = 0.05) -> Language:
+    language = Language.from_regex(expression)
+    language.__class__ = _SlowOnUnpickle
+    language._slow_expression = expression
+    language._slow_seconds = seconds
+    return language
+
+
+def poison_workload(expressions) -> Workload:
+    """A workload whose every query crashes the worker that unpickles it."""
+    return Workload(tuple(QuerySpec(poison_language(e)) for e in expressions))
+
+
+def slow_workload(expressions, seconds: float = 0.05) -> Workload:
+    """A workload whose every query stalls its worker, then answers normally."""
+    return Workload(tuple(QuerySpec(slow_language(e, seconds)) for e in expressions))
+
+
+def drain_with_kill(
+    iterator, kill: Callable[[], None], *, after: int = 2
+) -> list[QueryOutcome]:
+    """Drain a sync outcome stream, firing ``kill()`` once exactly ``after``
+    outcomes have been delivered (the stream must hold at least that many)."""
+    outcomes: list[QueryOutcome] = []
+    for outcome in iterator:
+        outcomes.append(outcome)
+        if len(outcomes) == after:
+            kill()
+    if len(outcomes) < after:
+        raise AssertionError(
+            f"stream ended after {len(outcomes)} outcomes; kill at {after} never fired"
+        )
+    return outcomes
+
+
+async def adrain_with_kill(
+    stream, kill: Callable[[], None], *, after: int = 2
+) -> list[QueryOutcome]:
+    """Async variant of :func:`drain_with_kill`."""
+    outcomes: list[QueryOutcome] = []
+    async for outcome in stream:
+        outcomes.append(outcome)
+        if len(outcomes) == after:
+            kill()
+    if len(outcomes) < after:
+        raise AssertionError(
+            f"stream ended after {len(outcomes)} outcomes; kill at {after} never fired"
+        )
+    return outcomes

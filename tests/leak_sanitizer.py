@@ -11,7 +11,9 @@ by design.
 
 Wired into ``tests/conftest.py`` for the suites that exercise real
 pools, threads, and HTTP servers (``test_server``, ``test_async_server``,
-``test_exchange``).  Set ``REPRO_LEAK_SANITIZER=off`` to disable.
+``test_exchange``, ``test_traffic``).  The chaos soak harness also brackets
+whole soak runs with a :class:`LeakTracker` directly (``SoakRunner``'s
+``leak_tracker`` argument).  Set ``REPRO_LEAK_SANITIZER=off`` to disable.
 """
 
 from __future__ import annotations
@@ -26,7 +28,7 @@ import weakref
 
 #: Suites the sanitizer guards (module basenames, no extension).
 SANITIZED_MODULES = frozenset(
-    {"test_server", "test_async_server", "test_exchange"}
+    {"test_server", "test_async_server", "test_exchange", "test_traffic"}
 )
 
 #: Seconds to wait for the world to settle before declaring a leak.

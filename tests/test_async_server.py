@@ -30,7 +30,6 @@ import asyncio
 import gc
 import json
 import math
-import os
 import time
 import urllib.error
 import urllib.request
@@ -39,9 +38,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from faults import poison_language
 from repro.exceptions import ReproError
 from repro.graphdb import generators
-from repro.languages import Language
 from repro.service import (
     ADMISSION_REJECTED,
     BUDGET_EXCEEDED,
@@ -669,21 +668,6 @@ class TestCancellation:
 
 
 # --------------------------------------------------------------- fault injection
-
-
-class _CrashOnUnpickle(Language):
-    """Plans like a normal language in the parent; kills any worker process
-    that unpickles it (``__reduce__`` makes unpickling call ``os._exit``), so
-    every dispatch of its chunk breaks the pool — including the retry."""
-
-    def __reduce__(self):
-        return (os._exit, (1,))
-
-
-def poison_language(expression: str) -> Language:
-    language = Language.from_regex(expression)
-    language.__class__ = _CrashOnUnpickle
-    return language
 
 
 class TestFaultInjection:

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import pytest
 
+from faults import drain_with_kill
 from repro.exceptions import ReproError
 from repro.graphdb import generators
 from repro.service import (
@@ -208,11 +209,9 @@ def test_node_crash_mid_stream_loses_and_leaks_nothing(set_db):
         iterator = exchange.submit(
             WorkloadEnvelope.single(Workload.coerce(QUERIES), set_db)
         )
-        outcomes = []
-        for outcome in iterator:
-            outcomes.append(outcome)
-            if len(outcomes) == 2:
-                exchange.manager.kill(owner)
+        outcomes = drain_with_kill(
+            iterator, lambda: exchange.manager.kill(owner), after=2
+        )
         indices = sorted(outcome.index for outcome in outcomes)
         assert indices == list(range(len(QUERIES))), "no outcome lost or duplicated"
         assert sorted_outcomes(outcomes) == reference(set_db)
@@ -300,11 +299,9 @@ def test_http_node_kill_fails_over_to_the_survivor(set_db):
         iterator = exchange.submit(
             WorkloadEnvelope.single(Workload.coerce(QUERIES), set_db)
         )
-        outcomes = []
-        for outcome in iterator:
-            outcomes.append(outcome)
-            if len(outcomes) == 1:
-                exchange.manager.kill(owner)
+        outcomes = drain_with_kill(
+            iterator, lambda: exchange.manager.kill(owner), after=1
+        )
         indices = sorted(outcome.index for outcome in outcomes)
         assert indices == list(range(len(QUERIES)))
         assert sorted_outcomes(outcomes) == reference(set_db)

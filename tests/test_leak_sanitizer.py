@@ -15,6 +15,7 @@ def test_sanitized_suites_are_the_resourceful_ones():
         "test_server",
         "test_async_server",
         "test_exchange",
+        "test_traffic",
     }
 
 

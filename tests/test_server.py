@@ -218,6 +218,20 @@ class TestCrashRecovery:
             outcomes = sorted([first, *iterator], key=lambda outcome: outcome.index)
             assert outcomes == expected
 
+    def test_lost_wakeup_nudge_is_harmless_in_every_pool_state(self, database):
+        # _stream re-pokes the pool's management thread whenever a wait times
+        # out (the CPython < 3.12 lost-wakeup workaround); the poke must be a
+        # no-op on a healthy pool, a shut-down pool, and no pool at all.
+        from repro.service.server import _nudge_pool
+
+        _nudge_pool(None)
+        with ResilienceServer(database, max_workers=2) as server:
+            reference = server.serve(MIXED)
+            _nudge_pool(server._pool)
+            assert server.serve(MIXED) == reference
+            pool = server._pool
+        _nudge_pool(pool)  # closed server: pool already shut down
+
 
 class TestWorkerInterning:
     def test_equivalent_languages_intern_to_one_instance(self, database):

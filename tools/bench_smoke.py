@@ -31,14 +31,16 @@ BENCH_DIR = REPO_ROOT / "benchmarks"
 # exercises the process-pool serving path; the async benchmark exercises the
 # admission-controlled front-end and emits BENCH_async.json; the distributed
 # benchmark exercises the fingerprint-routed exchange and emits
-# BENCH_distributed.json; the flow-core benchmark emits the BENCH_flow.json
-# artefact ci.sh's regression guard reads), so their absence is an error, not
-# a silently smaller run.
+# BENCH_distributed.json; the soak benchmark drives the chaos soak harness
+# end to end and emits BENCH_soak.json; the flow-core benchmark emits the
+# BENCH_flow.json artefact ci.sh's regression guard reads), so their absence
+# is an error, not a silently smaller run.
 REQUIRED_BENCHMARKS = frozenset(
     {
         "bench_resilience_serve.py",
         "bench_async_serve.py",
         "bench_distributed.py",
+        "bench_soak.py",
         "bench_flow_core.py",
     }
 )

@@ -31,8 +31,8 @@ echo "ci: analysis negative check ok (seeded violation rejected)"
 echo "ci: tier-1 test suite"
 python -m pytest -x -q
 
-echo "ci: leak-sanitized service/exchange suites (threads, processes, sockets, temp dirs)"
-REPRO_LEAK_SANITIZER=on python -m pytest -q tests/test_server.py tests/test_async_server.py tests/test_exchange.py
+echo "ci: leak-sanitized service/exchange/traffic suites (threads, processes, sockets, temp dirs)"
+REPRO_LEAK_SANITIZER=on python -m pytest -q tests/test_server.py tests/test_async_server.py tests/test_exchange.py tests/test_traffic.py
 
 echo "ci: parallel serving parity check (batch + streamed)"
 python - <<'PY'
@@ -90,6 +90,51 @@ python -m pytest -q tests/test_conformance.py -k "async"
 
 echo "ci: distributed conformance variants (2/4-node fleets + mid-stream node kill)"
 python -m pytest -q tests/test_conformance.py -k "distributed"
+
+echo "ci: soak-replay conformance variant (chaos soak == uncached serial reference)"
+python -m pytest -q tests/test_conformance.py -k "soak"
+
+echo "ci: chaos soak smoke (seeded traffic, 2 nodes, one scheduled kill, replay check)"
+python - <<'PY'
+from repro.traffic import (
+    ChaosEvent, ChaosSchedule, DatabaseSpec, SoakRunner, TrafficProfile,
+    generate_traffic,
+)
+
+profile = TrafficProfile(
+    seed=7,
+    requests=8,
+    databases=(
+        DatabaseSpec(num_nodes=5, num_edges=12, alphabet="abxy"),
+        DatabaseSpec(num_nodes=4, num_edges=9, alphabet="abx", bag_copies=2),
+    ),
+)
+chaos = ChaosSchedule((
+    ChaosEvent(round=1, kind="kill", after_outcomes=2),
+    ChaosEvent(round=0, kind="burst", count=3),
+))
+
+
+def soak():
+    return SoakRunner(
+        generate_traffic(profile), nodes=2, max_workers=2, chaos=chaos,
+        requests_per_round=4,
+    ).run()
+
+
+report = soak()
+assert report.violations == (), report.violations
+assert report.chaos["kills"] == 1 and report.chaos["heals"] == 1
+assert report.recovery["max_rounds"] <= report.recovery["bound"]
+assert report.parity_checked == report.requests
+assert report.admission["final_in_flight"] == 0
+replay = soak()
+assert replay.by_status == report.by_status, "soak must replay from its seed"
+print(
+    f"ci: chaos soak ok ({report.requests} requests, {report.outcomes} outcomes, "
+    f"1 kill, recovery {report.recovery['max_rounds']} round(s), replay identical)"
+)
+PY
 
 echo "ci: multi-node kill/recovery soak (routed fleet, kill + auto-replace per round)"
 python - <<'PY'
@@ -293,6 +338,38 @@ print(
 PY
 else
   echo "ci: BENCH_distributed.json missing (distributed benchmark did not run?)" >&2
+  exit 1
+fi
+
+if [ -f BENCH_soak.json ]; then
+  echo "ci: soak benchmark artefact check (BENCH_soak.json)"
+  python - <<'PY'
+import json
+from pathlib import Path
+
+data = json.loads(Path("BENCH_soak.json").read_text())
+for key in (
+    "by_status", "latency_ms", "admission_rejects", "kills",
+    "recovery_rounds_max", "throughput_rps", "violations", "leaks",
+):
+    assert key in data, f"BENCH_soak.json missing {key!r}"
+assert data["violations"] == 0, f"soak ran with violations: {data['violations']}"
+assert data["leaks"] == 0, f"soak leaked resources: {data['leaks']}"
+assert data["kills"] >= 1, "the soak must include a scheduled node kill"
+assert data["recovery_rounds_max"] <= data["recovery_rounds_bound"], data
+assert data["throughput_rps"] > 0, data["throughput_rps"]
+assert data["replay_by_status_identical"] is True, "soak replay diverged"
+ok = data["latency_ms"].get("ok", {})
+assert ok.get("count", 0) > 0 and ok.get("p99", 0) >= ok.get("p50", 0), ok
+mode = "smoke" if data.get("smoke") else "full"
+print(
+    f"ci: soak bench ok ({mode}: {data['requests']} requests, "
+    f"{data['throughput_rps']:.0f} outcomes/s, ok p50 {ok['p50']:.0f}ms "
+    f"p99 {ok['p99']:.0f}ms, recovery {data['recovery_rounds_max']} round(s))"
+)
+PY
+else
+  echo "ci: BENCH_soak.json missing (soak benchmark did not run?)" >&2
   exit 1
 fi
 
