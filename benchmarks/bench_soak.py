@@ -16,19 +16,27 @@ bursts the admission queue — then emits ``BENCH_soak.json`` (read back by
 * the trajectory: p50/p99 submit-to-delivery latency per outcome status,
   admission rejects, deadline expiries, kill recovery time in rounds, and
   end-to-end throughput.
+
+A second trajectory replays the same trace *paced* (``pace > 0`` restores a
+scaled fraction of the trace's open-loop inter-arrival gaps) over a real
+HTTP fleet under network chaos — refused-connection window, mid-stream
+disconnect, stalled stream, corrupt payload, plus a node kill — and lands
+under the ``"http"`` key of the same artefact with the same gates.
 """
 
+import json
 import os
 import sys
 from pathlib import Path
 
-from conftest import emit_bench_json, smoke_mode
+from conftest import BENCH_OUTPUT_DIR, emit_bench_json, smoke_mode
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tests"))
 
-from faults import poison_workload  # noqa: E402
+from faults import ChaosHttpNodeLauncher, poison_workload  # noqa: E402
 from leak_sanitizer import LeakTracker  # noqa: E402
 
+from repro.service import HttpExchange, NodeManager, RetryPolicy  # noqa: E402
 from repro.traffic import (  # noqa: E402
     ChaosEvent,
     ChaosSchedule,
@@ -41,6 +49,10 @@ from repro.traffic import (  # noqa: E402
 SEED = 20_250_808
 NODES = 2
 REQUESTS_PER_ROUND = 4
+
+#: Open-loop pacing factor for the HTTP replay (fraction of the trace's
+#: generated inter-arrival gaps restored as real sleeps).
+HTTP_PACE = 0.02
 
 
 def profile():
@@ -99,7 +111,8 @@ def test_chaos_soak_trajectory():
         "a soak must be replayable from its seed"
     )
 
-    payload = {
+    payload = _existing_payload()
+    payload.update({
         "smoke": smoke_mode(),
         "seed": SEED,
         "requests": report.requests,
@@ -120,12 +133,101 @@ def test_chaos_soak_trajectory():
         "leaks": len(report.leaks),
         "replay_by_status_identical": True,
         "cpus": os.cpu_count(),
-    }
+    })
     path = emit_bench_json("BENCH_soak.json", payload)
     ok_latency = report.latency.get("ok", {})
     print(
         f"\nsoak: {report.requests} requests / {report.rounds} rounds, "
         f"{report.throughput_rps:.0f} outcomes/s, ok p50 "
         f"{ok_latency.get('p50', 0):.0f}ms p99 {ok_latency.get('p99', 0):.0f}ms, "
+        f"recovery {report.recovery['max_rounds']} round(s) -> {path.name}"
+    )
+
+
+def _existing_payload() -> dict:
+    """The artefact as emitted so far (the two trajectories share one file)."""
+    path = BENCH_OUTPUT_DIR / "BENCH_soak.json"
+    if path.exists():
+        return json.loads(path.read_text(encoding="utf-8"))
+    return {}
+
+
+def http_chaos():
+    # One of each network fault kind plus a mid-stream kill: a refused
+    # window (absorbed by same-node retry), a mid-stream disconnect and a
+    # kill in the same round (failover), then a stalled stream (timeout ->
+    # redispatch) and a corrupt payload (protocol error -> failover).
+    return ChaosSchedule(
+        (
+            ChaosEvent(round=0, kind="refused", count=2),
+            ChaosEvent(round=1, kind="disconnect", after_outcomes=1),
+            ChaosEvent(round=1, kind="kill", after_outcomes=2),
+            ChaosEvent(round=2, kind="stall"),
+            ChaosEvent(round=2, kind="corrupt", after_outcomes=0),
+        )
+    )
+
+
+def http_soak(leak_tracker=None):
+    launcher = ChaosHttpNodeLauncher(
+        max_workers=2,
+        request_timeout=10.0,
+        retry=RetryPolicy(attempts=3, base_delay=0.0),
+    )
+    runner = SoakRunner(
+        generate_traffic(profile()),
+        exchange=HttpExchange(nodes=NODES, manager=NodeManager(launcher)),
+        chaos=http_chaos(),
+        requests_per_round=REQUESTS_PER_ROUND,
+        pace=HTTP_PACE,
+        leak_tracker=leak_tracker,
+    )
+    return runner.run()
+
+
+def test_http_paced_chaos_soak_trajectory():
+    report = http_soak(leak_tracker=LeakTracker())
+    assert report.violations == () and report.leaks == ()
+    assert report.chaos["network_faults"] == 4 and report.chaos["kills"] == 1
+    assert report.parity_checked == report.requests, (
+        "network chaos must not cost parity with the serial reference"
+    )
+    assert report.recovery["max_rounds"] <= report.recovery["bound"]
+    assert report.admission["final_in_flight"] == 0
+    assert report.throughput_rps > 0
+
+    replay = http_soak()
+    assert replay.by_status == report.by_status, (
+        "an HTTP soak must be replayable from its seed"
+    )
+
+    payload = _existing_payload()
+    payload["http"] = {
+        "pace": HTTP_PACE,
+        "requests": report.requests,
+        "rounds": report.rounds,
+        "nodes": NODES,
+        "outcomes": report.outcomes,
+        "by_status": report.by_status,
+        "latency_ms": report.latency,
+        "network_faults": report.chaos["network_faults"],
+        "degraded_serves": report.chaos["degraded_serves"],
+        "kills": report.chaos["kills"],
+        "recovery_rounds_max": report.recovery["max_rounds"],
+        "recovery_rounds_bound": report.recovery["bound"],
+        "throughput_rps": report.throughput_rps,
+        "wall_seconds": report.wall_seconds,
+        "parity_checked": report.parity_checked,
+        "violations": len(report.violations),
+        "leaks": len(report.leaks),
+        "replay_by_status_identical": True,
+    }
+    path = emit_bench_json("BENCH_soak.json", payload)
+    ok_latency = report.latency.get("ok", {})
+    print(
+        f"\nhttp soak: {report.requests} requests / {report.rounds} rounds "
+        f"(pace {HTTP_PACE}), {report.throughput_rps:.0f} outcomes/s, ok p50 "
+        f"{ok_latency.get('p50', 0):.0f}ms p99 {ok_latency.get('p99', 0):.0f}ms, "
+        f"{report.chaos['network_faults']} network faults, "
         f"recovery {report.recovery['max_rounds']} round(s) -> {path.name}"
     )

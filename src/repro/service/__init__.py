@@ -100,12 +100,15 @@ from .async_server import (
 from .cache import AnalysisStore, CacheStats, LanguageCache, StoreStats
 from .cancellation import CancellationToken
 from .exchange import (
+    CircuitBreaker,
     EnvelopePart,
     Exchange,
+    HealthMonitor,
     HttpExchange,
     LocalExchange,
     NodeManager,
     NodeStats,
+    RetryPolicy,
     Router,
     ThreadExchange,
     WorkloadEnvelope,
@@ -126,8 +129,10 @@ __all__ = [
     "AsyncResilienceServer",
     "CacheStats",
     "CancellationToken",
+    "CircuitBreaker",
     "EnvelopePart",
     "Exchange",
+    "HealthMonitor",
     "HttpExchange",
     "LanguageCache",
     "LatencyHistogram",
@@ -136,6 +141,7 @@ __all__ = [
     "NodeManager",
     "NodeStats",
     "PoolStats",
+    "RetryPolicy",
     "QueryOutcome",
     "QuerySpec",
     "ResilienceServer",

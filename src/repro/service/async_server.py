@@ -246,6 +246,9 @@ class ServerMetrics:
     admission: AdmissionStats
     latency: dict[str, dict]
     nodes: tuple[NodeStats, ...] = ()
+    #: Envelope parts the exchange answered via its in-process serial
+    #: fallback after exhausting failover (see ``RoutedExchange``).
+    degraded_serves: int = 0
 
     def outcome_counts(self) -> dict[str, int]:
         """Delivered outcomes per status (derived from the latency histograms)."""
@@ -280,6 +283,7 @@ class ServerMetrics:
             "latency": self.latency,
             "outcomes": self.outcome_counts(),
             "nodes": {snapshot.node_id: snapshot.as_dict() for snapshot in self.nodes},
+            "degraded_serves": self.degraded_serves,
         }
 
     def to_json(self) -> str:
@@ -339,6 +343,9 @@ class ServerMetrics:
         ):
             emit(f"repro_pool_{name}" + ("_total" if kind == "counter" else ""), kind,
                  f"Fleet-wide worker-pool counter: {name}.", [({}, pool[name])])
+        emit("repro_degraded_serves_total", "counter",
+             "Envelope parts served by the in-process serial fallback after "
+             "exhausted failover.", [({}, self.degraded_serves)])
         emit("repro_node_alive", "gauge", "Whether the node is serving.",
              [({"node": s.node_id}, int(s.alive)) for s in self.nodes])
         emit("repro_node_databases", "gauge", "Databases held warm per node.",
@@ -1125,6 +1132,7 @@ class AsyncResilienceServer:
             admission=admission,
             latency=latency,
             nodes=nodes,
+            degraded_serves=getattr(self._exchange, "degraded_serves", 0),
         )
 
     def metrics_endpoint(self, port: int = 0, *, host: str = "127.0.0.1") -> MetricsEndpoint:

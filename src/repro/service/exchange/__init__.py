@@ -21,6 +21,7 @@ from .base import (
     NodeStats,
     WorkloadEnvelope,
 )
+from .health import CircuitBreaker, HealthMonitor, RetryPolicy
 from .http import HttpExchange, HttpNode, HttpNodeLauncher, HttpNodeServer
 from .local import LocalExchange
 from .manager import NodeLauncher, NodeManager, ThreadNodeLauncher
@@ -30,8 +31,10 @@ from .threads import RoutedExchange, ThreadExchange
 
 __all__ = [
     "CancelMap",
+    "CircuitBreaker",
     "EnvelopePart",
     "Exchange",
+    "HealthMonitor",
     "HttpExchange",
     "HttpNode",
     "HttpNodeLauncher",
@@ -42,6 +45,7 @@ __all__ = [
     "NodeLauncher",
     "NodeManager",
     "NodeStats",
+    "RetryPolicy",
     "RoutedExchange",
     "Router",
     "ThreadExchange",

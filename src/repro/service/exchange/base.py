@@ -179,6 +179,16 @@ class Node(ABC):
     def heartbeat(self) -> bool:
         """Actively probe the node, updating and returning :attr:`alive`."""
 
+    def invalidate_shipped(self) -> None:
+        """Drop any handle-side belief about databases the node holds.
+
+        Called by the health supervisor when a node's circuit *recloses*: a
+        node answering probes again after being dark has typically restarted,
+        and a restarted process has lost every database this handle shipped.
+        In-process nodes hold their databases directly, so the default is a
+        no-op; transport handles with client-side shipped-state override it.
+        """
+
     @abstractmethod
     def stats(self) -> NodeStats:
         ...
@@ -221,6 +231,16 @@ class Exchange(ABC):
         ...
 
     # --------------------------------------------------------- fleet surface
+
+    @property
+    def degraded_serves(self) -> int:
+        """Envelope parts answered by the in-process serial fallback.
+
+        Non-zero only on routed exchanges with ``degraded_fallback`` enabled;
+        the front-end surfaces it in
+        :class:`~repro.service.async_server.ServerMetrics`.
+        """
+        return 0
 
     def nodes(self) -> tuple[str, ...]:
         """Registered node ids (dead nodes included, until replaced)."""

@@ -32,6 +32,17 @@ seconds ship with the serve request and the node rebuilds tokens against
 its own monotonic clock; explicit cancel flags do not cross the socket
 (the client simply stops reading, and failover/abandonment semantics are
 enforced client-side by the routed exchange).
+
+Fault tolerance (see :mod:`~repro.service.exchange.health`): a handle
+built with a :class:`~repro.service.exchange.health.RetryPolicy` retries
+transport faults on control requests, and re-dispatches a serve whose
+stream died *before its first outcome* on the same node (idempotent by
+determinism); once an outcome has been yielded, a dead stream raises so
+the exchange's kill-check-before-yield failover recomputes the tail on
+another node.  The node side bounds its database map with an LRU
+(``max_databases``); a client holding a stale shipped-set — node
+restarted, or its database was evicted — gets a 409 on ``/serve`` and
+transparently re-ships once.
 """
 
 from __future__ import annotations
@@ -39,21 +50,37 @@ from __future__ import annotations
 import base64
 import json
 import pickle
+import sys
 import threading
+from collections import OrderedDict
 from collections.abc import Iterator, Mapping
-from http.client import HTTPConnection
+from http.client import HTTPConnection, HTTPException
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from time import monotonic
+from time import monotonic, sleep
 
 from ...exceptions import ReproError
 from ..cancellation import CancellationToken
 from ..outcome import QueryOutcome
 from ..workload import Workload
 from .base import AnyDatabase, CancelMap, Node, NodeStats
+from .health import RetryPolicy
 from .manager import NodeLauncher, NodeManager
 from .nodes import ThreadNode
 from .router import Router
 from .threads import RoutedExchange
+
+#: Exception shapes the client treats as transport faults: retriable on
+#: control requests and on serve dispatch before the first outcome.
+#: ``HTTPException`` covers a peer replying garbage (truncated or corrupted
+#: responses surface as ``BadStatusLine`` / ``IncompleteRead``).
+TRANSPORT_FAULTS = (ConnectionError, HTTPException, OSError)
+
+#: Default bound on databases a node holds warm (see ``max_databases``).
+DEFAULT_MAX_DATABASES = 32
+
+
+class _StaleDatabaseError(ReproError):
+    """The node no longer holds a database this handle believes it shipped."""
 
 
 def encode_payload(obj) -> str:
@@ -104,7 +131,7 @@ class _NodeRequestHandler(BaseHTTPRequestHandler):
                 database = decode_payload(request["database"])
                 fingerprint = runtime.ensure_database(database)
                 # Keep the decoded object so /serve ships only the fingerprint.
-                self.server.databases[fingerprint] = database
+                self.server.databases.put(fingerprint, database)
                 self._reply_json({"fingerprint": fingerprint})
             elif self.path == "/serve":
                 self._serve(runtime, self._read_json())
@@ -113,6 +140,11 @@ class _NodeRequestHandler(BaseHTTPRequestHandler):
                 self._reply_json({"killed": True})
             else:
                 self._reply_json({"error": f"unknown path {self.path}"}, status=404)
+        except (BrokenPipeError, ConnectionResetError):
+            # The client abandoned the stream (failover, cancellation, or
+            # injected network chaos): there is no one left to reply to, so
+            # drop the connection quietly instead of tracebacking to stderr.
+            self.close_connection = True
         except ReproError as error:
             self._reply_json({"error": str(error)}, status=409)
         except Exception as error:  # pragma: no cover - defensive
@@ -152,11 +184,76 @@ class _NodeRequestHandler(BaseHTTPRequestHandler):
         self.wfile.flush()
 
 
+class _DatabaseLru:
+    """Bounded ``fingerprint -> database`` map behind a node's ``/serve``.
+
+    LRU over fingerprints — both shipping and serving count as touches.
+    Evicting an entry also drops the runtime's warm server for that content
+    (:meth:`ThreadNode.evict_database`), so a long-lived node under
+    many-database traffic holds at most ``cap`` databases total.  A client
+    whose database was evicted sees a 409 on ``/serve`` and re-ships.
+    """
+
+    def __init__(self, runtime: ThreadNode, cap: int) -> None:
+        if cap < 1:
+            raise ReproError(f"max_databases must be >= 1 (got {cap})")
+        self._runtime = runtime
+        self._cap = cap
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, AnyDatabase] = OrderedDict()
+
+    def get(self, fingerprint: str) -> AnyDatabase | None:
+        with self._lock:
+            database = self._entries.get(fingerprint)
+            if database is not None:
+                self._entries.move_to_end(fingerprint)
+            return database
+
+    def put(self, fingerprint: str, database: AnyDatabase) -> None:
+        evicted: list[str] = []
+        with self._lock:
+            self._entries[fingerprint] = database
+            self._entries.move_to_end(fingerprint)
+            while len(self._entries) > self._cap:
+                victim, _ = self._entries.popitem(last=False)
+                evicted.append(victim)
+        # Server teardown happens outside the lock: closing pools is slow and
+        # must not block concurrent /serve lookups.
+        for victim in evicted:
+            self._runtime.evict_database(victim)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            return fingerprint in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class _NodeHttpServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that treats client transport faults as routine.
+
+    A handle abandoning a keep-alive connection (or a chaos proxy resetting
+    it mid-stream) surfaces here as ``ConnectionResetError`` /
+    ``BrokenPipeError``; the stock ``handle_error`` tracebacks those to
+    stderr, which drowns real faults in noise under network chaos.
+    """
+
+    def handle_error(self, request, client_address):
+        exc = sys.exception()
+        if isinstance(exc, (BrokenPipeError, ConnectionResetError)):
+            return
+        super().handle_error(request, client_address)
+
+
 class HttpNodeServer:
     """One serving node behind a loopback (or LAN) socket.
 
     The runtime is a plain :class:`ThreadNode`; the HTTP layer adds only
     transport.  ``port=0`` binds an ephemeral port — read :attr:`address`.
+    ``max_databases`` bounds how many shipped databases (and their warm
+    servers) the node retains, LRU over fingerprints.
     """
 
     def __init__(
@@ -167,13 +264,14 @@ class HttpNodeServer:
         port: int = 0,
         max_workers: int | None = None,
         parallel: bool = True,
+        max_databases: int = DEFAULT_MAX_DATABASES,
     ) -> None:
         self.runtime = ThreadNode(node_id, max_workers=max_workers, parallel=parallel)
-        self._httpd = ThreadingHTTPServer((host, port), _NodeRequestHandler)
+        self._httpd = _NodeHttpServer((host, port), _NodeRequestHandler)
         self._httpd.runtime = self.runtime
         # ensure_database returns only the fingerprint over the wire; the
         # server keeps the decoded database objects for /serve lookups.
-        self._httpd.databases = {}
+        self._httpd.databases = _DatabaseLru(self.runtime, max_databases)
         self._thread = threading.Thread(
             target=self._httpd.serve_forever, name=f"http-node-{node_id}", daemon=True
         )
@@ -199,13 +297,33 @@ class HttpNode(Node):
     ``alive`` is the client's belief: it flips to ``False`` on any failed
     request (connection refused, node-side error) and back to ``True`` only
     through a successful :meth:`heartbeat` probe.
+
+    Args:
+        timeout: per-request socket timeout in seconds (connection,
+            per-read); a ``retry`` carrying ``attempt_timeout`` overrides it.
+        retry: optional :class:`RetryPolicy` — transport faults on control
+            requests retry under it, and a serve stream dying before its
+            first outcome is re-dispatched on this same node (deterministic
+            serving makes the re-dispatch idempotent).  ``None`` keeps the
+            fail-fast behavior: one attempt, first fault raises.
     """
 
-    def __init__(self, node_id: str, host: str, port: int, *, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        node_id: str,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 30.0,
+        retry: RetryPolicy | None = None,
+    ) -> None:
         self.node_id = node_id
         self._host = host
         self._port = port
+        if retry is not None and retry.attempt_timeout is not None:
+            timeout = retry.attempt_timeout
         self._timeout = timeout
+        self._retry = retry
         self._alive = True
         self._killed = False
         self._shipped: set[str] = set()
@@ -236,8 +354,22 @@ class HttpNode(Node):
             reply = self._request_json(
                 "POST", "/databases", {"database": encode_payload(database)}
             )
-            self._shipped.add(reply["fingerprint"])
+            remote = reply.get("fingerprint")
+            if remote != fingerprint:
+                # Never cache the node's key on trust: a digest disagreement
+                # means the peers run skewed code (or the payload was mangled
+                # in transit) and every later routing decision would be wrong.
+                raise ReproError(
+                    f"node {self.node_id!r} fingerprint mismatch for shipped "
+                    f"database: local {fingerprint!r} != node {remote!r}"
+                )
+            self._shipped.add(fingerprint)
         return fingerprint
+
+    def invalidate_shipped(self) -> None:
+        """Forget which databases were shipped (the node restarted or was
+        replaced behind this address); the next serve re-ships on demand."""
+        self._shipped.clear()
 
     def serve_iter(
         self,
@@ -263,6 +395,39 @@ class HttpNode(Node):
             "workload": encode_payload(workload),
             "deadlines": deadlines,
         }
+        redispatch = iter(
+            self._retry.sleep_schedule() if self._retry is not None else ()
+        )
+        reshipped = False
+        while True:
+            served = 0
+            try:
+                for outcome in self._serve_attempt(request):
+                    served += 1
+                    yield outcome
+                return
+            except _StaleDatabaseError:
+                # The node no longer holds this content (restart, or LRU
+                # eviction): drop the stale belief, re-ship once, re-dispatch.
+                if reshipped:
+                    raise
+                reshipped = True
+                self._shipped.discard(fingerprint)
+                request["fingerprint"] = self.ensure_database(database)
+            except TRANSPORT_FAULTS as error:
+                # Re-dispatch is only idempotent before the first outcome
+                # reached the caller; past that point the exchange's failover
+                # must recompute the tail on another node instead.
+                delay = next(redispatch, None) if served == 0 else None
+                if delay is None:
+                    self._alive = False
+                    raise ReproError(
+                        f"node {self.node_id!r} connection failed: {error}"
+                    ) from error
+                sleep(delay)
+
+    def _serve_attempt(self, request: dict) -> Iterator[QueryOutcome]:
+        """One ``POST /serve`` attempt; transport faults propagate raw."""
         connection = self._connect()
         try:
             body = json.dumps(request)
@@ -272,6 +437,11 @@ class HttpNode(Node):
             response = connection.getresponse()
             if response.status != 200:
                 detail = response.read().decode(errors="replace")
+                if response.status == 409 and "not registered" in detail:
+                    raise _StaleDatabaseError(
+                        f"node {self.node_id!r} no longer holds this database: "
+                        f"{detail}"
+                    )
                 raise ReproError(
                     f"node {self.node_id!r} refused workload "
                     f"(HTTP {response.status}): {detail}"
@@ -293,7 +463,14 @@ class HttpNode(Node):
                     ) from error
                 if "outcome" in message:
                     served += 1
-                    yield decode_payload(message["outcome"])
+                    try:
+                        outcome = decode_payload(message["outcome"])
+                    except Exception as error:
+                        self._alive = False
+                        raise ReproError(
+                            f"node {self.node_id!r} stream corrupted: {error}"
+                        ) from error
+                    yield outcome
                 elif "done" in message:
                     count = message["done"]
             if count is None or count != served:
@@ -302,11 +479,6 @@ class HttpNode(Node):
                     f"node {self.node_id!r} stream ended early "
                     f"({served} outcomes, terminator={count!r})"
                 )
-        except (ConnectionError, OSError) as error:
-            self._alive = False
-            raise ReproError(
-                f"node {self.node_id!r} connection failed: {error}"
-            ) from error
         finally:
             connection.close()
 
@@ -333,6 +505,21 @@ class HttpNode(Node):
         return HTTPConnection(self._host, self._port, timeout=self._timeout)
 
     def _request_json(self, method: str, path: str, payload: dict | None = None) -> dict:
+        try:
+            if self._retry is None:
+                return self._request_once(method, path, payload)
+            return self._retry.run(
+                lambda: self._request_once(method, path, payload),
+                retriable=TRANSPORT_FAULTS,
+            )
+        except TRANSPORT_FAULTS as error:
+            self._alive = False
+            raise ReproError(
+                f"node {self.node_id!r} connection failed: {error}"
+            ) from error
+
+    def _request_once(self, method: str, path: str, payload: dict | None) -> dict:
+        """One control request; transport faults propagate raw (retriable)."""
         connection = self._connect()
         try:
             body = json.dumps(payload) if payload is not None else None
@@ -347,11 +534,6 @@ class HttpNode(Node):
                     + data.decode(errors="replace")
                 )
             return json.loads(data)
-        except (ConnectionError, OSError) as error:
-            self._alive = False
-            raise ReproError(
-                f"node {self.node_id!r} connection failed: {error}"
-            ) from error
         finally:
             connection.close()
 
@@ -363,12 +545,32 @@ class HttpNodeLauncher(NodeLauncher):
     this interpreter) — the transport is real, the deployment is a harness.
     Launching against remote hosts means constructing :class:`HttpNode`
     handles yourself and registering them on the manager.
+
+    ``request_timeout`` / ``retry`` configure every handle this launcher
+    hands out; ``max_databases`` bounds every node's database LRU.
     """
 
-    def __init__(self, *, host: str = "127.0.0.1", max_workers: int | None = None, parallel: bool = True) -> None:
+    #: Handle class :meth:`launch` constructs; subclasses substitute their
+    #: own (the chaos launcher in ``tests/faults.py`` hands out handles whose
+    #: transport misbehaves on cue), and ``replace()`` then inherits it.
+    handle_class: type[HttpNode] = HttpNode
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        max_workers: int | None = None,
+        parallel: bool = True,
+        request_timeout: float = 30.0,
+        retry: RetryPolicy | None = None,
+        max_databases: int = DEFAULT_MAX_DATABASES,
+    ) -> None:
         self._host = host
         self._max_workers = max_workers
         self._parallel = parallel
+        self._request_timeout = request_timeout
+        self._retry = retry
+        self._max_databases = max_databases
         self._servers: list[HttpNodeServer] = []
 
     def launch(self, node_id: str) -> HttpNode:
@@ -377,10 +579,13 @@ class HttpNodeLauncher(NodeLauncher):
             host=self._host,
             max_workers=self._max_workers,
             parallel=self._parallel,
+            max_databases=self._max_databases,
         )
         self._servers.append(server)
         host, port = server.address
-        return HttpNode(node_id, host, port)
+        return self.handle_class(
+            node_id, host, port, timeout=self._request_timeout, retry=self._retry
+        )
 
     def close(self) -> None:
         for server in self._servers:
@@ -403,16 +608,32 @@ class HttpExchange(RoutedExchange):
         manager: NodeManager | None = None,
         router: Router | None = None,
         max_failovers: int = 3,
+        degraded_fallback: bool = True,
         host: str = "127.0.0.1",
         max_workers: int | None = None,
         parallel: bool = True,
+        request_timeout: float = 30.0,
+        retry: RetryPolicy | None = None,
+        max_databases: int = DEFAULT_MAX_DATABASES,
     ) -> None:
         if manager is None:
             manager = NodeManager(
-                HttpNodeLauncher(host=host, max_workers=max_workers, parallel=parallel)
+                HttpNodeLauncher(
+                    host=host,
+                    max_workers=max_workers,
+                    parallel=parallel,
+                    request_timeout=request_timeout,
+                    retry=retry,
+                    max_databases=max_databases,
+                )
             )
         if not manager.node_ids():
             if nodes < 1:
                 raise ValueError(f"an HttpExchange needs >= 1 node (got {nodes})")
             manager.spawn(nodes)
-        super().__init__(manager, router=router, max_failovers=max_failovers)
+        super().__init__(
+            manager,
+            router=router,
+            max_failovers=max_failovers,
+            degraded_fallback=degraded_fallback,
+        )

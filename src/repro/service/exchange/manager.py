@@ -20,6 +20,7 @@ from abc import ABC, abstractmethod
 from ...exceptions import ReproError
 from ..cache import LanguageCache
 from .base import Node
+from .health import HealthMonitor
 from .nodes import ThreadNode
 
 
@@ -76,6 +77,7 @@ class NodeManager:
         self._nodes: dict[str, Node] = {}
         self._draining: set[str] = set()
         self._spawned = 0
+        self._monitor: HealthMonitor | None = None
 
     # ---------------------------------------------------------------- registry
 
@@ -160,7 +162,29 @@ class NodeManager:
     def stats(self):
         return tuple(node.stats() for node in self._nodes.values())
 
+    # ------------------------------------------------------------- supervision
+
+    @property
+    def monitor(self) -> HealthMonitor | None:
+        """The running health supervisor, if :meth:`start_monitor` was called."""
+        return self._monitor
+
+    def start_monitor(self, **kwargs) -> HealthMonitor:
+        """Attach and start a :class:`HealthMonitor` over this fleet.
+
+        Keyword arguments go to the monitor (``interval``,
+        ``failure_threshold``, ``cooldown_ticks``, ``replace_after``).  One
+        monitor per manager; :meth:`close` stops it.
+        """
+        if self._monitor is not None:
+            raise ReproError("this NodeManager already has a health monitor")
+        self._monitor = HealthMonitor(self, **kwargs)
+        return self._monitor.start()
+
     def close(self) -> None:
+        if self._monitor is not None:
+            self._monitor.stop()
+            self._monitor = None
         for node in self._nodes.values():
             node.close()
         if self._launcher is not None:

@@ -88,6 +88,17 @@ class ThreadNode(Node):
             )
         return fingerprint
 
+    def evict_database(self, fingerprint: str) -> None:
+        """Drop the warm server for one fingerprint (bounded-cache eviction).
+
+        A later :meth:`ensure_database` for the same content rebuilds it;
+        eviction trades warmth for memory, never correctness.  Unknown
+        fingerprints are a no-op.
+        """
+        server = self._servers.pop(fingerprint, None)
+        if server is not None:
+            server.close()
+
     def serve_iter(
         self,
         workload: Workload,

@@ -33,6 +33,7 @@ from dataclasses import replace
 from ...exceptions import ReproError
 from ..cache import LanguageCache
 from ..outcome import ERROR, QueryOutcome
+from ..server import ResilienceServer
 from ..workload import Workload
 from .base import (
     CancelMap,
@@ -57,6 +58,14 @@ class RoutedExchange(Exchange):
         router: rendezvous router (a default :class:`Router` if omitted).
         max_failovers: node failures tolerated per envelope part before its
             unserved queries fail structurally.
+        degraded_fallback: when a part's failover chain is exhausted
+            (``NodeLost``), serve its unserved tail with an in-process serial
+            server instead of failing structurally.  The serial path is the
+            reference semantics every node is pinned against, so the fallback
+            is outcome-identical by construction; each use increments
+            :attr:`degraded_serves`.  Protocol breaches (a node ending its
+            stream early) never degrade — replaying a broken contract
+            in-process would mask the bug.
     """
 
     def __init__(
@@ -65,10 +74,14 @@ class RoutedExchange(Exchange):
         *,
         router: Router | None = None,
         max_failovers: int = 3,
+        degraded_fallback: bool = True,
     ) -> None:
         self._manager = manager
         self._router = router if router is not None else Router()
         self._max_failovers = max_failovers
+        self._degraded_fallback = degraded_fallback
+        self._degraded_serves = 0
+        self._lock = threading.Lock()
         self._closed = False
 
     # ------------------------------------------------------------------ fleet
@@ -89,6 +102,12 @@ class RoutedExchange(Exchange):
         return self._router.route(
             database.content_fingerprint(), self._manager.live_ids()
         )
+
+    @property
+    def degraded_serves(self) -> int:
+        """Envelope parts answered by the in-process serial fallback."""
+        with self._lock:
+            return self._degraded_serves
 
     def stats(self) -> tuple[NodeStats, ...]:
         return self._manager.stats()
@@ -172,6 +191,13 @@ class RoutedExchange(Exchange):
             if failures > self._max_failovers:
                 reason = f"NodeLost: gave up after {failures} node failures ({reason})"
                 break
+        if remaining and self._degraded_fallback and reason.startswith("NodeLost"):
+            # The whole chain is gone, not misbehaving: fall back to serving
+            # the tail in-process rather than failing queries we can answer.
+            try:
+                yield from self._serve_degraded(part, offset, remaining, cancel)
+            except Exception as error:
+                reason = f"DegradedServeFailed: {type(error).__name__}: {error}"
         for local in sorted(remaining):
             spec = remaining[local]
             yield QueryOutcome(
@@ -200,13 +226,7 @@ class RoutedExchange(Exchange):
         """
         locals_in_order = sorted(remaining)
         sub_workload = Workload(tuple(remaining[local] for local in locals_in_order))
-        sub_cancel: CancelMap = cancel
-        if isinstance(cancel, Mapping):
-            sub_cancel = {
-                sub_index: token
-                for sub_index, local in enumerate(locals_in_order)
-                if (token := cancel.get(offset + local)) is not None
-            }
+        sub_cancel = self._sub_cancel(locals_in_order, offset, cancel)
         iterator = node.serve_iter(sub_workload, part.database, cancel=sub_cancel)
         try:
             for outcome in iterator:
@@ -220,6 +240,47 @@ class RoutedExchange(Exchange):
             close = getattr(iterator, "close", None)
             if close is not None:
                 close()
+
+    def _serve_degraded(
+        self, part: EnvelopePart, offset: int, remaining: dict, cancel: CancelMap
+    ) -> Iterator[QueryOutcome]:
+        """Last resort: serve a part's unserved tail in-process, serially.
+
+        Used only when the failover chain is exhausted (``NodeLost``).  A
+        one-shot serial :class:`~repro.service.server.ResilienceServer` with
+        a fresh string-keyed cache *is* the uncached serial reference the
+        conformance suite pins every node against, so degrading cannot change
+        an answer — it only changes where the work runs.
+        """
+        with self._lock:
+            self._degraded_serves += 1
+        locals_in_order = sorted(remaining)
+        sub_workload = Workload(tuple(remaining[local] for local in locals_in_order))
+        sub_cancel = self._sub_cancel(locals_in_order, offset, cancel)
+        server = ResilienceServer(
+            part.database, parallel=False, cache=LanguageCache(canonical=False)
+        )
+        try:
+            for outcome in server.serve_iter(sub_workload, cancel=sub_cancel):
+                local = locals_in_order[outcome.index]
+                if local in remaining:
+                    del remaining[local]
+                    yield replace(outcome, index=offset + local)
+        finally:
+            server.close()
+
+    @staticmethod
+    def _sub_cancel(
+        locals_in_order: list[int], offset: int, cancel: CancelMap
+    ) -> CancelMap:
+        """Remap envelope-global cancel tokens onto a sub-workload's indices."""
+        if not isinstance(cancel, Mapping):
+            return cancel
+        return {
+            sub_index: token
+            for sub_index, local in enumerate(locals_in_order)
+            if (token := cancel.get(offset + local)) is not None
+        }
 
     def _pick_node(self, fingerprint: str, tried: set[int]) -> Node | None:
         """The best untried live node for a key, auto-replacing a dead fleet.
@@ -278,6 +339,7 @@ class ThreadExchange(RoutedExchange):
         manager: NodeManager | None = None,
         router: Router | None = None,
         max_failovers: int = 3,
+        degraded_fallback: bool = True,
         max_workers: int | None = None,
         parallel: bool = True,
         cache: LanguageCache | None = None,
@@ -298,4 +360,9 @@ class ThreadExchange(RoutedExchange):
             if nodes < 1:
                 raise ValueError(f"a ThreadExchange needs >= 1 node (got {nodes})")
             manager.spawn(nodes)
-        super().__init__(manager, router=router, max_failovers=max_failovers)
+        super().__init__(
+            manager,
+            router=router,
+            max_failovers=max_failovers,
+            degraded_fallback=degraded_fallback,
+        )

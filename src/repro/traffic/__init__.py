@@ -7,9 +7,12 @@ arrivals, mixed priorities, weights, deadlines and per-query budgets
 (:mod:`~repro.traffic.generator`); a :class:`~repro.traffic.soak.SoakRunner`
 drives the full front-end → exchange → node stack through that traffic while
 a :class:`~repro.traffic.chaos.ChaosSchedule` injects faults mid-stream
-(node kills, slow workers, poison workloads, admission bursts) and an
-invariant monitor asserts after every round that nothing was lost, leaked,
-or silently wrong (:mod:`~repro.traffic.soak`).
+(node kills, slow workers, poison workloads, admission bursts, and network
+faults — refused connections, mid-stream disconnects, stalled streams,
+corrupt payloads) and an invariant monitor asserts after every round that
+nothing was lost, leaked, or silently wrong (:mod:`~repro.traffic.soak`).
+The soak runs in-process (``transport="thread"``) or over real sockets
+(``transport="http"``) with the same invariants.
 
 Everything is deterministic from the profile seed, so any failed soak run is
 replayable bit-for-bit: re-generate the trace from the same
@@ -20,9 +23,14 @@ replayable bit-for-bit: re-generate the trace from the same
 from .chaos import (
     BURST,
     CHAOS_KINDS,
+    CORRUPT,
+    DISCONNECT,
     KILL,
+    NETWORK_KINDS,
     POISON,
+    REFUSED,
     SLOW,
+    STALL,
     ChaosEvent,
     ChaosSchedule,
 )
@@ -40,9 +48,14 @@ from .soak import InvariantViolation, SoakReport, SoakRunner
 __all__ = [
     "BURST",
     "CHAOS_KINDS",
+    "CORRUPT",
+    "DISCONNECT",
     "KILL",
+    "NETWORK_KINDS",
     "POISON",
+    "REFUSED",
     "SLOW",
+    "STALL",
     "ChaosEvent",
     "ChaosSchedule",
     "DEFAULT_CATALOGUE",

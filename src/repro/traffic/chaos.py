@@ -27,6 +27,28 @@ each pinned to a soak *round* (a batch of trace requests the
   pushing the admission queue toward ``max_queue_depth`` so back-pressure
   surfaces as structured ``admission-rejected`` outcomes.
 
+Four *network* kinds model transport faults rather than node faults.  They
+fire at round start against the node owning the event's database, through
+the duck-typed ``inject_fault(kind, **params)`` surface of a fault-capable
+node handle (``tests/faults.py`` provides ``ChaosHttpNode`` /
+``ChaosHttpNodeLauncher``, which wrap the real HTTP transport and misbehave
+on cue; like the process-killing helpers, they deliberately live with the
+tests):
+
+* :data:`REFUSED` — the node refuses its next ``count`` connection attempts
+  (a restart window).  A window shorter than the handle's retry budget is
+  absorbed invisibly; a longer one looks like node death and heals through
+  failover/replacement.
+* :data:`DISCONNECT` — the next serve stream is cut with a connection reset
+  after ``after_outcomes`` outcomes (``0``: before the first, exercising
+  same-node re-dispatch; ``>= 1``: mid-stream, exercising failover).
+* :data:`STALL` — the next serve connection is accepted and then hangs; the
+  client observes its request timeout expiring (modelled without spending
+  the wall-clock wait).
+* :data:`CORRUPT` — the next serve stream delivers garbage in place of the
+  outcome after ``after_outcomes`` clean ones; the client must treat the
+  stream as corrupt, never deliver a mangled outcome.
+
 Events are plain frozen data, so a schedule is as replayable as the traffic
 trace it runs against.
 """
@@ -42,8 +64,15 @@ KILL = "kill"
 POISON = "poison"
 SLOW = "slow"
 BURST = "burst"
+REFUSED = "refused"
+DISCONNECT = "disconnect"
+STALL = "stall"
+CORRUPT = "corrupt"
 
-CHAOS_KINDS = frozenset({KILL, POISON, SLOW, BURST})
+#: Transport-fault kinds, injected via a node handle's ``inject_fault``.
+NETWORK_KINDS = frozenset({REFUSED, DISCONNECT, STALL, CORRUPT})
+
+CHAOS_KINDS = frozenset({KILL, POISON, SLOW, BURST}) | NETWORK_KINDS
 
 #: Kinds that inject an extra workload (their event must carry one).
 _PAYLOAD_KINDS = frozenset({POISON, SLOW})
@@ -58,9 +87,13 @@ class ChaosEvent:
         kind: one of :data:`CHAOS_KINDS`.
         after_outcomes: for :data:`KILL` — how many outcomes of the round to
             let land before killing the owner node (mid-stream by
-            construction).
+            construction).  For :data:`DISCONNECT` / :data:`CORRUPT` — how
+            many outcome lines of the faulted stream to deliver cleanly
+            before the cut / garbage line (``0`` allowed: fault before the
+            first outcome).
         count: for :data:`BURST` — how many extra one-query workloads to
-            submit at round start.
+            submit at round start.  For :data:`REFUSED` — how many
+            consecutive connection attempts the node refuses.
         workload: for :data:`POISON` / :data:`SLOW` — the injected workload
             (typically built from ``tests/faults.py`` helpers).
         database_key: trace database the event targets; ``None`` means the
@@ -86,8 +119,15 @@ class ChaosEvent:
             raise ReproError(
                 f"kill events fire after >= 1 outcomes (got {self.after_outcomes})"
             )
-        if self.kind == BURST and self.count < 1:
-            raise ReproError(f"burst count must be >= 1 (got {self.count})")
+        if self.kind in (BURST, REFUSED) and self.count < 1:
+            raise ReproError(
+                f"{self.kind} count must be >= 1 (got {self.count})"
+            )
+        if self.kind in (DISCONNECT, CORRUPT) and self.after_outcomes < 0:
+            raise ReproError(
+                f"{self.kind} events fire after >= 0 outcomes "
+                f"(got {self.after_outcomes})"
+            )
         if self.kind in _PAYLOAD_KINDS and self.workload is None:
             raise ReproError(
                 f"{self.kind!r} events need a payload workload (build one with "
@@ -99,8 +139,12 @@ class ChaosEvent:
         return {
             "round": self.round,
             "kind": self.kind,
-            "after_outcomes": self.after_outcomes if self.kind == KILL else None,
-            "count": self.count if self.kind == BURST else None,
+            "after_outcomes": (
+                self.after_outcomes
+                if self.kind in (KILL, DISCONNECT, CORRUPT)
+                else None
+            ),
+            "count": self.count if self.kind in (BURST, REFUSED) else None,
             "payload_queries": None if self.workload is None else len(self.workload),
             "database_key": self.database_key,
         }

@@ -3,9 +3,15 @@
 :class:`SoakRunner` replays a :class:`~repro.traffic.generator.TrafficTrace`
 through an :class:`~repro.service.async_server.AsyncResilienceServer` over a
 chosen exchange in *rounds* of ``requests_per_round`` submissions, while a
-:class:`~repro.traffic.chaos.ChaosSchedule` injects faults mid-stream.  After
-every round an invariant monitor asserts the contracts the serving stack
-claims, raising :class:`InvariantViolation` on the first breach:
+:class:`~repro.traffic.chaos.ChaosSchedule` injects faults mid-stream.  The
+runner builds its exchange itself — in-process (``transport="thread"``, the
+default) or over real sockets (``transport="http"``) — or serves over a
+ready-made one; network chaos kinds (refused / disconnect / stall / corrupt)
+arm the owning node's fault hook at round start, so the soak exercises the
+HTTP fabric's retry, failover and degraded-fallback paths under the same
+invariants.  After every round an invariant monitor asserts the contracts
+the serving stack claims, raising :class:`InvariantViolation` on the first
+breach:
 
 * **exactly one outcome per admitted query** — per request, the delivered
   indices are exactly ``0..n-1``, kills and crashes included;
@@ -51,14 +57,27 @@ from ..service import (
     OK,
     AsyncResilienceServer,
     Exchange,
+    HttpExchange,
     LanguageCache,
     QueryOutcome,
     ThreadExchange,
     Workload,
     resilience_serve,
 )
-from .chaos import BURST, KILL, POISON, SLOW, ChaosEvent, ChaosSchedule
+from .chaos import (
+    BURST,
+    KILL,
+    NETWORK_KINDS,
+    POISON,
+    REFUSED,
+    SLOW,
+    ChaosEvent,
+    ChaosSchedule,
+)
 from .generator import TrafficRequest, TrafficTrace
+
+#: Exchange transports the runner can build itself.
+TRANSPORTS = ("thread", "http")
 
 KNOWN_STATUSES = frozenset({OK, BUDGET_EXCEEDED, ERROR, ADMISSION_REJECTED})
 
@@ -136,9 +155,15 @@ class SoakRunner:
     Args:
         trace: the (seeded) traffic to replay.
         nodes / max_workers / parallel / cache: fleet configuration when the
-            runner builds its own :class:`~repro.service.ThreadExchange`;
-            ``exchange`` supplies a ready-made exchange instead (the runner's
-            front-end owns and closes it either way).
+            runner builds its own exchange; ``exchange`` supplies a
+            ready-made exchange instead (the runner's front-end owns and
+            closes it either way).
+        transport: which exchange the runner builds when ``exchange`` is
+            ``None`` — ``"thread"`` (default,
+            :class:`~repro.service.ThreadExchange`) or ``"http"``
+            (:class:`~repro.service.HttpExchange`: the same soak over real
+            sockets; node processes ship their own caches, so a shared
+            ``cache`` is rejected).
         chaos: the fault schedule; events must fit within the trace's rounds.
         requests_per_round: trace requests submitted per soak round.
         max_queue_depth / round_share: front-end admission configuration.
@@ -167,6 +192,7 @@ class SoakRunner:
         max_workers: int | None = 2,
         parallel: bool = True,
         cache: LanguageCache | None = None,
+        transport: str = "thread",
         exchange: Exchange | None = None,
         chaos: ChaosSchedule | None = None,
         requests_per_round: int = 4,
@@ -188,7 +214,18 @@ class SoakRunner:
             raise ValueError(f"recovery_rounds must be >= 1 (got {recovery_rounds})")
         if not trace.requests:
             raise ValueError("cannot soak an empty trace")
+        if transport not in TRANSPORTS:
+            raise ReproError(
+                f"unknown soak transport {transport!r}; expected one of "
+                f"{list(TRANSPORTS)}"
+            )
+        if transport == "http" and cache is not None:
+            raise ReproError(
+                "http transport serves from node processes with their own "
+                "caches; a shared front-end cache cannot apply"
+            )
         self._trace = trace
+        self._transport = transport
         self._nodes = nodes
         self._max_workers = max_workers
         self._parallel = parallel
@@ -243,7 +280,13 @@ class SoakRunner:
 
     def _run_rounds(self, rounds) -> SoakReport:
         exchange = self._exchange
-        if exchange is None:
+        if exchange is None and self._transport == "http":
+            exchange = HttpExchange(
+                nodes=self._nodes,
+                max_workers=self._max_workers,
+                parallel=self._parallel,
+            )
+        elif exchange is None:
             exchange = ThreadExchange(
                 nodes=self._nodes,
                 max_workers=self._max_workers,
@@ -283,6 +326,11 @@ class SoakRunner:
             events = self._chaos.for_round(round_index)
             for event in events:
                 self._log({"type": "chaos", **event.as_dict()})
+            # Network faults arm before any submission: the round's first
+            # connection attempts / serve streams are the ones that misbehave.
+            for event in events:
+                if event.kind in NETWORK_KINDS:
+                    self._fire_network(event, state)
             round_started = time.perf_counter()
             submissions = await self._submit_round(server, batch, events, state)
             await self._collect_round(submissions, events, state)
@@ -401,6 +449,37 @@ class SoakRunner:
         state.kills.append(owner)
         state.pending_kills.append(state.round_cursor)
         self._log({"type": "kill-fired", "node": owner, "database_key": key})
+
+    def _fire_network(self, event: ChaosEvent, state: "_SoakState") -> None:
+        exchange = self._live_exchange
+        if not hasattr(exchange, "route_for") or not hasattr(exchange, "manager"):
+            raise ReproError(
+                "network chaos needs a routed exchange with a node manager "
+                f"(got {type(exchange).__name__})"
+            )
+        key = event.database_key or self._default_database_key
+        owner = exchange.route_for(self._trace.databases[key])
+        node = exchange.manager.node(owner)
+        inject = getattr(node, "inject_fault", None)
+        if inject is None:
+            raise ReproError(
+                f"{event.kind!r} chaos needs a fault-capable node handle "
+                f"(got {type(node).__name__}); build the exchange over "
+                "ChaosHttpNodeLauncher from tests/faults.py"
+            )
+        if event.kind == REFUSED:
+            inject(event.kind, count=event.count)
+        else:
+            inject(event.kind, after_outcomes=event.after_outcomes)
+        state.network_faults += 1
+        self._log(
+            {
+                "type": "network-fault",
+                "kind": event.kind,
+                "node": owner,
+                "database_key": key,
+            }
+        )
 
     # -------------------------------------------------------------- checking
 
@@ -603,6 +682,8 @@ class SoakRunner:
                 "poison_workloads": state.poison_workloads,
                 "slow_workloads": state.slow_workloads,
                 "burst_workloads": state.burst_workloads,
+                "network_faults": state.network_faults,
+                "degraded_serves": getattr(metrics, "degraded_serves", 0),
             },
             recovery={
                 "per_kill_rounds": list(state.recoveries),
@@ -631,6 +712,7 @@ class _SoakState:
     poison_workloads: int = 0
     slow_workloads: int = 0
     burst_workloads: int = 0
+    network_faults: int = 0
     burst_rejected: int = 0
     rejected_requests: int = 0
     parity_checked: int = 0

@@ -26,7 +26,11 @@ automatically.  The ``distributed-*`` variants run the async front-end over a
 fingerprint-routed :class:`~repro.service.ThreadExchange` fleet — the
 ``node-kill`` one kills the owning node two outcomes into the stream, so the
 identity assertion doubles as a no-loss/no-duplication failover proof.  The
-``soak-replay`` variant drives the matrix through the chaos soak harness
+``distributed-2-http-nodes`` variant runs the same front-end over an
+:class:`~repro.service.HttpExchange` — real sockets, pickled payloads and
+ndjson streaming in the conformance loop, pinning the wire transport to the
+serial semantics.  The ``soak-replay`` variant drives the matrix through the
+chaos soak harness
 (:class:`~repro.traffic.SoakRunner`, mid-round node kill included): the
 outcome set of a seeded chaos run must equal the uncached serial reference.
 """
@@ -40,6 +44,7 @@ from repro.graphdb import generators
 from repro.service import (
     AnalysisStore,
     AsyncResilienceServer,
+    HttpExchange,
     LanguageCache,
     QueryOutcome,
     QuerySpec,
@@ -86,6 +91,7 @@ EXECUTION_VARIANTS = (
     "distributed-2-nodes",
     "distributed-4-nodes",
     "distributed-2-nodes-node-kill",
+    "distributed-2-http-nodes",
     "soak-replay",
 )
 PASSES = 2
@@ -166,11 +172,17 @@ class VariantSession:
         # per pass through the SoakRunner.
         self.kill_mid_pass = execution.endswith("node-kill")
         self.soak = execution == "soak-replay"
+        # HTTP nodes ship their databases over the wire and hold their own
+        # caches, so the cell's shared cache cannot apply and worker pids
+        # belong to per-pass fleets: rebuild fresh every pass, like the kill
+        # and soak variants.
+        self.http = "http" in execution
         self.shares_pool = (
             execution != "serial"
             and shared_cache is not None
             and not self.kill_mid_pass
             and not self.soak
+            and not self.http
         )
         self._server: ResilienceServer | None = None
         self._async_server: AsyncResilienceServer | None = None
@@ -191,11 +203,17 @@ class VariantSession:
                 ResilienceServer(self.database, max_workers=2, cache=cache)
             )
         elif self.execution.startswith("distributed"):
-            # A fingerprint-routed in-process fleet behind the same async
-            # front-end; all nodes share the variant's cache.
-            self._exchange = ThreadExchange(
-                nodes=self._node_count(), max_workers=2, cache=cache
-            )
+            # A fingerprint-routed fleet behind the same async front-end —
+            # in-process nodes sharing the variant's cache, or real HTTP
+            # nodes (own caches) when the variant says so.
+            if self.http:
+                self._exchange = HttpExchange(
+                    nodes=self._node_count(), max_workers=2
+                )
+            else:
+                self._exchange = ThreadExchange(
+                    nodes=self._node_count(), max_workers=2, cache=cache
+                )
             self._async_server = AsyncResilienceServer(
                 self._exchange, database=self.database
             )

@@ -994,3 +994,29 @@ class TestPrometheusExposition:
 
         local_samples, _ = parse_prometheus(run(local_scenario()))
         assert local_samples['repro_node_alive{node="local"}'] == 1
+
+    def test_degraded_serves_counter_is_exported(self, database, reference):
+        """A dead launcher-less fleet degrades to the in-process serial
+        fallback; the front-end's metrics surface counts it and the
+        Prometheus rendering carries the counter."""
+        from repro.service import NodeManager
+        from repro.service.exchange import RoutedExchange, ThreadNode
+
+        manager = NodeManager()
+        manager.register(ThreadNode("only", max_workers=2, parallel=False))
+
+        async def scenario():
+            async with AsyncResilienceServer(
+                RoutedExchange(manager), database=database
+            ) as server:
+                server.exchange.manager.kill("only")
+                outcomes = await collect(await server.submit(MIXED))
+                metrics = server.metrics()
+                return outcomes, metrics
+
+        outcomes, metrics = run(scenario())
+        assert sorted_outcomes(outcomes) == reference
+        assert metrics.degraded_serves == 1
+        assert metrics.as_dict()["degraded_serves"] == 1
+        samples, _ = parse_prometheus(metrics.to_prometheus())
+        assert samples["repro_degraded_serves_total"] == 1

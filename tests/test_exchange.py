@@ -14,14 +14,17 @@ from __future__ import annotations
 
 import pytest
 
-from faults import drain_with_kill
+from faults import ChaosHttpNodeLauncher, drain_with_kill
 from repro.exceptions import ReproError
 from repro.graphdb import generators
 from repro.service import (
+    CircuitBreaker,
     EnvelopePart,
+    HealthMonitor,
     LanguageCache,
     LocalExchange,
     NodeManager,
+    RetryPolicy,
     Router,
     ThreadExchange,
     Workload,
@@ -30,11 +33,14 @@ from repro.service import (
 )
 from repro.service.exchange import (
     HttpExchange,
+    HttpNode,
     HttpNodeLauncher,
+    HttpNodeServer,
     NodeStats,
     ThreadNode,
     ThreadNodeLauncher,
 )
+from repro.traffic import CORRUPT, DISCONNECT, REFUSED, STALL
 
 QUERIES = ("ax*b", "ab|bc", "aa", "(ab)*a", "ε|a", "((")
 
@@ -224,6 +230,26 @@ def test_node_crash_mid_stream_loses_and_leaks_nothing(set_db):
 
 
 def test_whole_fleet_death_without_launcher_fails_structurally(set_db):
+    """With the degraded serial fallback disabled, an exhausted failover
+    chain surfaces as structured NodeLost errors, one per query."""
+    manager = NodeManager()
+    manager.register(ThreadNode("only", max_workers=2, parallel=False))
+    from repro.service.exchange import RoutedExchange
+
+    with RoutedExchange(manager, degraded_fallback=False) as exchange:
+        exchange.manager.kill("only")
+        outcomes = sorted_outcomes(
+            exchange.submit(WorkloadEnvelope.single(Workload.coerce(QUERIES), set_db))
+        )
+        assert [outcome.index for outcome in outcomes] == list(range(len(QUERIES)))
+        assert all(outcome.status == "error" for outcome in outcomes)
+        assert all("NodeLost" in outcome.error for outcome in outcomes)
+        assert exchange.degraded_serves == 0
+
+
+def test_whole_fleet_death_degrades_to_serial_with_parity(set_db):
+    """Default behavior: the same exhausted chain degrades to the in-process
+    serial fallback — full parity with the reference, counted once."""
     manager = NodeManager()
     manager.register(ThreadNode("only", max_workers=2, parallel=False))
     from repro.service.exchange import RoutedExchange
@@ -233,9 +259,8 @@ def test_whole_fleet_death_without_launcher_fails_structurally(set_db):
         outcomes = sorted_outcomes(
             exchange.submit(WorkloadEnvelope.single(Workload.coerce(QUERIES), set_db))
         )
-        assert [outcome.index for outcome in outcomes] == list(range(len(QUERIES)))
-        assert all(outcome.status == "error" for outcome in outcomes)
-        assert all("NodeLost" in outcome.error for outcome in outcomes)
+        assert outcomes == reference(set_db)
+        assert exchange.degraded_serves == 1
 
 
 def test_whole_fleet_death_with_launcher_auto_replaces(set_db):
@@ -306,3 +331,281 @@ def test_http_node_kill_fails_over_to_the_survivor(set_db):
         assert indices == list(range(len(QUERIES)))
         assert sorted_outcomes(outcomes) == reference(set_db)
         assert exchange.heartbeat()[owner] is False
+
+
+# ------------------------------------------------------- retry / circuit policy
+
+
+def test_retry_policy_schedule_is_deterministic_and_bounded():
+    policy = RetryPolicy(attempts=4, base_delay=0.1, multiplier=2.0, jitter=0.5, seed=9)
+    first = policy.sleep_schedule()
+    second = policy.sleep_schedule()
+    assert first == second, "same seed, same jittered schedule"
+    assert len(first) == 3, "attempts - 1 sleeps"
+    for position, delay in enumerate(first):
+        base = 0.1 * 2.0**position
+        assert base <= delay <= base * 1.5
+    assert RetryPolicy(attempts=4, seed=10).sleep_schedule() != first
+
+
+def test_retry_policy_retries_retriable_faults_only():
+    calls = {"n": 0}
+
+    def flaky():
+        calls["n"] += 1
+        if calls["n"] < 3:
+            raise ConnectionResetError("transient")
+        return "served"
+
+    policy = RetryPolicy(attempts=3, base_delay=0.0)
+    assert policy.run(flaky, sleep=lambda _: None) == "served"
+    assert calls["n"] == 3
+
+    def broken():
+        raise ReproError("semantic, never retried")
+
+    with pytest.raises(ReproError, match="never retried"):
+        policy.run(broken, sleep=lambda _: None)
+
+
+def test_circuit_breaker_opens_half_opens_and_recloses():
+    breaker = CircuitBreaker(failure_threshold=2, cooldown_ticks=1)
+    assert breaker.state == "closed"
+    breaker.record_failure()
+    assert breaker.state == "closed"
+    breaker.record_failure()
+    assert breaker.state == "open" and breaker.opens == 1
+    assert breaker.allow_probe() is False, "cooldown tick skips the probe"
+    assert breaker.allow_probe() is True
+    assert breaker.state == "half-open"
+    breaker.record_failure()
+    assert breaker.state == "open" and breaker.opens == 2, (
+        "a failed half-open probe reopens immediately"
+    )
+    assert breaker.allow_probe() is False
+    assert breaker.allow_probe() is True
+    assert breaker.record_success() is True, "reclose reported exactly once"
+    assert breaker.state == "closed"
+    assert breaker.record_success() is False
+
+
+# --------------------------------------------------------- self-healing fabric
+
+
+def chaos_fleet(nodes: int = 2, *, retry: RetryPolicy | None = None):
+    """A routed exchange over chaos-capable HTTP nodes."""
+    launcher = ChaosHttpNodeLauncher(
+        max_workers=2, parallel=False, request_timeout=10.0, retry=retry
+    )
+    manager = NodeManager(launcher)
+    return HttpExchange(nodes=nodes, manager=manager)
+
+
+def serve_all(exchange, database):
+    return sorted_outcomes(
+        exchange.submit(WorkloadEnvelope.single(Workload.coerce(QUERIES), database))
+    )
+
+
+def test_refused_window_shorter_than_retry_budget_is_absorbed(set_db):
+    with chaos_fleet(retry=RetryPolicy(attempts=3, base_delay=0.0)) as exchange:
+        owner = exchange.route_for(set_db)
+        node = exchange.manager.node(owner)
+        node.inject_fault(REFUSED, count=2)
+        assert serve_all(exchange, set_db) == reference(set_db)
+        assert node.faults_fired[REFUSED] == 2
+        assert node.alive, "an absorbed window never marks the node dead"
+
+
+def test_disconnect_before_first_outcome_redispatches_on_same_node(set_db):
+    with chaos_fleet(retry=RetryPolicy(attempts=3, base_delay=0.0)) as exchange:
+        owner = exchange.route_for(set_db)
+        node = exchange.manager.node(owner)
+        node.inject_fault(DISCONNECT, after_outcomes=0)
+        assert serve_all(exchange, set_db) == reference(set_db)
+        assert node.faults_fired[DISCONNECT] == 1
+        assert node.alive
+        survivor = next(n for n in exchange.nodes() if n != owner)
+        assert exchange.manager.node(survivor).stats().envelopes_served == 0, (
+            "a pre-first-outcome cut re-dispatches on the same node, "
+            "not on the failover target"
+        )
+
+
+def test_disconnect_mid_stream_fails_over_with_parity(set_db):
+    with chaos_fleet(retry=RetryPolicy(attempts=3, base_delay=0.0)) as exchange:
+        owner = exchange.route_for(set_db)
+        node = exchange.manager.node(owner)
+        node.inject_fault(DISCONNECT, after_outcomes=2)
+        assert serve_all(exchange, set_db) == reference(set_db)
+        assert node.faults_fired[DISCONNECT] == 1
+        assert not node.alive, "a mid-stream cut is node loss for the exchange"
+        survivor = next(n for n in exchange.nodes() if n != owner)
+        assert exchange.manager.node(survivor).stats().envelopes_served == 1
+
+
+def test_stalled_stream_times_out_and_redispatches(set_db):
+    with chaos_fleet(retry=RetryPolicy(attempts=2, base_delay=0.0)) as exchange:
+        owner = exchange.route_for(set_db)
+        node = exchange.manager.node(owner)
+        node.inject_fault(STALL)
+        assert serve_all(exchange, set_db) == reference(set_db)
+        assert node.faults_fired[STALL] == 1
+
+
+def test_corrupt_stream_is_refused_wholesale_and_fails_over(set_db):
+    with chaos_fleet() as exchange:
+        owner = exchange.route_for(set_db)
+        node = exchange.manager.node(owner)
+        node.inject_fault(CORRUPT, after_outcomes=1)
+        outcomes = serve_all(exchange, set_db)
+        assert outcomes == reference(set_db), (
+            "a corrupt line must never surface as a mangled outcome"
+        )
+        assert node.faults_fired[CORRUPT] == 1
+        assert not node.alive
+
+
+def _unwrap_database(real):
+    return real
+
+
+class _LyingFingerprintDatabase:
+    """Claims a bogus fingerprint locally but ships the real database, so
+    the node's recomputed digest disagrees with the client's."""
+
+    def __init__(self, real) -> None:
+        self._real = real
+
+    def content_fingerprint(self) -> str:
+        return "bogus-local-fingerprint"
+
+    def __reduce__(self):
+        return (_unwrap_database, (self._real,))
+
+
+def test_fingerprint_mismatch_on_ship_raises_with_both_values(set_db):
+    launcher = HttpNodeLauncher(max_workers=2, parallel=False)
+    manager = NodeManager(launcher)
+    manager.spawn(1)
+    try:
+        node = manager.node("node-0")
+        with pytest.raises(ReproError, match="fingerprint mismatch") as excinfo:
+            node.ensure_database(_LyingFingerprintDatabase(set_db))
+        message = str(excinfo.value)
+        assert "bogus-local-fingerprint" in message
+        assert set_db.content_fingerprint() in message
+        assert not node._shipped, "a mismatched ship must not be cached"
+    finally:
+        manager.close()
+
+
+def test_node_restart_on_same_port_reships_transparently(set_db):
+    """A restarted node lost its databases; the client's stale shipped-set
+    gets a 409 on /serve and transparently re-ships exactly once."""
+    server = HttpNodeServer("node-r", max_workers=2, parallel=False)
+    host, port = server.address
+    node = HttpNode("node-r", host, port)
+    try:
+        workload = Workload.coerce(QUERIES)
+        first = sorted_outcomes(node.serve_iter(workload, set_db))
+        assert first == reference(set_db)
+        assert set_db.content_fingerprint() in node._shipped
+        server.close()
+        server = HttpNodeServer("node-r", host=host, port=port, max_workers=2, parallel=False)
+        again = sorted_outcomes(node.serve_iter(workload, set_db))
+        assert again == reference(set_db)
+        assert node.alive
+    finally:
+        node.close()
+        server.close()
+
+
+def test_database_lru_evicts_and_reships_under_cap(set_db, bag_db):
+    """With a one-database cap, alternating databases forces an eviction per
+    switch; every serve still answers with full parity through the 409
+    re-ship path."""
+    launcher = HttpNodeLauncher(max_workers=2, parallel=False, max_databases=1)
+    manager = NodeManager(launcher)
+    manager.spawn(1)
+    try:
+        node = manager.node("node-0")
+        workload = Workload.coerce(QUERIES)
+        assert sorted_outcomes(node.serve_iter(workload, set_db)) == reference(set_db)
+        assert sorted_outcomes(node.serve_iter(workload, bag_db)) == reference(bag_db)
+        # set_db was evicted by bag_db under cap=1; serving it again re-ships.
+        assert sorted_outcomes(node.serve_iter(workload, set_db)) == reference(set_db)
+    finally:
+        manager.close()
+
+
+def test_health_monitor_opens_recloses_and_invalidates_shipped(set_db):
+    """The full circuit: probes fail -> breaker opens -> cooldown -> half-open
+    probe against the restarted node -> reclose invalidates the handle's
+    shipped-set so the next serve re-ships."""
+    launcher = HttpNodeLauncher(max_workers=2, parallel=False)
+    manager = NodeManager(launcher)
+    manager.spawn(1)
+    try:
+        node = manager.node("node-0")
+        list(node.serve_iter(Workload.coerce(["aa"]), set_db))
+        assert node._shipped, "precondition: a database was shipped"
+        monitor = HealthMonitor(manager, failure_threshold=2, cooldown_ticks=1)
+        server = launcher._servers[0]
+        host, port = server.address
+        server.close()
+
+        monitor.tick()
+        assert monitor.states() == {"node-0": "closed"}
+        monitor.tick()
+        assert monitor.states() == {"node-0": "open"}
+        monitor.tick()  # cooldown: no probe spent on a known-dead node
+        assert monitor.states() == {"node-0": "open"}
+
+        restarted = HttpNodeServer(
+            "node-0", host=host, port=port, max_workers=2, parallel=False
+        )
+        launcher._servers.append(restarted)
+        monitor.tick()  # half-open probe succeeds -> reclose
+        assert monitor.states() == {"node-0": "closed"}
+        assert monitor.recloses == 1
+        assert not node._shipped, "reclose must invalidate the shipped-set"
+        outcomes = sorted_outcomes(node.serve_iter(Workload.coerce(QUERIES), set_db))
+        assert outcomes == reference(set_db)
+    finally:
+        manager.close()
+
+
+def test_health_monitor_replaces_a_node_dead_past_grace(set_db):
+    launcher = HttpNodeLauncher(max_workers=2, parallel=False)
+    manager = NodeManager(launcher)
+    manager.spawn(1)
+    try:
+        corpse = manager.node("node-0")
+        monitor = HealthMonitor(manager, failure_threshold=1, replace_after=2)
+        launcher._servers[0].close()
+        monitor.tick()
+        monitor.tick()
+        assert monitor.replacements == 1
+        replacement = manager.node("node-0")
+        assert replacement is not corpse
+        assert replacement.heartbeat()
+        outcomes = sorted_outcomes(
+            replacement.serve_iter(Workload.coerce(QUERIES), set_db)
+        )
+        assert outcomes == reference(set_db)
+    finally:
+        manager.close()
+
+
+def test_manager_start_monitor_runs_and_stops_with_close(set_db):
+    import time as _time
+
+    with ThreadExchange(nodes=1, max_workers=2, parallel=False) as exchange:
+        monitor = exchange.manager.start_monitor(interval=0.01)
+        deadline = _time.monotonic() + 5.0
+        while monitor.ticks == 0 and _time.monotonic() < deadline:
+            _time.sleep(0.01)
+        assert monitor.ticks > 0, "the supervision thread must be ticking"
+        assert exchange.manager.monitor is monitor
+    assert exchange.manager.monitor is None, "close() stops and clears it"

@@ -34,7 +34,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from faults import drain_with_kill, poison_workload, slow_language, slow_workload
+from faults import (
+    ChaosHttpNodeLauncher,
+    drain_with_kill,
+    poison_workload,
+    slow_language,
+    slow_workload,
+)
 from leak_sanitizer import LeakTracker
 from repro.exceptions import ReproError
 from repro.languages import Language
@@ -43,17 +49,24 @@ from repro.service import (
     ERROR,
     OK,
     AsyncResilienceServer,
+    HttpExchange,
     LanguageCache,
     LatencyHistogram,
     LocalExchange,
+    NodeManager,
     ResilienceServer,
+    RetryPolicy,
     resilience_serve,
 )
 from repro.traffic import (
     BURST,
+    CORRUPT,
+    DISCONNECT,
     KILL,
     POISON,
+    REFUSED,
     SLOW,
+    STALL,
     ChaosEvent,
     ChaosSchedule,
     DatabaseSpec,
@@ -245,6 +258,8 @@ class TestSoak:
             "poison_workloads": 1,
             "slow_workloads": 1,
             "burst_workloads": 3,
+            "network_faults": 0,
+            "degraded_serves": 0,
         }
         assert report.by_status.get(ERROR, 0) >= 1, "poison must surface as error"
         assert report.recovery["max_rounds"] <= report.recovery["bound"]
@@ -270,6 +285,100 @@ class TestSoak:
         assert replay_collected == collected, "collected outcomes must replay"
         assert replay_report.by_status == report.by_status
         assert replay_report.seed == report.seed == 11
+
+    def test_http_soak_with_network_chaos_is_replayable(self, tmp_path):
+        """The HTTP fleet under network chaos: a refused window, a mid-stream
+        disconnect, a stall, a corrupt payload and a node kill — zero
+        invariant violations, full parity, bounded recovery, and the whole
+        run replay-identical across two same-seed runs."""
+        profile = small_profile(seed=13, requests=12)
+
+        def chaos():
+            return ChaosSchedule(
+                (
+                    ChaosEvent(round=0, kind=REFUSED, count=2),
+                    ChaosEvent(round=1, kind=DISCONNECT, after_outcomes=1),
+                    ChaosEvent(round=1, kind=KILL, after_outcomes=2),
+                    ChaosEvent(round=2, kind=STALL),
+                    ChaosEvent(round=2, kind=CORRUPT, after_outcomes=0),
+                )
+            )
+
+        def build_exchange():
+            launcher = ChaosHttpNodeLauncher(
+                max_workers=2,
+                request_timeout=10.0,
+                retry=RetryPolicy(attempts=3, base_delay=0.0),
+            )
+            return HttpExchange(nodes=2, manager=NodeManager(launcher))
+
+        log_path = tmp_path / "http-soak.jsonl"
+
+        def soak():
+            runner = SoakRunner(
+                generate_traffic(profile),
+                exchange=build_exchange(),
+                chaos=chaos(),
+                requests_per_round=4,
+                keep_outcomes=True,
+                log_path=log_path,
+            )
+            report = runner.run()
+            return report, [by_index(outcomes) for outcomes in runner.collected]
+
+        report, collected = soak()
+        assert report.violations == () and report.leaks == ()
+        assert report.chaos["network_faults"] == 4
+        assert report.chaos["kills"] == 1
+        assert report.parity_checked == 12, (
+            "every traffic request held parity through the network chaos"
+        )
+        assert report.recovery["max_rounds"] <= report.recovery["bound"]
+        assert report.admission["final_in_flight"] == 0
+        assert "degraded_serves" in report.chaos
+
+        records = [json.loads(line) for line in log_path.read_text().splitlines()]
+        fault_records = [r for r in records if r["type"] == "network-fault"]
+        assert {r["kind"] for r in fault_records} == {
+            REFUSED,
+            DISCONNECT,
+            STALL,
+            CORRUPT,
+        }
+
+        replay_report, replay_collected = soak()
+        assert replay_collected == collected, "collected outcomes must replay"
+        assert replay_report.by_status == report.by_status
+
+    def test_http_transport_builds_its_own_fleet(self):
+        trace = generate_traffic(small_profile(seed=3, requests=4))
+        runner = SoakRunner(
+            trace, transport="http", nodes=2, requests_per_round=4
+        )
+        report = runner.run()
+        assert report.parity_checked == 4
+        assert report.admission["final_in_flight"] == 0
+
+    def test_http_transport_rejects_a_shared_cache(self):
+        trace = generate_traffic(small_profile(seed=3, requests=2))
+        with pytest.raises(ReproError, match="cache"):
+            SoakRunner(trace, transport="http", cache=LanguageCache())
+
+    def test_unknown_transport_is_rejected(self):
+        trace = generate_traffic(small_profile(seed=3, requests=2))
+        with pytest.raises(ReproError, match="transport"):
+            SoakRunner(trace, transport="carrier-pigeon")
+
+    def test_network_chaos_needs_a_fault_capable_handle(self):
+        """Plain HTTP handles have no fault hook; the soak fails loudly
+        instead of silently skipping the scheduled fault."""
+        trace = generate_traffic(small_profile(seed=3, requests=2))
+        chaos = ChaosSchedule((ChaosEvent(round=0, kind=REFUSED, count=1),))
+        runner = SoakRunner(
+            trace, transport="http", requests_per_round=2, chaos=chaos
+        )
+        with pytest.raises(ReproError, match="fault-capable"):
+            runner.run()
 
     def test_soak_matches_explicit_serial_reference(self):
         trace = generate_traffic(small_profile(seed=3, requests=4))

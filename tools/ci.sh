@@ -88,7 +88,7 @@ PY
 echo "ci: async conformance variants (single workload + 3 concurrent merged)"
 python -m pytest -q tests/test_conformance.py -k "async"
 
-echo "ci: distributed conformance variants (2/4-node fleets + mid-stream node kill)"
+echo "ci: distributed conformance variants (2/4-node fleets, HTTP nodes, mid-stream node kill)"
 python -m pytest -q tests/test_conformance.py -k "distributed"
 
 echo "ci: soak-replay conformance variant (chaos soak == uncached serial reference)"
@@ -133,6 +133,68 @@ assert replay.by_status == report.by_status, "soak must replay from its seed"
 print(
     f"ci: chaos soak ok ({report.requests} requests, {report.outcomes} outcomes, "
     f"1 kill, recovery {report.recovery['max_rounds']} round(s), replay identical)"
+)
+PY
+
+echo "ci: HTTP chaos soak smoke (real sockets: refused window, disconnect, kill, replay check)"
+python - <<'PY'
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path("tests").resolve()))
+
+from faults import ChaosHttpNodeLauncher
+from leak_sanitizer import LeakTracker
+
+from repro.service import HttpExchange, NodeManager, RetryPolicy
+from repro.traffic import (
+    ChaosEvent, ChaosSchedule, DatabaseSpec, SoakRunner, TrafficProfile,
+    generate_traffic,
+)
+
+profile = TrafficProfile(
+    seed=7,
+    requests=8,
+    databases=(
+        DatabaseSpec(num_nodes=5, num_edges=12, alphabet="abxy"),
+        DatabaseSpec(num_nodes=4, num_edges=9, alphabet="abx", bag_copies=2),
+    ),
+)
+chaos = ChaosSchedule((
+    ChaosEvent(round=0, kind="refused", count=2),
+    ChaosEvent(round=1, kind="disconnect", after_outcomes=1),
+    ChaosEvent(round=1, kind="kill", after_outcomes=2),
+))
+
+
+def soak(tracker=None):
+    launcher = ChaosHttpNodeLauncher(
+        max_workers=2,
+        request_timeout=10.0,
+        retry=RetryPolicy(attempts=3, base_delay=0.0),
+    )
+    return SoakRunner(
+        generate_traffic(profile),
+        exchange=HttpExchange(nodes=2, manager=NodeManager(launcher)),
+        chaos=chaos,
+        requests_per_round=4,
+        leak_tracker=tracker,
+    ).run()
+
+
+report = soak(tracker=LeakTracker())
+assert report.violations == (), report.violations
+assert report.leaks == (), report.leaks
+assert report.chaos["network_faults"] == 2 and report.chaos["kills"] == 1
+assert report.recovery["max_rounds"] <= report.recovery["bound"]
+assert report.parity_checked == report.requests
+assert report.admission["final_in_flight"] == 0
+replay = soak()
+assert replay.by_status == report.by_status, "HTTP soak must replay from its seed"
+print(
+    f"ci: http chaos soak ok ({report.requests} requests, {report.outcomes} "
+    f"outcomes, 2 network faults, 1 kill, recovery "
+    f"{report.recovery['max_rounds']} round(s), replay identical, no leaks)"
 )
 PY
 
@@ -361,11 +423,29 @@ assert data["throughput_rps"] > 0, data["throughput_rps"]
 assert data["replay_by_status_identical"] is True, "soak replay diverged"
 ok = data["latency_ms"].get("ok", {})
 assert ok.get("count", 0) > 0 and ok.get("p99", 0) >= ok.get("p50", 0), ok
+
+http = data.get("http")
+assert http is not None, "BENCH_soak.json missing the paced HTTP trajectory"
+for key in (
+    "pace", "by_status", "network_faults", "degraded_serves", "kills",
+    "recovery_rounds_max", "throughput_rps", "violations", "leaks",
+):
+    assert key in http, f"BENCH_soak.json http section missing {key!r}"
+assert http["pace"] > 0, "the HTTP trajectory must replay paced (open-loop)"
+assert http["violations"] == 0, f"http soak ran with violations: {http['violations']}"
+assert http["leaks"] == 0, f"http soak leaked resources: {http['leaks']}"
+assert http["network_faults"] >= 4, "all four network chaos kinds must fire"
+assert http["kills"] >= 1, "the http soak must include a scheduled node kill"
+assert http["recovery_rounds_max"] <= http["recovery_rounds_bound"], http
+assert http["parity_checked"] == http["requests"], http
+assert http["replay_by_status_identical"] is True, "http soak replay diverged"
+
 mode = "smoke" if data.get("smoke") else "full"
 print(
     f"ci: soak bench ok ({mode}: {data['requests']} requests, "
     f"{data['throughput_rps']:.0f} outcomes/s, ok p50 {ok['p50']:.0f}ms "
-    f"p99 {ok['p99']:.0f}ms, recovery {data['recovery_rounds_max']} round(s))"
+    f"p99 {ok['p99']:.0f}ms, recovery {data['recovery_rounds_max']} round(s); "
+    f"http: {http['network_faults']} network faults, pace {http['pace']})"
 )
 PY
 else
