@@ -1,0 +1,177 @@
+"""E-CACHE: the bounded/shared/warmable cache tier trajectory.
+
+Serves one seeded zipf traffic trace three ways and emits
+``BENCH_cache.json`` (read back by ``tools/bench_smoke.py`` and the CI
+artefact guard):
+
+* **cold** — a fresh session cache, no stores: every distinct query class
+  pays parsing + infix-free + classification, repeats hit in-session;
+* **warmed-store** — ``python -m repro.service.warm`` runs over the trace's
+  corpus in a *separate process*, then this process serves the trace through
+  store-backed caches: the acceptance gate is **zero classifications** and
+  nonzero analysis/result store hits on the first serve;
+* **in-session** — the same cache serves the trace again: everything hits the
+  in-memory result layer without touching disk.
+
+A fourth run serves the trace through a tightly bounded cache
+(``max_entries``) and gates that eviction is a pure cost: outcome statuses
+must be identical to the unbounded run while the eviction counter is nonzero
+(the overhead ratio is recorded, not gated — CI runners are noisy).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+from conftest import emit_bench_json, smoke_mode
+
+from repro.service import AnalysisStore, LanguageCache, ResultStore
+from repro.traffic import SoakRunner, TrafficProfile, generate_traffic
+
+SEED = 20_260_808
+NODES = 2
+BOUND = 4  # max_entries of the eviction run — tight enough to thrash
+
+
+def profile():
+    return TrafficProfile(seed=SEED, requests=12 if smoke_mode() else 32)
+
+
+def serve(trace, cache):
+    runner = SoakRunner(trace, nodes=NODES, max_workers=2, cache=cache)
+    return runner.run()
+
+
+def hit_rate(stats: dict) -> float:
+    served = stats["result_hits"] + stats["result_misses"]
+    return stats["result_hits"] / served if served else 0.0
+
+
+def phase_payload(report, stats: dict) -> dict:
+    return {
+        "p50_ms": report.latency.get("ok", {}).get("p50", 0.0),
+        "p99_ms": report.latency.get("ok", {}).get("p99", 0.0),
+        "wall_seconds": report.wall_seconds,
+        "hit_rate": round(hit_rate(stats), 4),
+        "classifications": stats["classifications"],
+        "result_hits": stats["result_hits"],
+        "result_misses": stats["result_misses"],
+        "result_uncacheable": stats["result_uncacheable"],
+    }
+
+
+def warm_stores_in_fresh_process(analysis_dir: Path, result_dir: Path) -> dict:
+    """Run the warming CLI as a subprocess — a genuinely separate process."""
+    src = Path(__file__).resolve().parent.parent / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [
+            sys.executable, "-m", "repro.service.warm",
+            "--analysis-store", str(analysis_dir),
+            "--result-store", str(result_dir),
+            "--trace-seed", str(SEED),
+            "--trace-requests", str(profile().requests),
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(completed.stdout)
+
+
+def test_cache_tier_trajectory():
+    trace = generate_traffic(profile())
+
+    # ---- cold: fresh session cache, no stores --------------------------------
+    cold_cache = LanguageCache()
+    cold = serve(trace, cold_cache)
+    assert cold.violations == ()
+    assert cold.cache["classifications"] > 0
+
+    # ---- warmed-store: a separate process pre-fills, this one serves ---------
+    with tempfile.TemporaryDirectory() as scratch:
+        analysis_dir = Path(scratch) / "analysis"
+        result_dir = Path(scratch) / "result"
+        warm_report = warm_stores_in_fresh_process(analysis_dir, result_dir)
+        assert warm_report["classifications"] > 0, "the warm pass must analyse"
+        assert warm_report["results_written"] > 0
+
+        analysis_store = AnalysisStore(analysis_dir)
+        result_store = ResultStore(result_dir)
+        warmed_cache = LanguageCache(store=analysis_store, result_store=result_store)
+        warmed = serve(trace, warmed_cache)
+        assert warmed.violations == ()
+        # The acceptance gate: a fresh process's first serve is classification-
+        # free and reports store hits.
+        assert warmed.cache["classifications"] == 0, (
+            "warmed serve must not classify anything"
+        )
+        store_hits = analysis_store.stats().hits
+        result_store_hits = result_store.stats().hits
+        assert store_hits > 0 and result_store_hits > 0
+        assert warmed.by_status == cold.by_status, (
+            "a warmed serve must be outcome-identical to the cold one"
+        )
+
+        # ---- in-session: the same cache serves the trace again ---------------
+        disk_hits_before = result_store.stats().hits
+        in_session = serve(trace, warmed_cache)
+        assert in_session.by_status == cold.by_status
+        session_stats = dict(in_session.cache)
+        # Everything the second pass served from the result layer came from
+        # memory: the store's hit counter did not move.
+        assert result_store.stats().hits == disk_hits_before
+
+    # ---- eviction overhead: tightly bounded vs unbounded ---------------------
+    bounded_cache = LanguageCache(max_entries=BOUND)
+    bounded = serve(trace, bounded_cache)
+    assert bounded.by_status == cold.by_status, (
+        "eviction must be a pure cost — outcomes are bound-independent"
+    )
+    assert bounded.cache["evictions"] > 0
+    assert bounded.cache["entries"] <= 4 * BOUND
+
+    overhead = (
+        bounded.wall_seconds / cold.wall_seconds if cold.wall_seconds > 0 else 0.0
+    )
+    payload = {
+        "smoke": smoke_mode(),
+        "seed": SEED,
+        "requests": cold.requests,
+        "nodes": NODES,
+        "warm_pass": {
+            "classes": warm_report["classes"],
+            "classifications": warm_report["classifications"],
+            "analyses_written": warm_report["analyses_written"],
+            "results_written": warm_report["results_written"],
+        },
+        "cold": phase_payload(cold, cold.cache),
+        "warmed_store": {
+            **phase_payload(warmed, warmed.cache),
+            "analysis_store_hits": store_hits,
+            "result_store_hits": result_store_hits,
+        },
+        "in_session": phase_payload(in_session, session_stats),
+        "eviction": {
+            "max_entries": BOUND,
+            "evictions": bounded.cache["evictions"],
+            "final_entries": bounded.cache["entries"],
+            "overhead_ratio": round(overhead, 3),
+            "by_status_identical": True,
+        },
+        "cpus": os.cpu_count(),
+    }
+    path = emit_bench_json("BENCH_cache.json", payload)
+    print(
+        f"\ncache tier: cold p50 {payload['cold']['p50_ms']:.0f}ms "
+        f"(classified {payload['cold']['classifications']}), warmed-store p50 "
+        f"{payload['warmed_store']['p50_ms']:.0f}ms (classified 0, "
+        f"{store_hits} store hits), in-session hit rate "
+        f"{payload['in_session']['hit_rate']:.2f}, eviction overhead "
+        f"x{payload['eviction']['overhead_ratio']:.2f} -> {path.name}"
+    )

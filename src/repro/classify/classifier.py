@@ -16,11 +16,15 @@ three complexities for the resilience problem:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..exceptions import GadgetError, GadgetNotAvailableError
 from ..languages import chain, dangling, four_legged, local, neutral, star_free
 from ..languages.core import Language
 from ..languages.examples import NP_HARD, PTIME, UNCLASSIFIED
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from ..resilience.engine import LanguageCache
 
 _EXPLICITLY_HARD = {
     "ab|bc|ca": "Proposition 7.4",
@@ -55,14 +59,26 @@ class Classification:
         return f"Classification({self.language!s} -> {self.complexity}: {self.reason})"
 
 
-def classify(language: Language, *, build_certificate: bool = False) -> Classification:
+def classify(
+    language: Language,
+    *,
+    build_certificate: bool = False,
+    cache: "LanguageCache | None" = None,
+) -> Classification:
     """Classify the resilience complexity of a language according to the paper.
 
     Args:
         language: the language to classify.
         build_certificate: when True and the language is NP-hard, also build and
             machine-verify a hardness gadget (slower; used by the benchmarks).
+        cache: optional shared :class:`~repro.resilience.engine.LanguageCache`
+            — the language resolves through its canonical layer first, so
+            equivalent languages (across calls, and across processes with a
+            store-backed cache) share one memoized infix-free sublanguage
+            instead of re-deriving it per classification.
     """
+    if cache is not None:
+        language = cache.language(language)
     # Epsilon short-circuit first, mirroring the engine's dispatch order: a
     # trivial language must not pay for the (expensive) infix-free computation.
     if language.contains(""):
@@ -101,7 +117,7 @@ def classify(language: Language, *, build_certificate: bool = False) -> Classifi
             from ..hardness import construct
 
             try:
-                result.certificate = construct.hardness_gadget(language)
+                result.certificate = construct.hardness_gadget(language, cache=cache)
             except (GadgetError, GadgetNotAvailableError) as error:
                 result.evidence["certificate_error"] = str(error)
         return result
@@ -181,22 +197,35 @@ def classify(language: Language, *, build_certificate: bool = False) -> Classifi
     )
 
 
-def classify_regex(expression: str, **kwargs) -> Classification:
-    """Classify a language given as a regular expression."""
+def classify_regex(
+    expression: str, *, cache: "LanguageCache | None" = None, **kwargs
+) -> Classification:
+    """Classify a language given as a regular expression.
+
+    With a ``cache``, the expression resolves through the session's
+    string-expression layer, so repeated classifications of one expression
+    parse it once and share every memoized analysis.
+    """
+    if cache is not None:
+        return classify(cache.language(expression), cache=cache, **kwargs)
     return classify(Language.from_regex(expression), **kwargs)
 
 
-def figure_1_table(*, build_certificates: bool = False) -> list[dict]:
+def figure_1_table(
+    *, build_certificates: bool = False, cache: "LanguageCache | None" = None
+) -> list[dict]:
     """Regenerate the Figure 1 classification for the paper's example languages.
 
     Returns one row per example language with the paper's classification and the
     classifier's output, for the Figure 1 benchmark and the classification example.
+    A shared ``cache`` carries analyses across rows (and, store-backed, across
+    regeneration runs).
     """
     from ..languages.examples import FIGURE_1_LANGUAGES
 
     rows: list[dict] = []
     for example in FIGURE_1_LANGUAGES:
-        result = classify(example.language(), build_certificate=build_certificates)
+        result = classify(example.language(), build_certificate=build_certificates, cache=cache)
         rows.append(
             {
                 "language": example.regex,

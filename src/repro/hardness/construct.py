@@ -25,6 +25,7 @@ returned certificate is always machine-checked.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..exceptions import GadgetError, GadgetNotAvailableError
 from ..languages.core import Language
@@ -37,6 +38,9 @@ from ..languages.four_legged import (
 from ..languages.words import maximal_gap_words
 from .gadgets import GadgetBuilder, PreGadget
 from .verification import GadgetVerification, verify_gadget
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from ..resilience.engine import LanguageCache
 
 
 @dataclass
@@ -644,7 +648,9 @@ def _relabelled_aba_bab(letter: str, other: str) -> PreGadget:
 # --------------------------------------------------------------------------- master entry point
 
 
-def hardness_gadget(language: Language) -> HardnessCertificate:
+def hardness_gadget(
+    language: Language, *, cache: "LanguageCache | None" = None
+) -> HardnessCertificate:
     """Return a machine-verified hardness certificate for a language, if the paper provides one.
 
     The search order follows the paper: known concrete gadgets (Propositions 4.1,
@@ -652,12 +658,23 @@ def hardness_gadget(language: Language) -> HardnessCertificate:
     construction of Theorem 5.3, then the repeated-letter case analysis of
     Theorem 6.1 for finite languages.
 
+    Args:
+        language: the language whose hardness to certify.
+        cache: optional shared :class:`~repro.resilience.engine.LanguageCache`
+            — the language resolves through its canonical layer first, so a
+            gadget search for a language the session (or, store-backed, a
+            previous process) already analysed reuses the memoized infix-free
+            sublanguage instead of re-deriving it.
+
     Raises:
         GadgetNotAvailableError: when the language is not covered by any hardness
             result of the paper (it may still be NP-hard -- the classification is
             not complete).
     """
     from .library import NAMED_GADGETS
+
+    if cache is not None:
+        language = cache.language(language)
 
     # Re-label through a copy: infix_free() is memoized on the language
     # instance, so assigning its name in place would corrupt the shared cache.

@@ -14,7 +14,15 @@ from .exact import resilience_brute_force, resilience_exact, resilience_exact_re
 from .local_flow import build_product_network, resilience_local
 from .one_dangling import resilience_one_dangling
 from .result import INFINITE, ResilienceResult
-from .store import AnalysisStore, StoredAnalysis, StoreStats, code_version_salt
+from .store import (
+    AnalysisStore,
+    ResultStore,
+    StoreBackend,
+    StoredAnalysis,
+    StoreStats,
+    code_version_salt,
+    result_code_salt,
+)
 
 __all__ = [
     "INFINITE",
@@ -22,11 +30,14 @@ __all__ = [
     "CacheStats",
     "LanguageCache",
     "ResilienceResult",
+    "ResultStore",
+    "StoreBackend",
     "StoreStats",
     "StoredAnalysis",
     "build_product_network",
     "choose_method",
     "code_version_salt",
+    "result_code_salt",
     "resilience",
     "resilience_bcl",
     "resilience_brute_force",

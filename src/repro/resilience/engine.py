@@ -26,6 +26,7 @@ with per-query budgets and structured outcomes, see :mod:`repro.service`.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import asdict, dataclass, fields, replace
 
@@ -39,7 +40,7 @@ from .exact import resilience_exact
 from .local_flow import resilience_local
 from .one_dangling import resilience_one_dangling
 from .result import INFINITE, ResilienceResult
-from .store import AnalysisStore
+from .store import AnalysisStore, ResultStore
 
 
 def choose_method(language: Language, *, infix_free: Language | None = None) -> str:
@@ -137,11 +138,24 @@ class CacheStats:
             the acceptance observable: equivalent queries share one run.
         result_hits: queries answered from the result-level cache — an
             identical ``(query class, database, semantics, method)`` tuple was
-            already computed this session, so the memoized
+            already computed (this session, or by any process sharing a
+            :class:`~repro.resilience.store.ResultStore`), so the memoized
             :class:`~repro.resilience.result.ResilienceResult` is returned
             without touching the engine (or, in the serving layer, the worker
             pool).
-        result_misses: result-level lookups that had to compute.
+        result_misses: *cacheable* computations the result layer could not
+            serve — counted at completion time (:meth:`LanguageCache.store_result`),
+            so the hit rate ``hits / (hits + misses)`` reflects cacheable
+            traffic only.
+        result_uncacheable: completions the result layer can never serve or
+            memoize — error and budget-exceeded outcomes.  Counted separately
+            so error-heavy chaos traffic cannot skew the hit rate.
+        evictions: entries dropped by the size/age bounds (all layers).
+        entries: **gauge** — entries currently held across the cache's maps
+            (expression, canonical class, method memo, result layers).
+        bytes_estimate: **gauge** — rough in-memory footprint of the held
+            languages and results (automaton- and contingency-set-sized
+            estimates, not exact byte counts).
     """
 
     canonical_hits: int = 0
@@ -149,6 +163,14 @@ class CacheStats:
     classifications: int = 0
     result_hits: int = 0
     result_misses: int = 0
+    result_uncacheable: int = 0
+    evictions: int = 0
+    entries: int = 0
+    bytes_estimate: int = 0
+
+    #: Fields that are point-in-time gauges, not monotone counters — the
+    #: Prometheus exposition must not render these with a ``_total`` suffix.
+    GAUGE_FIELDS = ("entries", "bytes_estimate")
 
     def snapshot(self) -> "CacheStats":
         """A frozen-in-time copy (the live object keeps counting)."""
@@ -171,6 +193,142 @@ class CacheStats:
             for field in fields(cls):
                 setattr(total, field.name, getattr(total, field.name) + getattr(part, field.name))
         return total
+
+
+def _estimate_language_bytes(language: Language) -> int:
+    """Rough footprint of a held language: automaton-sized, never exact."""
+    automaton = language.automaton
+    total = 256 + 64 * (len(automaton.states) + len(automaton.transitions))
+    memoized = language._infix_free
+    if memoized is not None and memoized is not language:
+        inner = memoized.automaton
+        total += 256 + 64 * (len(inner.states) + len(inner.transitions))
+    return total
+
+
+def _estimate_result_bytes(result: "ResilienceResult") -> int:
+    """Rough footprint of a memoized result: contingency-set-sized."""
+    contingency = result.contingency_set
+    return 256 + 64 * (0 if contingency is None else len(contingency))
+
+
+class _BoundedLru:
+    """Insertion-ordered map with optional size/age bounds (LRU eviction).
+
+    A plain dict is the backing store (Python dicts preserve insertion
+    order); a hit re-inserts the entry at the tail, so the head is always the
+    least-recently-used entry.  ``max_entries`` caps the entry count and
+    ``max_age_seconds`` drops entries idle longer than the bound (the stamp
+    refreshes on every touch).  Every bound-driven removal calls ``on_evict``
+    — replacement and explicit deletion do not, so the callback counts real
+    evictions only.  Like the dicts it replaces, the map is not locked:
+    individual dict operations are atomic under the GIL and racing writers
+    at worst duplicate work, never corrupt state.
+    """
+
+    __slots__ = ("_data", "_max_entries", "_max_age", "_clock", "_on_evict", "_sizer", "bytes_estimate")
+
+    def __init__(
+        self,
+        *,
+        max_entries: int | None,
+        max_age_seconds: float | None,
+        clock: Callable[[], float],
+        on_evict: Callable[[object, object], None],
+        sizer: Callable[[object], int],
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1 (got {max_entries})")
+        if max_age_seconds is not None and max_age_seconds <= 0:
+            raise ValueError(f"max_age_seconds must be positive (got {max_age_seconds})")
+        self._data: dict = {}
+        self._max_entries = max_entries
+        self._max_age = max_age_seconds
+        self._clock = clock
+        self._on_evict = on_evict
+        self._sizer = sizer
+        self.bytes_estimate = 0
+
+    def get(self, key, default=None):
+        entry = self._data.get(key)
+        if entry is None:
+            return default
+        value, _, size = entry
+        if self._max_age is not None:
+            self._expire()
+            if key not in self._data:
+                return default
+        # LRU touch: re-insert at the tail with a fresh stamp.  The size
+        # recorded at insertion travels with the entry — values can grow
+        # after insertion (a language memoizes its infix-free sublanguage in
+        # place), so re-measuring on removal would corrupt the accounting.
+        self._data.pop(key, None)
+        self._data[key] = (value, self._clock(), size)
+        return value
+
+    def set(self, key, value) -> None:
+        old = self._data.pop(key, None)
+        if old is not None:
+            self.bytes_estimate -= old[2]
+        size = self._sizer(value)
+        self._data[key] = (value, self._clock(), size)
+        self.bytes_estimate += size
+        self._expire()
+        self._shrink()
+
+    def setdefault(self, key, value):
+        """Insert ``value`` unless the key is live; return the held value."""
+        held = self.get(key)
+        if held is not None:
+            return held
+        self.set(key, value)
+        return value
+
+    def _evict(self, key) -> None:
+        value, _, size = self._data.pop(key)
+        self.bytes_estimate -= size
+        self._on_evict(key, value)
+
+    def _expire(self) -> None:
+        if self._max_age is None:
+            return
+        horizon = self._clock() - self._max_age
+        # Recency order == insertion order here, so stale entries cluster at
+        # the head; stop at the first live one.
+        for key, (_, stamp, _size) in list(self._data.items()):
+            if stamp > horizon:
+                break
+            if key in self._data:
+                self._evict(key)
+
+    def _shrink(self) -> None:
+        if self._max_entries is None:
+            return
+        while len(self._data) > self._max_entries:
+            try:
+                oldest = next(iter(self._data))
+            except StopIteration:  # pragma: no cover - concurrent shrink race
+                return
+            self._evict(oldest)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def values(self):
+        return [entry[0] for entry in self._data.values()]
+
+
+class _CanonicalClass:
+    """One canonical equivalence class: its representative and method memo."""
+
+    __slots__ = ("language", "method")
+
+    def __init__(self, language: Language, method: str | None = None) -> None:
+        self.language = language
+        self.method = method
 
 
 class LanguageCache:
@@ -208,29 +366,80 @@ class LanguageCache:
     Disable the canonical layer (``canonical=False``) to key strictly by
     expression string.
 
-    The cache holds strong references to the languages it has seen; it is
-    scoped to a serving session (or one :func:`resilience_many` batch), not to
-    the process.  Re-exported as :class:`repro.service.LanguageCache`.
+    The cache holds strong references to the languages it has seen; unbounded
+    (the default), it is scoped to a serving session (or one
+    :func:`resilience_many` batch), not to the process.  Long-lived servers
+    pass ``max_entries`` and/or ``max_age_seconds`` to bound every layer with
+    LRU eviction — each layer (expression, canonical class, method memo,
+    result) then holds at most ``max_entries`` entries and drops entries idle
+    longer than ``max_age_seconds``; evictions are counted in
+    :attr:`CacheStats.evictions` and the live footprint is surfaced through
+    the :attr:`CacheStats.entries` / :attr:`CacheStats.bytes_estimate` gauges.
+    An evicted entry is never a correctness event: the next equivalent query
+    simply re-parses/re-classifies (or re-reads the store) and re-enters.
+    ``clock`` injects the age-bound's time source for tests (defaults to a
+    monotonic clock).  Re-exported as :class:`repro.service.LanguageCache`.
     """
 
-    def __init__(self, *, canonical: bool = True, store: "AnalysisStore | None" = None) -> None:
+    def __init__(
+        self,
+        *,
+        canonical: bool = True,
+        store: "AnalysisStore | None" = None,
+        result_store: "ResultStore | None" = None,
+        max_entries: int | None = None,
+        max_age_seconds: float | None = None,
+        clock: "Callable[[], float] | None" = None,
+    ) -> None:
         if store is not None and not canonical:
             raise ValueError("an AnalysisStore requires the canonical layer (canonical=True)")
-        self._by_expression: dict[str, Language] = {}
-        # Keyed by id(); the tuple keeps the language alive so ids stay valid
-        # (Language equality is semantic, so an equality-keyed dict would pay
-        # an automaton-equivalence check per lookup).
-        self._methods: dict[int, tuple[Language, str]] = {}
+        if result_store is not None and not canonical:
+            raise ValueError("a ResultStore requires the canonical layer (canonical=True)")
         self._canonical = canonical
         self._store = store
-        self._representatives: dict[str, Language] = {}
-        self._methods_by_fingerprint: dict[str, str] = {}
-        self._results: dict[tuple, "ResilienceResult"] = {}
+        self._result_store = result_store
         self.stats = CacheStats()
+        # Only the age bound reads the clock, and never for ordering or
+        # emitted values — a monotonic source keeps idle-time arithmetic
+        # immune to wall-clock jumps.
+        if clock is None:
+            clock = time.monotonic  # repro: allow[det-wallclock] -- age-bound idle timer; injectable, never emitted
+        self._clock = clock
+
+        def bounded(sizer: "Callable[[object], int]") -> _BoundedLru:
+            return _BoundedLru(
+                max_entries=max_entries,
+                max_age_seconds=max_age_seconds,
+                clock=clock,
+                on_evict=self._note_eviction,
+                sizer=sizer,
+            )
+
+        self._by_expression = bounded(_estimate_language_bytes)
+        # Keyed by id(); the held tuple keeps the language alive so ids stay
+        # valid for exactly as long as the entry is (Language equality is
+        # semantic, so an equality-keyed dict would pay an automaton-
+        # equivalence check per lookup).  Eviction removes the whole entry, so
+        # a recycled id can never alias a stale memo.
+        self._methods = bounded(lambda pair: 128)
+        self._classes = bounded(lambda cls: _estimate_language_bytes(cls.language))
+        self._results = bounded(_estimate_result_bytes)
 
     @property
     def store(self) -> "AnalysisStore | None":
         return self._store
+
+    @property
+    def result_store(self) -> "ResultStore | None":
+        return self._result_store
+
+    def _note_eviction(self, key: object, value: object) -> None:
+        self.stats.evictions += 1
+
+    def _refresh_gauges(self) -> None:
+        maps = (self._by_expression, self._classes, self._methods, self._results)
+        self.stats.entries = sum(len(m) for m in maps)
+        self.stats.bytes_estimate = sum(m.bytes_estimate for m in maps)
 
     def language(self, query: Language | RPQ | str) -> Language:
         """Return the (shared) :class:`Language` for a query.
@@ -243,9 +452,12 @@ class LanguageCache:
             cached = self._by_expression.get(query)
             if cached is None:
                 cached = self._resolve_canonical(Language.from_regex(query))
-                self._by_expression[query] = cached
+                self._by_expression.set(query, cached)
+                self._refresh_gauges()
             return cached
-        return self._resolve_canonical(_as_language(query))
+        resolved = self._resolve_canonical(_as_language(query))
+        self._refresh_gauges()
+        return resolved
 
     def _resolve_canonical(self, language: Language) -> Language:
         """Intern a language by its canonical-DFA fingerprint.
@@ -259,21 +471,22 @@ class LanguageCache:
         if not self._canonical:
             return language
         fingerprint = language.fingerprint()
-        representative = self._representatives.get(fingerprint)
-        if representative is None:
-            self._representatives[fingerprint] = language
+        cached = self._classes.get(fingerprint)
+        if cached is None:
+            cached = _CanonicalClass(language)
             self.stats.canonical_misses += 1
             if self._store is not None:
                 stored = self._store.get(fingerprint)
                 if stored is not None:
                     if language._infix_free is None and stored.infix_free is not None:
                         language._infix_free = stored.infix_free
-                    self._methods_by_fingerprint[fingerprint] = stored.method
+                    cached.method = stored.method
+            self._classes.set(fingerprint, cached)
             return language
         self.stats.canonical_hits += 1
-        if representative is language:
+        if cached.language is language:
             return language
-        return representative.relabelled(language.name)
+        return cached.language.relabelled(language.name)
 
     def method(self, language: Language) -> str:
         """Return the dispatcher's method choice for a language, memoized.
@@ -287,7 +500,8 @@ class LanguageCache:
         cached = self._methods.get(key)
         if cached is None:
             cached = (language, self._classify(language))
-            self._methods[key] = cached
+            self._methods.set(key, cached)
+            self._refresh_gauges()
         return cached[1]
 
     def _classify(self, language: Language) -> str:
@@ -295,23 +509,29 @@ class LanguageCache:
             self.stats.classifications += 1
             return choose_method(language)
         fingerprint = language.fingerprint()
-        method = self._methods_by_fingerprint.get(fingerprint)
-        if method is None:
-            self.stats.classifications += 1
-            # Classify the representative, not a relabelled copy: the
-            # infix-free sublanguage ``choose_method`` memoizes must land on
-            # the instance every later equivalent query will share.
-            representative = self._representatives.get(fingerprint, language)
-            method = choose_method(representative)
-            if language is not representative and language._infix_free is None:
-                language._infix_free = representative._infix_free
-            self._methods_by_fingerprint[fingerprint] = method
-            if self._store is not None:
-                # ``None`` only for epsilon languages, whose execution
-                # short-circuits before ever needing the infix-free language.
-                self._store.put(
-                    fingerprint, method=method, infix_free=representative._infix_free
-                )
+        entry = self._classes.get(fingerprint)
+        if entry is not None and entry.method is not None:
+            return entry.method
+        self.stats.classifications += 1
+        # Classify the representative, not a relabelled copy: the infix-free
+        # sublanguage ``choose_method`` memoizes must land on the instance
+        # every later equivalent query will share.  (A bounded cache may have
+        # evicted the class between resolution and classification — then this
+        # language simply becomes the new representative.)
+        representative = entry.language if entry is not None else language
+        method = choose_method(representative)
+        if language is not representative and language._infix_free is None:
+            language._infix_free = representative._infix_free
+        if entry is not None:
+            entry.method = method
+        else:
+            self._classes.set(fingerprint, _CanonicalClass(language, method))
+        if self._store is not None:
+            # ``None`` only for epsilon languages, whose execution
+            # short-circuits before ever needing the infix-free language.
+            self._store.put(
+                fingerprint, method=method, infix_free=representative._infix_free
+            )
         return method
 
     # ------------------------------------------------------------ result cache
@@ -383,8 +603,18 @@ class LanguageCache:
         if key is None:
             return None
         cached = self._results.get(key)
+        if cached is None and self._result_store is not None:
+            # Cross-process layer: a sibling (or a warming pass) may have
+            # computed this exact key already.  A store hit is installed in
+            # the in-memory layer so repeats stay off the disk.
+            cached = self._result_store.get(key)
+            if cached is not None:
+                self._results.set(key, cached)
+        self._refresh_gauges()
         if cached is None:
-            self.stats.result_misses += 1
+            # Not counted as a miss here: misses are counted at completion
+            # time (:meth:`store_result`), so a lookup for a computation that
+            # ends up failing never skews the cacheable hit rate.
             return None
         self.stats.result_hits += 1
         return cached.with_query(language.name or "")
@@ -399,12 +629,36 @@ class LanguageCache:
         method: str | None = None,
         unsafe: bool = False,
     ) -> None:
-        """Memoize a successfully computed result (first writer wins)."""
+        """Memoize a successfully computed result (first writer wins).
+
+        Called at completion time for every *cacheable* computation the
+        result layer failed to serve, so this is also where ``result_misses``
+        is counted — ``result_hits / (result_hits + result_misses)`` is then
+        the hit rate over cacheable traffic exactly.
+        """
         key = self._result_key(
             language, database, semantics=semantics, method=method, unsafe=unsafe
         )
-        if key is not None:
-            self._results.setdefault(key, result)
+        if key is None:
+            return
+        self.stats.result_misses += 1
+        self._results.setdefault(key, result)
+        if self._result_store is not None:
+            self._result_store.put(key, result)
+        self._refresh_gauges()
+
+    def note_uncacheable_result(self) -> None:
+        """Count a completion the result layer can never serve or memoize.
+
+        Error and budget-exceeded outcomes are not results — memoizing them
+        would replay failures for queries that would succeed.  They are
+        tallied as ``result_uncacheable`` instead of ``result_misses`` so
+        error-heavy chaos traffic cannot skew the cacheable hit rate.  No-op
+        when the result layer is off (``canonical=False``), mirroring the
+        hit/miss counters it complements.
+        """
+        if self._canonical:
+            self.stats.result_uncacheable += 1
 
     def __len__(self) -> int:
         return len(self._by_expression)

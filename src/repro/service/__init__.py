@@ -97,7 +97,7 @@ from .async_server import (
     MetricsEndpoint,
     ServerMetrics,
 )
-from .cache import AnalysisStore, CacheStats, LanguageCache, StoreStats
+from .cache import AnalysisStore, CacheStats, LanguageCache, ResultStore, StoreStats
 from .cancellation import CancellationToken
 from .exchange import (
     CircuitBreaker,
@@ -145,6 +145,7 @@ __all__ = [
     "QueryOutcome",
     "QuerySpec",
     "ResilienceServer",
+    "ResultStore",
     "Router",
     "ScheduledQuery",
     "ServerMetrics",
@@ -155,3 +156,14 @@ __all__ = [
     "plan_workload",
     "resilience_serve",
 ]
+
+
+def __getattr__(name: str):
+    # The warming pass lives in its own module so ``python -m
+    # repro.service.warm`` does not re-execute it through this package
+    # import; attribute access still resolves for discoverability.
+    if name in ("WarmReport", "warm_queries", "warm_trace"):
+        from . import warm
+
+        return getattr(warm, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -333,8 +333,15 @@ class ServerMetrics:
              "Workloads in the round being served right now.",
              [({}, admission.in_flight)])
         for name, value in sorted(self.cache.as_dict().items()):
-            emit(f"repro_cache_{name}_total", "counter",
-                 f"Fleet-wide language-cache counter: {name}.", [({}, value)])
+            if name in CacheStats.GAUGE_FIELDS:
+                # Point-in-time footprint gauges (entries, bytes_estimate):
+                # a ``_total`` suffix would mark them as monotone counters
+                # and break rate() queries the moment eviction shrinks them.
+                emit(f"repro_cache_{name}", "gauge",
+                     f"Fleet-wide language-cache gauge: {name}.", [({}, value)])
+            else:
+                emit(f"repro_cache_{name}_total", "counter",
+                     f"Fleet-wide language-cache counter: {name}.", [({}, value)])
         pool = self.pool.as_dict()
         for name, kind in (
             ("pools_created", "counter"), ("chunks_dispatched", "counter"),
@@ -1126,8 +1133,15 @@ class AsyncResilienceServer:
                 for status, histogram in sorted(self._latency.items())
             }
         nodes = self._exchange.stats()
+        # Per-node cache stats plus (exactly once) any fleet-shared cache the
+        # exchange owns — nodes serving from a shared cache report empty
+        # per-node CacheStats to keep this roll-up double-count-free.
+        cache_parts = [snapshot.cache for snapshot in nodes]
+        shared = getattr(self._exchange, "shared_cache_stats", lambda: None)()
+        if shared is not None:
+            cache_parts.append(shared)
         return ServerMetrics(
-            cache=CacheStats.aggregate([snapshot.cache for snapshot in nodes]),
+            cache=CacheStats.aggregate(cache_parts),
             pool=PoolStats.aggregate([snapshot.pool for snapshot in nodes]),
             admission=admission,
             latency=latency,

@@ -14,13 +14,24 @@ session string cache → canonical cross-instance cache → on-disk store) and
 from __future__ import annotations
 
 from ..resilience.engine import CacheStats, LanguageCache
-from ..resilience.store import AnalysisStore, StoredAnalysis, StoreStats, code_version_salt
+from ..resilience.store import (
+    AnalysisStore,
+    ResultStore,
+    StoreBackend,
+    StoredAnalysis,
+    StoreStats,
+    code_version_salt,
+    result_code_salt,
+)
 
 __all__ = [
     "AnalysisStore",
     "CacheStats",
     "LanguageCache",
+    "ResultStore",
+    "StoreBackend",
     "StoreStats",
     "StoredAnalysis",
     "code_version_salt",
+    "result_code_salt",
 ]

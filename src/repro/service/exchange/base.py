@@ -242,6 +242,18 @@ class Exchange(ABC):
         """
         return 0
 
+    def shared_cache_stats(self) -> "CacheStats | None":
+        """Counters of a fleet-shared :class:`LanguageCache`, if one exists.
+
+        Nodes serving from a shared cache deliberately report empty per-node
+        :class:`CacheStats` (a shared cache counted once per node would be
+        counted N times in the fleet roll-up); this hook lets the exchange
+        report the shared cache exactly once instead, so the front-end's
+        :class:`~repro.service.async_server.ServerMetrics` aggregate includes
+        it.  ``None`` when the exchange holds no shared cache.
+        """
+        return None
+
     def nodes(self) -> tuple[str, ...]:
         """Registered node ids (dead nodes included, until replaced)."""
         return tuple(snapshot.node_id for snapshot in self.stats())

@@ -31,7 +31,7 @@ from collections.abc import Iterator, Mapping
 from dataclasses import replace
 
 from ...exceptions import ReproError
-from ..cache import LanguageCache
+from ..cache import CacheStats, LanguageCache
 from ..outcome import ERROR, QueryOutcome
 from ..server import ResilienceServer
 from ..workload import Workload
@@ -356,6 +356,9 @@ class ThreadExchange(RoutedExchange):
                 "builds its own launcher; configure the supplied manager's "
                 "launcher instead"
             )
+        # Nodes sharing a cache report empty per-node CacheStats (see
+        # ThreadNode.stats); the exchange reports the shared cache once.
+        self._shared_cache = cache
         if not manager.node_ids():
             if nodes < 1:
                 raise ValueError(f"a ThreadExchange needs >= 1 node (got {nodes})")
@@ -366,3 +369,8 @@ class ThreadExchange(RoutedExchange):
             max_failovers=max_failovers,
             degraded_fallback=degraded_fallback,
         )
+
+    def shared_cache_stats(self) -> "CacheStats | None":
+        if self._shared_cache is None:
+            return None
+        return self._shared_cache.stats.snapshot()

@@ -638,7 +638,12 @@ class ResilienceServer:
         )
 
     def _record_outcome(self, item: ScheduledQuery, outcome: QueryOutcome) -> None:
-        """Feed a successful outcome into the session's result-level cache."""
+        """Feed a completed outcome into the session's result-level cache.
+
+        Successful results are memoized; error and budget-exceeded outcomes
+        are counted as ``result_uncacheable`` instead, so the cacheable hit
+        rate stays honest under error-heavy traffic.
+        """
         if outcome.status == OK and outcome.result is not None:
             self._cache.store_result(
                 item.language,
@@ -648,6 +653,8 @@ class ResilienceServer:
                 method=item.spec.method,
                 unsafe=item.spec.unsafe,
             )
+        else:
+            self._cache.note_uncacheable_result()
 
     def _record_chunk(
         self, chunk: list[ScheduledQuery], outcomes: list[QueryOutcome]

@@ -118,6 +118,10 @@ class SoakReport:
     parity_checked: int
     violations: tuple[str, ...] = ()
     leaks: tuple[str, ...] = ()
+    #: Final fleet-wide cache counters (``CacheStats.as_dict()``): hit/miss/
+    #: eviction counters plus the ``entries`` / ``bytes_estimate`` footprint
+    #: gauges — the observable that bounded soaks assert stays flat.
+    cache: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return {
@@ -135,6 +139,7 @@ class SoakReport:
             "parity_checked": self.parity_checked,
             "violations": list(self.violations),
             "leaks": list(self.leaks),
+            "cache": dict(sorted(self.cache.items())),
         }
 
 
@@ -695,6 +700,7 @@ class SoakRunner:
             parity_checked=state.parity_checked,
             violations=(),
             leaks=leaks,
+            cache={} if metrics is None else metrics.cache.as_dict(),
         )
 
 

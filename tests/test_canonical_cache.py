@@ -148,15 +148,34 @@ class TestStoreValidation:
         assert store.get(fingerprint) is None
         assert store.stats().ignored == 1
 
-    def test_stale_code_version_salt_is_ignored(self, tmp_path):
+    def test_stale_code_version_salt_is_ignored_and_evicted(self, tmp_path):
         fresh = language(self.QUERY)
         stale = AnalysisStore(tmp_path, salt="0123456789abcdef")
         stale.put(fresh.fingerprint(), method="exact", infix_free=fresh.infix_free())
         current = AnalysisStore(tmp_path)
         assert current.get(fresh.fingerprint()) is None
         assert current.stats().ignored == 1
-        # The stale writer itself still reads its own entries.
-        assert AnalysisStore(tmp_path, salt="0123456789abcdef").get(fresh.fingerprint()) is not None
+        # Detection evicts: the stale file is gone, so the next miss is a
+        # plain miss (no re-read, no re-ignore) and the directory stays clean.
+        assert current.stats().evictions == 1
+        assert len(current) == 0
+        assert current.get(fresh.fingerprint()) is None
+        assert current.stats().ignored == 1
+
+    def test_ignored_entries_are_not_revalidated_forever(self, tmp_path):
+        """The satellite bug: a poisoned file used to be re-read and
+        re-ignored on every miss; now the first detection unlinks it."""
+        fingerprint, _ = self.populate(tmp_path)
+        path = tmp_path / f"{fingerprint}.analysis"
+        path.write_bytes(b"\x00poison")
+        store = AnalysisStore(tmp_path)
+        assert store.get(fingerprint) is None
+        assert not path.exists()
+        assert store.get(fingerprint) is None
+        stats = store.stats()
+        assert stats.ignored == 1  # second miss never re-validated anything
+        assert stats.misses == 2
+        assert stats.evictions == 1
 
     def test_mis_keyed_entry_is_ignored(self, tmp_path):
         fingerprint, _ = self.populate(tmp_path)

@@ -198,3 +198,70 @@ class TestServerResultCache:
         assert first == second
         assert {outcome.status for outcome in first} == {"error", "budget-exceeded"}
         assert cache.stats.result_hits == 0
+
+
+class TestHitRateAccounting:
+    """The satellite bugfix: non-cacheable completions must not skew the rate.
+
+    ``result_misses`` counts *cacheable* computations only (at completion
+    time), error/budget completions land in ``result_uncacheable``, so
+    ``hits / (hits + misses)`` is the hit rate over cacheable traffic exactly
+    — error-heavy chaos traffic leaves it untouched.
+    """
+
+    WORKLOAD_STATUSES = ["ok", "error", "budget-exceeded", "error", "ok"]
+
+    def chaos_workload(self):
+        from repro.service import QuerySpec
+
+        return [
+            "ax*b",                                # ok, cacheable
+            "((",                                  # parse error (planning)
+            QuerySpec("aa", max_nodes=1),          # budget-exceeded
+            QuerySpec("aa", method="local-flow"),  # inapplicable forced method
+            "ab",                                  # ok, cacheable
+        ]
+
+    def test_uncacheable_completions_are_counted_separately(self, database):
+        cache = LanguageCache()
+        with ResilienceServer(database, max_workers=2, cache=cache) as server:
+            outcomes = server.serve(self.chaos_workload())
+        assert [outcome.status for outcome in outcomes] == self.WORKLOAD_STATUSES
+        stats = cache.stats
+        # The two ok completions are cacheable misses; the budget overrun and
+        # the inapplicable method are executed-but-uncacheable; the parse
+        # error never reaches execution and is counted nowhere.
+        assert stats.result_misses == 2
+        assert stats.result_uncacheable == 2
+        assert stats.result_hits == 0
+
+    def test_hit_rate_is_over_cacheable_traffic_only(self, database):
+        cache = LanguageCache()
+        with ResilienceServer(database, max_workers=2, cache=cache) as server:
+            server.serve(self.chaos_workload())
+            server.serve(self.chaos_workload())
+        stats = cache.stats
+        # Second serve: both ok queries hit; the failures fail again.
+        assert stats.result_hits == 2
+        assert stats.result_misses == 2
+        assert stats.result_uncacheable == 4
+        rate = stats.result_hits / (stats.result_hits + stats.result_misses)
+        assert rate == 0.5  # errors did not drag the cacheable rate down
+
+    def test_lookup_of_a_failing_computation_is_not_a_miss(self, database):
+        # Misses count at completion time, so a lookup whose computation then
+        # errors contributes nothing to the miss column.
+        from repro.service import QuerySpec
+
+        cache = LanguageCache()
+        with ResilienceServer(database, parallel=False, cache=cache) as server:
+            server.serve([QuerySpec("aa", method="local-flow")])
+        assert cache.stats.result_misses == 0
+        assert cache.stats.result_uncacheable == 1
+
+    def test_string_keyed_cache_counts_nothing(self, database):
+        cache = LanguageCache(canonical=False)
+        with ResilienceServer(database, parallel=False, cache=cache) as server:
+            server.serve(self.chaos_workload())
+        stats = cache.stats
+        assert (stats.result_hits, stats.result_misses, stats.result_uncacheable) == (0, 0, 0)

@@ -325,6 +325,49 @@ assert results == fresh, "store-served results diverged from fresh computation"
 print(f"ci: analysis store warm pass ok ({stats.hits} hits, 0 classifications)")
 PY
 
+echo "ci: warm CLI then fresh-process serve conformance"
+WARM_STORE="$(mktemp -d)"
+trap 'rm -rf "$CONFORMANCE_STORE" "$WARM_STORE"' EXIT
+python -m repro.service.warm \
+  --analysis-store "$WARM_STORE/analysis" \
+  --result-store "$WARM_STORE/result" \
+  --trace-seed 7 --trace-requests 16 > "$WARM_STORE/warm.json"
+python - "$WARM_STORE" <<'PY'
+import json
+import sys
+from pathlib import Path
+
+from repro.resilience import AnalysisStore, LanguageCache, ResultStore
+from repro.service import resilience_serve
+from repro.traffic import TrafficProfile, generate_traffic
+
+root = Path(sys.argv[1])
+warm = json.loads((root / "warm.json").read_text())
+assert warm["classifications"] > 0 and warm["results_written"] > 0, warm
+
+# A fresh cache in a process that never classified anything: every request in
+# the warmed trace must be served from the stores, outcome-identical to an
+# uncached serial reference.
+trace = generate_traffic(TrafficProfile(seed=7, requests=16))
+analysis_store = AnalysisStore(root / "analysis")
+result_store = ResultStore(root / "result")
+cache = LanguageCache(store=analysis_store, result_store=result_store)
+for request in trace.requests:
+    database = trace.databases[request.database_key]
+    warmed = resilience_serve(request.workload, database, parallel=False, cache=cache)
+    reference = resilience_serve(
+        request.workload, database, parallel=False,
+        cache=LanguageCache(canonical=False),
+    )
+    assert warmed == reference, f"warmed serve diverged on {request.database_key}"
+assert cache.stats.classifications == 0, "warmed serve must not classify"
+assert analysis_store.stats().hits > 0 and result_store.stats().hits > 0
+print(
+    f"ci: warm CLI conformance ok ({analysis_store.stats().hits} analysis hits, "
+    f"{result_store.stats().hits} result hits, 0 classifications)"
+)
+PY
+
 echo "ci: benchmark smoke pass (includes bench_resilience_serve + bench_flow_core)"
 python tools/bench_smoke.py "$@"
 
@@ -450,6 +493,42 @@ print(
 PY
 else
   echo "ci: BENCH_soak.json missing (soak benchmark did not run?)" >&2
+  exit 1
+fi
+
+if [ -f BENCH_cache.json ]; then
+  echo "ci: cache-tier benchmark artefact check (BENCH_cache.json)"
+  python - <<'PY'
+import json
+from pathlib import Path
+
+data = json.loads(Path("BENCH_cache.json").read_text())
+for key in ("warm_pass", "cold", "warmed_store", "in_session", "eviction"):
+    assert key in data, f"BENCH_cache.json missing {key!r}"
+cold, warmed, session = data["cold"], data["warmed_store"], data["in_session"]
+# The acceptance observable: a fresh process serving from warmed stores never
+# classifies and reports store hits.
+assert cold["classifications"] > 0, cold
+assert warmed["classifications"] == 0, "warmed serve re-classified"
+assert warmed["analysis_store_hits"] > 0 and warmed["result_store_hits"] > 0, warmed
+assert session["classifications"] == 0, session
+assert session["hit_rate"] >= warmed["hit_rate"] >= cold["hit_rate"], (
+    cold["hit_rate"], warmed["hit_rate"], session["hit_rate"],
+)
+eviction = data["eviction"]
+assert eviction["evictions"] > 0, eviction
+assert eviction["final_entries"] <= 4 * eviction["max_entries"], eviction
+assert eviction["by_status_identical"] is True, "bounded serve diverged"
+mode = "smoke" if data.get("smoke") else "full"
+print(
+    f"ci: cache bench ok ({mode}: warmed hit rate {warmed['hit_rate']:.2f} "
+    f"with 0 classifications, {warmed['analysis_store_hits']} analysis + "
+    f"{warmed['result_store_hits']} result store hits, "
+    f"{eviction['evictions']} evictions bounded at {eviction['final_entries']} entries)"
+)
+PY
+else
+  echo "ci: BENCH_cache.json missing (cache-tier benchmark did not run?)" >&2
   exit 1
 fi
 
